@@ -1,0 +1,238 @@
+//! §5.3 — attacks from infected hosts: the three-dataset join.
+//!
+//! The paper's headline: intersect (a) the misconfigured-device addresses
+//! from the IPv4 scan, (b) the honeypots' attack sources, and (c) the
+//! telescope's suspicious sources. The result (11,118 addresses, all flagged
+//! by ≥1 VirusTotal vendor) is extended with Censys "iot"-tagged attackers
+//! (1,671) and with reverse-DNS domain analysis (797 domains, 427 webpages,
+//! 346 flagged URLs).
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use ofh_intel::{CensysDb, ReverseDns, VirusTotalDb};
+use ofh_telescope::Telescope;
+use ofh_wire::Protocol;
+use serde::Serialize;
+
+use crate::events::AttackDataset;
+use crate::render::{thousands, Table};
+
+/// The computed §5.3 joins.
+#[derive(Debug, Clone, Serialize)]
+pub struct InfectedHosts {
+    /// Misconfigured devices that attacked the honeypots only.
+    pub honeypot_only: u64,
+    /// … the telescope only.
+    pub telescope_only: u64,
+    /// … both.
+    pub both: u64,
+    /// Total (the 11,118 analogue).
+    pub total: u64,
+    /// Of those, flagged malicious by ≥1 VirusTotal vendor.
+    pub vt_flagged: u64,
+    /// Additional attackers tagged "iot" by Censys (not in the scan's
+    /// misconfigured set): (honeypot-only, telescope-only, both).
+    pub censys_extra: (u64, u64, u64),
+    /// Registered domains among remaining sources; with webpages.
+    pub domains: u64,
+    pub domains_with_webpage: u64,
+}
+
+impl InfectedHosts {
+    pub fn compute(
+        misconfigured: &BTreeSet<Ipv4Addr>,
+        dataset: &AttackDataset,
+        telescope: &Telescope,
+        vt: &VirusTotalDb,
+        censys: &CensysDb,
+        rdns: &ReverseDns,
+    ) -> InfectedHosts {
+        let honeypot_sources = dataset.sources();
+        let telescope_sources: BTreeSet<Ipv4Addr> = telescope
+            .records()
+            .filter(|r| {
+                r.target_protocol()
+                    .is_some_and(|p| Protocol::SCANNED.contains(&p))
+            })
+            .map(|r| r.src_ip)
+            .collect();
+
+        let mut honeypot_only = 0u64;
+        let mut telescope_only = 0u64;
+        let mut both = 0u64;
+        let mut vt_flagged = 0u64;
+        let mut infected: BTreeSet<Ipv4Addr> = BTreeSet::new();
+        for &addr in misconfigured {
+            let h = honeypot_sources.contains(&addr);
+            let t = telescope_sources.contains(&addr);
+            match (h, t) {
+                (true, true) => both += 1,
+                (true, false) => honeypot_only += 1,
+                (false, true) => telescope_only += 1,
+                (false, false) => continue,
+            }
+            infected.insert(addr);
+            if vt.ip_is_malicious(addr) {
+                vt_flagged += 1;
+            }
+        }
+
+        // Censys extension: remaining attack sources tagged "iot".
+        let mut censys_h = 0u64;
+        let mut censys_t = 0u64;
+        let mut censys_b = 0u64;
+        let remaining: BTreeSet<Ipv4Addr> = honeypot_sources
+            .union(&telescope_sources)
+            .copied()
+            .filter(|a| !infected.contains(a))
+            .collect();
+        for &addr in &remaining {
+            if !censys.is_tagged_iot(addr) {
+                continue;
+            }
+            let h = honeypot_sources.contains(&addr);
+            let t = telescope_sources.contains(&addr);
+            match (h, t) {
+                (true, true) => censys_b += 1,
+                (true, false) => censys_h += 1,
+                (false, true) => censys_t += 1,
+                (false, false) => unreachable!("remaining is a union"),
+            }
+        }
+
+        // Domain analysis of the remaining non-IoT sources, excluding the
+        // scanning services' own registered hosts.
+        let mut domains: BTreeSet<String> = BTreeSet::new();
+        let mut with_webpage: BTreeSet<String> = BTreeSet::new();
+        for &addr in &remaining {
+            let Some(domain) = rdns.domain_of(addr) else { continue };
+            if domain.ends_with(".scanner.example") {
+                continue;
+            }
+            domains.insert(domain.to_string());
+            if rdns
+                .domain_info(domain)
+                .is_some_and(|i| i.has_webpage)
+            {
+                with_webpage.insert(domain.to_string());
+            }
+        }
+
+        InfectedHosts {
+            honeypot_only,
+            telescope_only,
+            both,
+            total: honeypot_only + telescope_only + both,
+            vt_flagged,
+            censys_extra: (censys_h, censys_t, censys_b),
+            domains: domains.len() as u64,
+            domains_with_webpage: with_webpage.len() as u64,
+        }
+    }
+
+    pub fn censys_total(&self) -> u64 {
+        self.censys_extra.0 + self.censys_extra.1 + self.censys_extra.2
+    }
+
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "§5.3: Attacks from infected hosts (three-dataset join)",
+            &["Metric", "Measured", "Paper"],
+        );
+        t.row(&["Misconfigured devices attacking (total)".into(), thousands(self.total), "11,118".into()]);
+        t.row(&["  honeypots only".into(), thousands(self.honeypot_only), "1,147".into()]);
+        t.row(&["  telescope only".into(), thousands(self.telescope_only), "1,274".into()]);
+        t.row(&["  both".into(), thousands(self.both), "8,697".into()]);
+        t.row(&["  flagged by >=1 VT vendor".into(), thousands(self.vt_flagged), "11,118".into()]);
+        t.row(&["Censys-tagged IoT attackers (extra)".into(), thousands(self.censys_total()), "1,671".into()]);
+        t.row(&["  honeypots only".into(), thousands(self.censys_extra.0), "439".into()]);
+        t.row(&["  telescope only".into(), thousands(self.censys_extra.1), "564".into()]);
+        t.row(&["  both".into(), thousands(self.censys_extra.2), "668".into()]);
+        t.row(&["Registered domains among sources".into(), thousands(self.domains), "797".into()]);
+        t.row(&["  with webpages".into(), thousands(self.domains_with_webpage), "427".into()]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_honeypots::{AttackEvent, EventKind};
+    use ofh_intel::GeoDb;
+    use ofh_net::sim::FlowTap;
+    use ofh_net::rng::rng_for;
+    use ofh_net::{FlowKind, FlowObservation, SimTime, Transport};
+
+    fn a(n: u32) -> Ipv4Addr {
+        Ipv4Addr::from(n)
+    }
+
+    fn hp_event(src: u32) -> AttackEvent {
+        AttackEvent {
+            time: SimTime(1),
+            honeypot: "Cowrie",
+            protocol: Protocol::Telnet,
+            src: a(src),
+            src_port: 1,
+            kind: EventKind::Connection,
+        }
+    }
+
+    fn telescope_with(sources: &[u32]) -> Telescope {
+        let mut t = Telescope::new(GeoDb::new());
+        for &s in sources {
+            t.observe(&FlowObservation {
+                time: SimTime(1),
+                src: a(s),
+                dst: a(0x1000_0001),
+                src_port: 5,
+                dst_port: 23,
+                transport: Transport::Tcp,
+                kind: FlowKind::TcpSyn,
+                ttl: 40,
+                tcp_flags: FlowObservation::SYN,
+                tcp_window: 65_535,
+                ip_len: 60,
+                payload: vec![],
+                spoofed: false,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn join_partitions_correctly() {
+        // Misconfigured set: 10 (H only), 11 (T only), 12 (both), 13 (neither).
+        let misconfigured: BTreeSet<Ipv4Addr> = [10u32, 11, 12, 13].iter().map(|&n| a(n)).collect();
+        let ds = AttackDataset::merge(vec![vec![hp_event(10), hp_event(12), hp_event(20)]]);
+        let telescope = telescope_with(&[11, 12, 21]);
+        let mut vt = VirusTotalDb::new();
+        let mut rng = rng_for(1, "t");
+        for n in [10u32, 11, 12] {
+            vt.ingest_ip(&mut rng, a(n), 1.0);
+        }
+        let mut censys = CensysDb::new();
+        censys.ingest(&mut rng, a(20), "camera", 1.0); // extra IoT attacker
+        let mut rdns = ReverseDns::new();
+        rdns.register(
+            a(21),
+            "shop.example.net",
+            ofh_intel::rdns::DomainInfo {
+                has_webpage: true,
+                webpage_kind: "fake shop".into(),
+            },
+        );
+
+        let join = InfectedHosts::compute(&misconfigured, &ds, &telescope, &vt, &censys, &rdns);
+        assert_eq!(join.honeypot_only, 1);
+        assert_eq!(join.telescope_only, 1);
+        assert_eq!(join.both, 1);
+        assert_eq!(join.total, 3);
+        assert_eq!(join.vt_flagged, 3);
+        assert_eq!(join.censys_extra, (1, 0, 0));
+        assert_eq!(join.domains, 1);
+        assert_eq!(join.domains_with_webpage, 1);
+        assert!(join.render().contains("11,118"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Table 10 — misconfigured devices by country.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use ofh_intel::{Country, GeoDb};
+use serde::Serialize;
+
+use crate::render::{percent, thousands, Table};
+
+/// The computed Table 10.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table10 {
+    /// (country, count), descending by count.
+    pub rows: Vec<(Country, u64)>,
+    pub total: u64,
+}
+
+impl Table10 {
+    /// Resolve every misconfigured address through the geolocation database
+    /// (the paper uses ipgeolocation.io the same way).
+    pub fn compute(misconfigured: &BTreeSet<Ipv4Addr>, geo: &GeoDb) -> Table10 {
+        let mut counts: BTreeMap<Country, u64> = BTreeMap::new();
+        for &addr in misconfigured {
+            *counts.entry(geo.country_of(addr)).or_insert(0) += 1;
+        }
+        let mut rows: Vec<(Country, u64)> = counts.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let total = misconfigured.len() as u64;
+        Table10 { rows, total }
+    }
+
+    pub fn count_of(&self, country: Country) -> u64 {
+        self.rows
+            .iter()
+            .find(|(c, _)| *c == country)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+
+    /// Top country by count.
+    pub fn top(&self) -> Option<Country> {
+        self.rows.first().map(|&(c, _)| c)
+    }
+
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 10: Misconfigured devices by country",
+            &["Country", "Count", "Share", "Paper share"],
+        );
+        for &(country, n) in &self.rows {
+            t.row(&[
+                country.name().into(),
+                thousands(n),
+                percent(n, self.total),
+                format!("{:.1}%", country.table10_share() * 100.0),
+            ]);
+        }
+        t.row(&[
+            "Total".into(),
+            thousands(self.total),
+            "100%".into(),
+            "100%".into(),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_geo() {
+        let mut geo = GeoDb::with_prefix(24);
+        geo.allocate_block("10.0.0.0".parse().unwrap(), Country::Usa, 1);
+        geo.allocate_block("10.0.1.0".parse().unwrap(), Country::China, 2);
+        let mut set = BTreeSet::new();
+        set.insert("10.0.0.1".parse().unwrap());
+        set.insert("10.0.0.2".parse().unwrap());
+        set.insert("10.0.1.1".parse().unwrap());
+        set.insert("99.0.0.1".parse().unwrap()); // unallocated -> Other
+        let t10 = Table10::compute(&set, &geo);
+        assert_eq!(t10.count_of(Country::Usa), 2);
+        assert_eq!(t10.count_of(Country::China), 1);
+        assert_eq!(t10.count_of(Country::Other), 1);
+        assert_eq!(t10.top(), Some(Country::Usa));
+        assert_eq!(t10.total, 4);
+        assert!(t10.render().contains("USA"));
+    }
+}

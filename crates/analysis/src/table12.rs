@@ -1,0 +1,114 @@
+//! Table 12 — top Telnet and SSH credentials used by adversaries, from the
+//! honeypots' login logs.
+
+use std::collections::BTreeMap;
+
+use ofh_honeypots::EventKind;
+use ofh_wire::Protocol;
+use serde::Serialize;
+
+use crate::events::AttackDataset;
+use crate::render::{thousands, Table};
+
+/// The computed Table 12.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table12 {
+    /// (protocol, username, password, count), per-protocol descending.
+    pub rows: Vec<(Protocol, String, String, u64)>,
+}
+
+impl Table12 {
+    pub fn compute(dataset: &AttackDataset, top_n: usize) -> Table12 {
+        let mut counts: BTreeMap<(Protocol, String, String), u64> = BTreeMap::new();
+        for e in &dataset.events {
+            if let EventKind::LoginAttempt {
+                username, password, ..
+            } = &e.kind
+            {
+                if e.protocol == Protocol::Telnet || e.protocol == Protocol::Ssh {
+                    *counts
+                        .entry((e.protocol, username.clone(), password.clone()))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        let mut rows = Vec::new();
+        for proto in [Protocol::Telnet, Protocol::Ssh] {
+            let mut per: Vec<(Protocol, String, String, u64)> = counts
+                .iter()
+                .filter(|((p, _, _), _)| *p == proto)
+                .map(|((p, u, pw), &n)| (*p, u.clone(), pw.clone(), n))
+                .collect();
+            per.sort_by(|a, b| b.3.cmp(&a.3).then(a.1.cmp(&b.1)));
+            per.truncate(top_n);
+            rows.extend(per);
+        }
+        Table12 { rows }
+    }
+
+    /// The most-used credential pair for a protocol.
+    pub fn top_credential(&self, protocol: Protocol) -> Option<(&str, &str, u64)> {
+        self.rows
+            .iter()
+            .find(|(p, _, _, _)| *p == protocol)
+            .map(|(_, u, pw, n)| (u.as_str(), pw.as_str(), *n))
+    }
+
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 12: Top Telnet and SSH credentials used by adversaries",
+            &["Protocol", "Credentials", "Count"],
+        );
+        for (p, u, pw, n) in &self.rows {
+            let pw = if pw.is_empty() { "(blank)" } else { pw };
+            t.row(&[p.name().into(), format!("{u},{pw}"), thousands(*n)]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_honeypots::AttackEvent;
+    use ofh_net::SimTime;
+
+    fn login(proto: Protocol, user: &str, pass: &str) -> AttackEvent {
+        AttackEvent {
+            time: SimTime(0),
+            honeypot: "Cowrie",
+            protocol: proto,
+            src: "1.1.1.1".parse().unwrap(),
+            src_port: 1,
+            kind: EventKind::LoginAttempt {
+                username: user.into(),
+                password: pass.into(),
+                success: false,
+            },
+        }
+    }
+
+    #[test]
+    fn counts_and_orders() {
+        let mut events = Vec::new();
+        for _ in 0..5 {
+            events.push(login(Protocol::Telnet, "admin", "admin"));
+        }
+        for _ in 0..2 {
+            events.push(login(Protocol::Telnet, "root", "root"));
+        }
+        events.push(login(Protocol::Ssh, "admin", "admin"));
+        let ds = AttackDataset::merge(vec![events]);
+        let t12 = Table12::compute(&ds, 10);
+        assert_eq!(t12.top_credential(Protocol::Telnet), Some(("admin", "admin", 5)));
+        assert_eq!(t12.top_credential(Protocol::Ssh), Some(("admin", "admin", 1)));
+        // Telnet rows come before SSH rows and are internally sorted.
+        let telnet_rows: Vec<u64> = t12
+            .rows
+            .iter()
+            .filter(|(p, _, _, _)| *p == Protocol::Telnet)
+            .map(|(_, _, _, n)| *n)
+            .collect();
+        assert_eq!(telnet_rows, vec![5, 2]);
+    }
+}

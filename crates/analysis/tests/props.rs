@@ -1,0 +1,116 @@
+//! Property tests for the analysis layer: totality and partition invariants
+//! over arbitrary event streams.
+
+use std::net::Ipv4Addr;
+
+use ofh_analysis::events::{AttackDataset, SourceClass};
+use ofh_analysis::figures::AttackTypeBreakdown;
+use ofh_analysis::table7::Table7;
+use ofh_honeypots::{AttackEvent, EventKind};
+use ofh_intel::ReverseDns;
+use ofh_net::SimTime;
+use ofh_wire::Protocol;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        Just(EventKind::Connection),
+        (1usize..2000).prop_map(|len| EventKind::Datagram { len }),
+        Just(EventKind::Discovery),
+        ("[a-z]{1,8}", "[a-z0-9!]{0,8}", any::<bool>()).prop_map(|(u, p, s)| {
+            EventKind::LoginAttempt {
+                username: u,
+                password: p,
+                success: s,
+            }
+        }),
+        "[a-z ./:-]{1,24}".prop_map(|line| EventKind::Command { line }),
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(|payload| EventKind::PayloadDrop {
+            payload,
+            url: None,
+        }),
+        "[a-z/]{1,12}".prop_map(|t| EventKind::DataWrite { target: t }),
+        "[a-z/]{1,12}".prop_map(|t| EventKind::DataRead { target: t }),
+        "/[a-z/]{0,12}".prop_map(|p| EventKind::HttpRequest { path: p }),
+        "[A-Za-z0-9 -]{1,16}".prop_map(|n| EventKind::ExploitSignature { name: n }),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = AttackEvent> {
+    (
+        0u64..2_000_000_000,
+        prop::sample::select(vec!["HosTaGe", "U-Pot", "Conpot", "ThingPot", "Cowrie", "Dionaea"]),
+        prop::sample::select(Protocol::ALL.to_vec()),
+        any::<u32>(),
+        any::<u16>(),
+        arb_kind(),
+    )
+        .prop_map(|(t, honeypot, protocol, src, src_port, kind)| AttackEvent {
+            time: SimTime(t),
+            honeypot,
+            protocol,
+            src: Ipv4Addr::from(src),
+            src_port,
+            kind,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every event gets exactly one attack type, and the per-protocol
+    /// breakdown partitions the dataset (cells sum to the event count).
+    #[test]
+    fn attack_typing_is_a_partition(events in prop::collection::vec(arb_event(), 0..300)) {
+        let n = events.len() as u64;
+        let ds = AttackDataset::merge(vec![events]);
+        let breakdown = AttackTypeBreakdown::compute(&ds);
+        let total: u64 = breakdown.cells.iter().map(|(_, _, _, c)| c).sum();
+        prop_assert_eq!(total, n);
+        // Per-protocol shares sum to 1 wherever a protocol has events.
+        for p in Protocol::ALL {
+            let per = breakdown.per_protocol(p);
+            let sum: u64 = per.values().sum();
+            if sum > 0 {
+                let share_sum: f64 = per
+                    .keys()
+                    .map(|&ty| breakdown.share(p, ty))
+                    .sum();
+                prop_assert!((share_sum - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Table 7's source classification partitions each honeypot's unique
+    /// sources: scanning + malicious + unknown = distinct sources seen.
+    #[test]
+    fn table7_sources_partition(events in prop::collection::vec(arb_event(), 0..300)) {
+        let ds = AttackDataset::merge(vec![events]);
+        let rdns = ReverseDns::new();
+        let t7 = Table7::compute(&ds, &rdns);
+        for hp in ["HosTaGe", "U-Pot", "Conpot", "ThingPot", "Cowrie", "Dionaea"] {
+            let distinct: std::collections::BTreeSet<Ipv4Addr> =
+                ds.honeypot_events(hp).map(|e| e.src).collect();
+            let s = t7.sources_of(hp);
+            prop_assert_eq!(s.scanning + s.malicious + s.unknown, distinct.len(), "{}", hp);
+        }
+        // Row events also sum to the dataset size.
+        let total: u64 = t7.rows.iter().map(|r| r.events).sum();
+        prop_assert_eq!(total, ds.len() as u64);
+    }
+
+    /// Source classes are stable (same input, same class) and never
+    /// scanning-service without an rDNS registration.
+    #[test]
+    fn classification_without_rdns_never_scanning(
+        events in prop::collection::vec(arb_event(), 1..120),
+    ) {
+        let ds = AttackDataset::merge(vec![events]);
+        let rdns = ReverseDns::new();
+        for e in &ds.events {
+            let c = ds.classify_source(&rdns, e.honeypot, e.src);
+            prop_assert_ne!(c, SourceClass::ScanningService);
+            prop_assert_eq!(c, ds.classify_source(&rdns, e.honeypot, e.src));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Infected devices — victim and attacker in one host.
+//!
+//! The paper's headline (§5.3): 11,118 of the misconfigured devices found by
+//! the scan *themselves attacked* the honeypots and the telescope. An
+//! [`InfectedDevice`] composes a device endpoint (so the scan still finds
+//! and classifies it as a misconfigured device) with an attacker schedule
+//! (so the honeypots and telescope record it as an attack source). The join
+//! in `ofh-analysis` then rediscovers the overlap from measurements alone.
+
+use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
+use std::collections::HashSet;
+
+use crate::driver::{AttackerAgent, Task};
+
+/// A device agent that also runs an attack schedule.
+pub struct InfectedDevice {
+    /// The device-side behaviour (what the scanner talks to).
+    inner: Box<dyn Agent>,
+    /// The bot-side behaviour (what the honeypots/telescope see).
+    bot: AttackerAgent,
+    /// Connections initiated by the bot (events for these route to `bot`;
+    /// all inbound connections route to `inner`).
+    bot_conns: HashSet<ConnToken>,
+}
+
+impl InfectedDevice {
+    pub fn new(inner: Box<dyn Agent>, tasks: Vec<Task>) -> InfectedDevice {
+        InfectedDevice {
+            inner,
+            bot: AttackerAgent::new(tasks),
+            bot_conns: HashSet::new(),
+        }
+    }
+
+    /// Bot diagnostics.
+    pub fn bot(&self) -> &AttackerAgent {
+        &self.bot
+    }
+}
+
+impl Agent for InfectedDevice {
+    fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+        self.inner.on_boot(ctx);
+        // The bot schedules its tasks as timers; conn tracking below keys on
+        // connections it creates during those timer callbacks.
+        self.bot.on_boot(ctx);
+    }
+
+    fn on_tcp_open(
+        &mut self,
+        ctx: &mut NetCtx<'_>,
+        conn: ConnToken,
+        local_port: u16,
+        peer: SockAddr,
+    ) -> TcpDecision {
+        // Inbound connections always belong to the device side.
+        self.inner.on_tcp_open(ctx, conn, local_port, peer)
+    }
+
+    fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        if self.bot_conns.contains(&conn) {
+            self.bot.on_tcp_established(ctx, conn);
+        } else {
+            self.inner.on_tcp_established(ctx, conn);
+        }
+    }
+
+    fn on_tcp_refused(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        if self.bot_conns.remove(&conn) {
+            self.bot.on_tcp_refused(ctx, conn);
+        } else {
+            self.inner.on_tcp_refused(ctx, conn);
+        }
+    }
+
+    fn on_tcp_timeout(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        if self.bot_conns.remove(&conn) {
+            self.bot.on_tcp_timeout(ctx, conn);
+        } else {
+            self.inner.on_tcp_timeout(ctx, conn);
+        }
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        if self.bot_conns.contains(&conn) {
+            self.bot.on_tcp_data(ctx, conn, data);
+        } else {
+            self.inner.on_tcp_data(ctx, conn, data);
+        }
+    }
+
+    fn on_tcp_closed(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        if self.bot_conns.remove(&conn) {
+            self.bot.on_tcp_closed(ctx, conn);
+        } else {
+            self.inner.on_tcp_closed(ctx, conn);
+        }
+    }
+
+    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &[u8]) {
+        // Bot-side UDP uses high source ports (43xxx); the device serves its
+        // protocol port. Replies to bot probes arrive at the bot's ports.
+        if (43_000..43_100).contains(&local_port) {
+            self.bot.on_udp(ctx, local_port, peer, payload);
+        } else {
+            self.inner.on_udp(ctx, local_port, peer, payload);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
+        // All timers belong to the bot (device endpoints are reactive).
+        // Track which connections the bot opens during the callback by
+        // observing the connection-id watermark. Connection ids are global
+        // and monotonic, so everything the bot opened lies in the range.
+        let before = crate::infected::conn_watermark(ctx);
+        self.bot.on_timer(ctx, token);
+        let after = conn_watermark(ctx);
+        for id in before..after {
+            self.bot_conns.insert(ConnToken(id));
+        }
+    }
+}
+
+/// The fabric's next connection id (used to attribute freshly opened
+/// connections to the bot side).
+pub(crate) fn conn_watermark(ctx: &NetCtx<'_>) -> u64 {
+    ctx.next_conn_id()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::AttackScript;
+    use ofh_devices::endpoints::TelnetDevice;
+    use ofh_devices::Misconfig;
+    use ofh_honeypots::{CowrieHoneypot, EventKind};
+    use ofh_net::{ip, SimNet, SimNetConfig, SimTime};
+
+    #[test]
+    fn infected_device_is_both_victim_and_attacker() {
+        let mut net = SimNet::new(SimNetConfig::default());
+        let dev_addr = ip(16, 50, 0, 1);
+        let hp_addr = ip(16, 1, 0, 10);
+
+        let device = TelnetDevice::new("PK5001Z login:", Some(Misconfig::TelnetNoAuthRoot), 23);
+        let tasks = vec![Task {
+            at: SimTime(5_000),
+            dst: hp_addr,
+            script: AttackScript::TelnetBruteForce {
+                port: 23,
+                credentials: vec![("admin".into(), "admin".into())],
+                dropper: None,
+            },
+        }];
+        net.attach(dev_addr, Box::new(InfectedDevice::new(Box::new(device), tasks)));
+        let hid = net.attach(hp_addr, Box::new(CowrieHoneypot::new()));
+
+        // A scanner-style probe to the device still sees its banner.
+        struct Probe {
+            dst: SockAddr,
+            banner: Vec<u8>,
+        }
+        impl Agent for Probe {
+            fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+                ctx.tcp_connect(self.dst);
+            }
+            fn on_tcp_data(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken, data: &[u8]) {
+                self.banner.extend_from_slice(data);
+            }
+        }
+        let pid = net.attach(
+            ip(16, 3, 0, 2),
+            Box::new(Probe {
+                dst: SockAddr::new(dev_addr, 23),
+                banner: Vec::new(),
+            }),
+        );
+        net.run_until(SimTime(300_000));
+
+        // Victim role: banner served.
+        let banner = net.agent_downcast::<Probe>(pid).unwrap().banner.clone();
+        let text = String::from_utf8_lossy(&ofh_wire::telnet::visible_text(&banner)).into_owned();
+        assert!(text.contains("PK5001Z"));
+        assert!(text.contains("root@"));
+
+        // Attacker role: the honeypot logged this device's address.
+        let h = net.agent_downcast::<CowrieHoneypot>(hid).unwrap();
+        assert!(h
+            .log
+            .events
+            .iter()
+            .any(|e| e.src == dev_addr
+                && matches!(e.kind, EventKind::LoginAttempt { .. } | EventKind::Connection)));
+    }
+}

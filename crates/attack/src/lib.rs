@@ -1,0 +1,34 @@
+//! # ofh-attack — the threat-actor population
+//!
+//! Everything that *attacks* in the study: Mirai-style botnets brute-forcing
+//! Telnet/SSH with the Table 12 dictionary and dropping hashed binaries
+//! (Table 13), the twenty-odd benign scanning services of Fig. 3 (whose
+//! listings drive the Fig. 8 attack increase), DoS flooders and reflection
+//! attackers (§5.1.3), data poisoners (§5.1.2/§5.1.4), Eternal*-wielding SMB
+//! exploiters (§5.1.5), Tor-relay web scrapers (§5.1.6), multistage
+//! attackers (Fig. 9 / §5.4), and — the paper's headline — **infected
+//! misconfigured IoT devices** that are simultaneously victims in the scan
+//! dataset and attackers against the honeypots and telescope (§5.3).
+//!
+//! Architecture: one generic script-driven agent ([`driver::AttackerAgent`])
+//! executes [`driver::AttackScript`]s against targets on a schedule; actor
+//! categories are *plans* — schedules calibrated in [`plan`] so that
+//! expected volumes match Table 7 at the configured scale. What the
+//! honeypots/telescope actually record is measured, not scripted.
+//!
+//! **Time-compression targeting** (see DESIGN.md): a real Mirai bot probes
+//! millions of addresses a day, so every bot finds every honeypot and
+//! crosses the telescope many times. Simulated bots send orders of magnitude
+//! fewer probes, so target selection is importance-weighted between the
+//! honeypot lab, the telescope's dark space, and the general universe; the
+//! weights substitute for probe volume, preserving who-hits-what.
+
+pub mod driver;
+pub mod infected;
+pub mod plan;
+pub mod services;
+
+pub use driver::{AttackScript, AttackerAgent, Task};
+pub use infected::InfectedDevice;
+pub use plan::{AttackPlan, PlanConfig};
+pub use services::{ScanningService, SERVICES};

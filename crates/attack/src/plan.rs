@@ -1,0 +1,1150 @@
+//! The attack plan: who attacks what, when, and how.
+//!
+//! Calibration philosophy (same as the population builder): the paper's
+//! published *marginals* are inputs — Table 7's per-honeypot/protocol event
+//! volumes and unique-source splits, Fig. 8's listing dates and DoS days,
+//! §5.3's infected-device counts and their honeypot/telescope overlap
+//! structure — and everything downstream is *measured* from the traffic the
+//! plan's actors actually emit. Yields per script are estimates, so measured
+//! volumes land near (not exactly on) the targets; EXPERIMENTS.md records
+//! the deviation.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use ofh_devices::credentials::dictionary_for;
+use ofh_devices::population::Population;
+use ofh_devices::Universe;
+use ofh_intel::{MalwareFamily, MalwareSample};
+use ofh_net::rng::rng_for;
+use ofh_net::{SimDuration, SimTime};
+use ofh_wire::Protocol;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::driver::{AttackScript, Task};
+use crate::services::{listing_day, SERVICES};
+
+/// Table 7's event volumes: (honeypot, protocol, #attack events).
+pub const TABLE7_VOLUMES: &[(&str, Protocol, u64)] = &[
+    ("HosTaGe", Protocol::Telnet, 19_733),
+    ("HosTaGe", Protocol::Mqtt, 2_511),
+    ("HosTaGe", Protocol::Amqp, 2_780),
+    ("HosTaGe", Protocol::Coap, 11_543),
+    ("HosTaGe", Protocol::Ssh, 19_174),
+    ("HosTaGe", Protocol::Http, 16_192),
+    ("HosTaGe", Protocol::Smb, 1_830),
+    ("U-Pot", Protocol::Upnp, 17_101),
+    ("Conpot", Protocol::Ssh, 12_837),
+    ("Conpot", Protocol::Telnet, 12_377),
+    ("Conpot", Protocol::S7, 7_113),
+    ("Conpot", Protocol::Http, 11_313),
+    ("ThingPot", Protocol::Xmpp, 11_344),
+    ("Cowrie", Protocol::Ssh, 15_459),
+    ("Cowrie", Protocol::Telnet, 14_963),
+    ("Dionaea", Protocol::Http, 11_974),
+    ("Dionaea", Protocol::Mqtt, 1_557),
+    ("Dionaea", Protocol::Ftp, 3_565),
+    ("Dionaea", Protocol::Smb, 6_873),
+];
+
+/// §5.3: misconfigured devices that attacked (the headline 11,118) and
+/// their overlap structure (footnote 2).
+pub const PAPER_INFECTED: u64 = 11_118;
+pub const PAPER_INFECTED_HONEYPOT_ONLY: u64 = 1_147;
+pub const PAPER_INFECTED_TELESCOPE_ONLY: u64 = 1_274;
+/// §5.3: additional IoT attackers identified via Censys (and their split).
+pub const PAPER_CENSYS_EXTRA: u64 = 1_671;
+/// §5.3: registered domains among attack sources; with webpages; flagged.
+pub const PAPER_DOMAINS: u64 = 797;
+pub const PAPER_DOMAINS_WEBPAGE: u64 = 427;
+pub const PAPER_DOMAINS_MALICIOUS: u64 = 346;
+/// §5.1.6: unique Tor-relay sources.
+pub const PAPER_TOR_RELAYS: u64 = 151;
+/// §5.4: multistage attacks detected.
+pub const PAPER_MULTISTAGE: u64 = 267;
+/// Table 7 footer: unique scanning-service source IPs.
+pub const PAPER_SERVICE_IPS: u64 = 10_696;
+/// Table 7 footer: unique malicious / unknown source IPs.
+pub const PAPER_MALICIOUS_IPS: u64 = 69_690;
+pub const PAPER_UNKNOWN_IPS: u64 = 9_779;
+/// Fig. 8: the two major-DoS days (April 24 and 26; day 0 = April 1).
+pub const DOS_DAYS: [u64; 2] = [23, 25];
+
+/// Deployed honeypot addresses (one per Fig. 1 group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HoneypotSet {
+    pub hostage: Ipv4Addr,
+    pub upot: Ipv4Addr,
+    pub conpot: Ipv4Addr,
+    pub thingpot: Ipv4Addr,
+    pub cowrie: Ipv4Addr,
+    pub dionaea: Ipv4Addr,
+}
+
+impl HoneypotSet {
+    /// Place the six honeypots in the universe's lab subnet.
+    pub fn in_lab(universe: &Universe) -> HoneypotSet {
+        let lab = universe.honeypot_lab();
+        let base = u32::from(lab.first());
+        HoneypotSet {
+            hostage: Ipv4Addr::from(base + 1),
+            upot: Ipv4Addr::from(base + 2),
+            conpot: Ipv4Addr::from(base + 3),
+            thingpot: Ipv4Addr::from(base + 4),
+            cowrie: Ipv4Addr::from(base + 5),
+            dionaea: Ipv4Addr::from(base + 6),
+        }
+    }
+
+    pub fn addr_of(&self, honeypot: &str) -> Ipv4Addr {
+        match honeypot {
+            "HosTaGe" => self.hostage,
+            "U-Pot" => self.upot,
+            "Conpot" => self.conpot,
+            "ThingPot" => self.thingpot,
+            "Cowrie" => self.cowrie,
+            "Dionaea" => self.dionaea,
+            other => panic!("unknown honeypot {other}"),
+        }
+    }
+
+    pub fn all(&self) -> [Ipv4Addr; 6] {
+        [
+            self.hostage,
+            self.upot,
+            self.conpot,
+            self.thingpot,
+            self.cowrie,
+            self.dionaea,
+        ]
+    }
+}
+
+/// Plan configuration.
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    pub seed: u64,
+    /// Divide Table 7 volumes and source counts by this.
+    pub hp_scale: u64,
+    /// Divide §5.3 infected-device counts by this (ties to the scan scale).
+    pub infected_scale: u64,
+    pub universe: Universe,
+    /// Honeypot month start (April 1) and length in days.
+    pub month_start: SimTime,
+    pub month_days: u64,
+    pub honeypots: HoneypotSet,
+}
+
+impl PlanConfig {
+    fn scaled(&self, n: u64, scale: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            ((n + scale / 2) / scale).max(1)
+        }
+    }
+}
+
+/// What kind of source an actor is (ground truth for oracles and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActorCategory {
+    ScanningService(&'static str),
+    /// Suspicious one-off scanners (Table 7 "Unknown" column).
+    UnknownScanner,
+    /// Dedicated malicious hosts (bots on servers, DoS boxes…).
+    Malicious,
+    /// Tor exit relay scraping HTTP.
+    TorRelay,
+    /// Malicious host with a registered domain (§5.3).
+    DomainHost { domain: String, webpage: bool },
+    /// Multistage attacker (Fig. 9).
+    Multistage,
+}
+
+/// One planned standalone actor (infected devices are handled separately —
+/// they wrap existing device records).
+#[derive(Debug, Clone)]
+pub struct PlannedActor {
+    pub addr: Ipv4Addr,
+    pub category: ActorCategory,
+    pub tasks: Vec<Task>,
+}
+
+/// Task schedules for infected members of the device population.
+#[derive(Debug, Clone)]
+pub struct InfectedPlan {
+    /// Index into the population's records.
+    pub record_idx: usize,
+    pub tasks: Vec<Task>,
+    /// Ground truth for tests: does this schedule target honeypots /
+    /// telescope space?
+    pub hits_honeypots: bool,
+    pub hits_telescope: bool,
+}
+
+/// The complete attack plan.
+pub struct AttackPlan {
+    pub actors: Vec<PlannedActor>,
+    /// Infected misconfigured devices (§5.3 headline set).
+    pub infected: Vec<InfectedPlan>,
+    /// Infected weak-credential devices (the Censys-extension set: not
+    /// misconfigured on scanned protocols, so the scan join misses them).
+    pub censys_extra: Vec<InfectedPlan>,
+    /// Listing events for Fig. 8 annotations: (service name, time).
+    pub listings: Vec<(&'static str, SimTime)>,
+}
+
+impl AttackPlan {
+    /// Build the plan over a generated device population.
+    pub fn build(cfg: &PlanConfig, population: &Population) -> AttackPlan {
+        let mut rng = rng_for(cfg.seed, "attack-plan");
+        let mut plan = AttackPlan {
+            actors: Vec::new(),
+            infected: Vec::new(),
+            censys_extra: Vec::new(),
+            listings: SERVICES
+                .iter()
+                .filter_map(|s| listing_day(s).map(|d| (s.name, cfg.month_start + SimDuration::from_days(d))))
+                .collect(),
+        };
+        let mut addr_pool = AttackerAddrPool::new(cfg.universe);
+
+        plan.build_services(cfg, &mut rng, &mut addr_pool);
+        plan.build_infected(cfg, population, &mut rng);
+        let mut malicious_sources = plan.build_malicious_pool(cfg, &mut rng, &mut addr_pool);
+        plan.build_row_traffic(cfg, &mut rng, &mut malicious_sources);
+        plan.build_unknown_scanners(cfg, &mut rng, &mut addr_pool);
+        plan.build_telescope_background(cfg, &mut rng, &mut addr_pool);
+        plan.build_tor(cfg, &mut rng, &mut addr_pool);
+        plan.build_dos(cfg, &mut rng, &mut addr_pool);
+        plan.build_multistage(cfg, &mut rng, &mut addr_pool);
+        plan.actors.extend(malicious_sources);
+        plan
+    }
+
+    /// Scanning services: each source IP probes the lab periodically and
+    /// sweeps a slice of the telescope's dark space.
+    fn build_services(&mut self, cfg: &PlanConfig, rng: &mut StdRng, pool: &mut AttackerAddrPool) {
+        let total_ips = cfg.scaled(PAPER_SERVICE_IPS, cfg.hp_scale);
+        let weight_sum: u32 = SERVICES.iter().map(|s| s.weight).sum();
+        for service in SERVICES {
+            let n_ips =
+                ((total_ips as f64 * service.weight as f64 / weight_sum as f64).round() as u64).max(1);
+            for _ in 0..n_ips {
+                let addr = pool.next();
+                let mut tasks = Vec::new();
+                // Each scanner IP owns a fixed pair of probe surfaces for
+                // the whole month (real fleet IPs divide the port space):
+                // only a slice of every service's fleet touches any one
+                // honeypot, reproducing Table 7's scanning-unique counts
+                // being a fraction of the 10,696 total.
+                let surfaces = [service_probe(cfg, rng), service_probe(cfg, rng)];
+                let mut day = rng.gen_range(0..service.period_days.min(cfg.month_days));
+                while day < cfg.month_days {
+                    let at = cfg.month_start
+                        + SimDuration::from_days(day)
+                        + SimDuration::from_secs(rng.gen_range(0..86_400));
+                    let (dst, script) = surfaces[rng.gen_range(0..2)].clone();
+                    tasks.push(Task { at, dst, script });
+                    // And cross the telescope (every scanner does).
+                    tasks.push(Task {
+                        at: at + SimDuration::from_secs(rng.gen_range(1..3_600)),
+                        dst: dark_addr(cfg, rng),
+                        script: AttackScript::SynProbe { port: 23 },
+                    });
+                    day += service.period_days;
+                }
+                self.actors.push(PlannedActor {
+                    addr,
+                    category: ActorCategory::ScanningService(service.name),
+                    tasks,
+                });
+            }
+        }
+    }
+
+    /// The §5.3 infected misconfigured devices, with the paper's
+    /// honeypot-only / telescope-only / both overlap structure.
+    fn build_infected(&mut self, cfg: &PlanConfig, population: &Population, rng: &mut StdRng) {
+        let infectable: Vec<usize> = population
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.misconfig.is_some_and(|m| m.is_infectable()))
+            .map(|(i, _)| i)
+            .collect();
+        let n_total = cfg.scaled(PAPER_INFECTED, cfg.infected_scale) as usize;
+        let n_h_only = cfg.scaled(PAPER_INFECTED_HONEYPOT_ONLY, cfg.infected_scale) as usize;
+        let n_t_only = cfg.scaled(PAPER_INFECTED_TELESCOPE_ONLY, cfg.infected_scale) as usize;
+        let mut chosen = infectable;
+        chosen.shuffle(rng);
+        chosen.truncate(n_total);
+        for (i, record_idx) in chosen.into_iter().enumerate() {
+            let (hits_honeypots, hits_telescope) = if i < n_h_only {
+                (true, false)
+            } else if i < n_h_only + n_t_only {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let tasks = bot_schedule(cfg, rng, hits_honeypots, hits_telescope, i as u64);
+            self.infected.push(InfectedPlan {
+                record_idx,
+                tasks,
+                hits_honeypots,
+                hits_telescope,
+            });
+        }
+
+        // Censys-extension set: weak-credential (configured!) devices that
+        // got infected via their default credentials — invisible to the
+        // misconfiguration join, visible to Censys' IoT tags.
+        let weak: Vec<usize> = population
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.default_creds.is_some() && r.misconfig.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let n_extra = cfg.scaled(PAPER_CENSYS_EXTRA, cfg.infected_scale) as usize;
+        // §5.3 footnote 3: 439 honeypot-only, 564 telescope-only, 668 both.
+        let e_h = cfg.scaled(439, cfg.infected_scale) as usize;
+        let e_t = cfg.scaled(564, cfg.infected_scale) as usize;
+        let mut weak = weak;
+        weak.shuffle(rng);
+        weak.truncate(n_extra);
+        for (i, record_idx) in weak.into_iter().enumerate() {
+            let (hits_honeypots, hits_telescope) = if i < e_h {
+                (true, false)
+            } else if i < e_h + e_t {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let tasks = bot_schedule(cfg, rng, hits_honeypots, hits_telescope, 50_000 + i as u64);
+            self.censys_extra.push(InfectedPlan {
+                record_idx,
+                tasks,
+                hits_honeypots,
+                hits_telescope,
+            });
+        }
+    }
+
+    /// Dedicated malicious hosts (empty task lists; `build_row_traffic`
+    /// fills them).
+    fn build_malicious_pool(
+        &mut self,
+        cfg: &PlanConfig,
+        _rng: &mut StdRng,
+        pool: &mut AttackerAddrPool,
+    ) -> Vec<PlannedActor> {
+        let n = cfg.scaled(PAPER_MALICIOUS_IPS, cfg.hp_scale).max(8);
+        (0..n)
+            .map(|_| PlannedActor {
+                addr: pool.next(),
+                category: ActorCategory::Malicious,
+                tasks: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Fill each Table 7 row with malicious traffic up to its scaled volume.
+    ///
+    /// Sources are **partitioned across rows** (proportional to row volume):
+    /// a generic malicious host hammers one honeypot surface, so Fig. 9's
+    /// multistage statistics are driven by the dedicated multistage actors,
+    /// not by incidental task mixing.
+    fn build_row_traffic(
+        &mut self,
+        cfg: &PlanConfig,
+        rng: &mut StdRng,
+        sources: &mut [PlannedActor],
+    ) {
+        let total_volume: u64 = TABLE7_VOLUMES.iter().map(|&(_, _, v)| v).sum();
+        let mut next_source = 0usize;
+        for &(honeypot, protocol, volume) in TABLE7_VOLUMES {
+            let target_events = cfg.scaled(volume, cfg.hp_scale);
+            let dst = cfg.honeypots.addr_of(honeypot);
+            // This row's disjoint slice of the source pool (wrapping is
+            // impossible: shares sum to <= pool size by construction).
+            let slice_start = next_source.min(sources.len() - 1);
+            let slice_len = ((sources.len() as u64 * volume / total_volume).max(1) as usize)
+                .min(sources.len() - slice_start)
+                .max(1);
+            next_source = slice_start + slice_len;
+            let mut emitted = 0u64;
+            while emitted < target_events {
+                let (script, yield_est) = malicious_script(cfg, protocol, rng);
+                let at = attack_time(cfg, rng);
+                let src = slice_start + rng.gen_range(0..slice_len);
+                sources[src].tasks.push(Task { at, dst, script });
+                emitted += yield_est;
+                // Malicious sources also cross the telescope — with Telnet
+                // worm probes, whatever they attack honeypots with (the
+                // telescope's protocol mix is dominated by Telnet scanning
+                // worms, Table 8).
+                if rng.gen_bool(0.35) {
+                    sources[src].tasks.push(Task {
+                        at: at + SimDuration::from_secs(rng.gen_range(60..7_200)),
+                        dst: dark_addr(cfg, rng),
+                        script: telescope_probe(Protocol::Telnet),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Background Internet radiation into the telescope, calibrated to
+    /// Table 8's per-protocol daily counts and unique-source counts: the
+    /// worm-driven Telnet roar that dwarfs everything (2.5B/day from 85.6M
+    /// sources in the paper) down to XMPP's trickle.
+    fn build_telescope_background(
+        &mut self,
+        cfg: &PlanConfig,
+        rng: &mut StdRng,
+        pool: &mut AttackerAddrPool,
+    ) {
+        /// (protocol, paper daily count, paper unique sources) — Table 8.
+        const TABLE8: &[(Protocol, u64, u64)] = &[
+            (Protocol::Telnet, 2_554_585_920, 85_615_200),
+            (Protocol::Upnp, 131_794_560, 18_633),
+            (Protocol::Coap, 68_353_920, 2_342),
+            (Protocol::Mqtt, 17_072_640, 5_572),
+            (Protocol::Amqp, 13_907_520, 7_132),
+            (Protocol::Xmpp, 6_429_600, 4_255),
+        ];
+        // Telescope volumes sit ~5 orders of magnitude above honeypot event
+        // volumes; scale them accordingly so runtimes stay bounded while
+        // both orderings (counts and uniques) survive.
+        let count_scale = cfg.hp_scale.saturating_mul(1_000_000);
+        let unique_scale = cfg.hp_scale.saturating_mul(32);
+        for &(protocol, daily, unique) in TABLE8 {
+            let probes = ((daily * cfg.month_days) / count_scale).max(4);
+            // Cap per-protocol sources at an eighth of the remaining pool so
+            // small universes never exhaust their attacker space; the probe
+            // volume is preserved by raising per-source activity instead.
+            let cap = (pool.remaining() / 8).max(2);
+            let sources = ((unique / unique_scale).max(2)).min(probes).min(cap) as usize;
+            let per_source = (probes / sources as u64).max(1);
+            for _ in 0..sources {
+                let addr = pool.next();
+                let tasks: Vec<Task> = (0..per_source)
+                    .map(|_| Task {
+                        at: attack_time(cfg, rng),
+                        dst: dark_addr(cfg, rng),
+                        script: telescope_probe(protocol),
+                    })
+                    .collect();
+                self.actors.push(PlannedActor {
+                    addr,
+                    category: ActorCategory::Malicious,
+                    tasks,
+                });
+            }
+        }
+    }
+
+    /// One-off suspicious scanners (Table 7 "Unknown" column).
+    fn build_unknown_scanners(
+        &mut self,
+        cfg: &PlanConfig,
+        rng: &mut StdRng,
+        pool: &mut AttackerAddrPool,
+    ) {
+        let n = cfg.scaled(PAPER_UNKNOWN_IPS, cfg.hp_scale);
+        for _ in 0..n {
+            let addr = pool.next();
+            let (dst, script) = service_probe(cfg, rng);
+            let tasks = vec![Task {
+                at: attack_time(cfg, rng),
+                dst,
+                script,
+            }];
+            self.actors.push(PlannedActor {
+                addr,
+                category: ActorCategory::UnknownScanner,
+                tasks,
+            });
+        }
+    }
+
+    /// Tor-relay HTTP scrapers: a daily recurring GET pattern (§5.1.6).
+    fn build_tor(&mut self, cfg: &PlanConfig, rng: &mut StdRng, pool: &mut AttackerAddrPool) {
+        let n = cfg.scaled(PAPER_TOR_RELAYS, cfg.hp_scale);
+        let http_targets = [cfg.honeypots.hostage, cfg.honeypots.conpot, cfg.honeypots.dionaea];
+        for _ in 0..n {
+            let addr = pool.next();
+            let mut tasks = Vec::new();
+            let start_day = rng.gen_range(0..5);
+            for day in start_day..cfg.month_days {
+                tasks.push(Task {
+                    at: cfg.month_start
+                        + SimDuration::from_days(day)
+                        + SimDuration::from_secs(rng.gen_range(0..86_400)),
+                    dst: *http_targets.choose(rng).expect("targets nonempty"),
+                    script: AttackScript::HttpGet {
+                        path: "/".into(),
+                    },
+                });
+            }
+            self.actors.push(PlannedActor {
+                addr,
+                category: ActorCategory::TorRelay,
+                tasks,
+            });
+        }
+    }
+
+    /// The major DoS events of Fig. 8 (days 24 and 26), §5.1.3's CoAP flood
+    /// pair with duplicate DNS entries, and some domain-registered attackers.
+    fn build_dos(&mut self, cfg: &PlanConfig, rng: &mut StdRng, pool: &mut AttackerAddrPool) {
+        // The CoAP flood pair (same domain, two addresses).
+        let pair = [pool.next(), pool.next()];
+        for addr in pair {
+            let day = DOS_DAYS[0];
+            let mut tasks = vec![
+                // They scanned three days before attacking (§5.1.3).
+                Task {
+                    at: cfg.month_start + SimDuration::from_days(day - 3),
+                    dst: cfg.honeypots.hostage,
+                    script: AttackScript::CoapDiscovery,
+                },
+                Task {
+                    at: cfg.month_start + SimDuration::from_days(day),
+                    dst: cfg.honeypots.hostage,
+                    script: AttackScript::UdpFlood {
+                        port: ofh_wire::ports::COAP,
+                        packets: (6_000 / cfg.hp_scale as u32).max(60),
+                        payload_len: 96,
+                    },
+                },
+            ];
+            tasks.push(Task {
+                at: cfg.month_start + SimDuration::from_days(day) + SimDuration::from_mins(10),
+                dst: dark_addr(cfg, rng),
+                script: AttackScript::SynProbe { port: 5_683 },
+            });
+            self.actors.push(PlannedActor {
+                addr,
+                category: ActorCategory::DomainHost {
+                    domain: "apache2-default.example.net".into(),
+                    webpage: true,
+                },
+                tasks,
+            });
+        }
+        // U-Pot UDP flood on the second DoS day (>80% of its traffic) — a
+        // botnet *swarm*: many sources, a few packets each, which is why
+        // U-Pot's malicious-unique count dwarfs its scanning count in
+        // Table 7. Two of the sources scanned three days earlier (§5.1.3).
+        let swarm = cfg
+            .scaled(8_000, cfg.hp_scale)
+            .min(pool.remaining() / 4)
+            .max(4);
+        for i in 0..swarm {
+            let addr = pool.next();
+            let mut tasks = Vec::new();
+            if i < 2 {
+                tasks.push(Task {
+                    at: cfg.month_start + SimDuration::from_days(DOS_DAYS[1] - 3),
+                    dst: cfg.honeypots.upot,
+                    script: AttackScript::UpnpDiscovery,
+                });
+            }
+            tasks.push(Task {
+                at: cfg.month_start
+                    + SimDuration::from_days(DOS_DAYS[1])
+                    + SimDuration::from_secs(rng.gen_range(0..120)),
+                dst: cfg.honeypots.upot,
+                script: AttackScript::UdpFlood {
+                    port: ofh_wire::ports::SSDP,
+                    packets: rng.gen_range(4..10),
+                    payload_len: 64,
+                },
+            });
+            self.actors.push(PlannedActor {
+                addr,
+                category: ActorCategory::Malicious,
+                tasks,
+            });
+        }
+        // Domain-registered attack sources (§5.3).
+        let n_domains = cfg.scaled(PAPER_DOMAINS, cfg.hp_scale);
+        let n_webpage = cfg.scaled(PAPER_DOMAINS_WEBPAGE, cfg.hp_scale);
+        for i in 0..n_domains {
+            let addr = pool.next();
+            let webpage = i < n_webpage;
+            let tasks = vec![Task {
+                at: attack_time(cfg, rng),
+                dst: cfg.honeypots.cowrie,
+                script: AttackScript::TelnetBruteForce {
+                    port: 23,
+                    credentials: pick_creds(rng, Protocol::Telnet, 2),
+                    dropper: Some((
+                        format!("http://host{i}.example.org/bot.sh"),
+                        mirai_sample(rng),
+                    )),
+                },
+            }];
+            self.actors.push(PlannedActor {
+                addr,
+                category: ActorCategory::DomainHost {
+                    domain: format!("host{i}.example.org"),
+                    webpage,
+                },
+                tasks,
+            });
+        }
+    }
+
+    /// Multistage attackers: protocol sequences per Fig. 9 — most start at
+    /// Telnet/SSH, SMB dominates stage 2, S7 stage 3.
+    fn build_multistage(&mut self, cfg: &PlanConfig, rng: &mut StdRng, pool: &mut AttackerAddrPool) {
+        let n = cfg.scaled(PAPER_MULTISTAGE, cfg.hp_scale);
+        let month_end = cfg.month_start + SimDuration::from_days(cfg.month_days);
+        // Later stages must still land inside the measurement month
+        // ("a follow up attack … may have occurred anytime in the one month
+        // experiment period", §5.4).
+        let clamp = |t: SimTime| t.min(month_end).max(cfg.month_start);
+        for _ in 0..n {
+            let addr = pool.next();
+            let start = attack_time(cfg, rng);
+            let mut tasks = Vec::new();
+            // Stage 1: Telnet (60%) or SSH (40%).
+            let stage1_telnet = rng.gen_bool(0.6);
+            tasks.push(Task {
+                at: start,
+                dst: if stage1_telnet { cfg.honeypots.hostage } else { cfg.honeypots.cowrie },
+                script: if stage1_telnet {
+                    AttackScript::TelnetBruteForce {
+                        port: 23,
+                        credentials: pick_creds(rng, Protocol::Telnet, 2),
+                        dropper: None,
+                    }
+                } else {
+                    AttackScript::SshBruteForce {
+                        credentials: pick_creds(rng, Protocol::Ssh, 2),
+                        dropper: None,
+                    }
+                },
+            });
+            // Stage 2: SMB dominates; otherwise HTTP or MQTT.
+            let stage2 = rng.gen_range(0..10);
+            let (dst2, script2) = if stage2 < 6 {
+                (
+                    cfg.honeypots.dionaea,
+                    AttackScript::SmbEternal {
+                        sample: MalwareSample::synthesize(MalwareFamily::WannaCry, rng.gen_range(0..3)),
+                    },
+                )
+            } else if stage2 < 8 {
+                (cfg.honeypots.hostage, AttackScript::HttpGet { path: "/admin".into() })
+            } else {
+                (
+                    cfg.honeypots.dionaea,
+                    AttackScript::MqttAttack {
+                        poison_topic: Some("stage2/poison".into()),
+                    },
+                )
+            };
+            tasks.push(Task {
+                at: clamp(start + SimDuration::from_hours(rng.gen_range(1..48))),
+                dst: dst2,
+                script: script2,
+            });
+            // Stage 3 (some attackers): S7 dominates.
+            if rng.gen_bool(0.5) {
+                tasks.push(Task {
+                    at: clamp(start + SimDuration::from_hours(rng.gen_range(48..240))),
+                    dst: cfg.honeypots.conpot,
+                    script: AttackScript::S7JobFlood { jobs: 4 },
+                });
+            }
+            self.actors.push(PlannedActor {
+                addr,
+                category: ActorCategory::Multistage,
+                tasks,
+            });
+        }
+    }
+
+    /// All service source addresses by name (oracle ground truth).
+    pub fn service_sources(&self) -> BTreeMap<Ipv4Addr, &'static str> {
+        self.actors
+            .iter()
+            .filter_map(|a| match a.category {
+                ActorCategory::ScanningService(name) => Some((a.addr, name)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total scheduled tasks (diagnostics).
+    pub fn total_tasks(&self) -> usize {
+        self.actors.iter().map(|a| a.tasks.len()).sum::<usize>()
+            + self.infected.iter().map(|i| i.tasks.len()).sum::<usize>()
+            + self.censys_extra.iter().map(|i| i.tasks.len()).sum::<usize>()
+    }
+}
+
+/// Sequential address allocation from the universe's attacker space.
+struct AttackerAddrPool {
+    next: u32,
+    last: u32,
+}
+
+impl AttackerAddrPool {
+    fn new(universe: Universe) -> AttackerAddrPool {
+        let space = universe.attacker_space();
+        AttackerAddrPool {
+            next: u32::from(space.first()),
+            last: u32::from(space.last()),
+        }
+    }
+
+    fn next(&mut self) -> Ipv4Addr {
+        assert!(self.next <= self.last, "attacker address space exhausted");
+        let addr = Ipv4Addr::from(self.next);
+        self.next += 1;
+        addr
+    }
+
+    /// Addresses still available.
+    fn remaining(&self) -> u64 {
+        (self.last - self.next + 1) as u64
+    }
+}
+
+/// A random address inside the telescope's dark space.
+fn dark_addr(cfg: &PlanConfig, rng: &mut StdRng) -> Ipv4Addr {
+    let dark = cfg.universe.dark_space();
+    let offset = rng.gen_range(0..dark.len()) as u32;
+    Ipv4Addr::from(u32::from(dark.first()) + offset)
+}
+
+/// A benign reconnaissance probe against a random honeypot surface.
+fn service_probe(cfg: &PlanConfig, rng: &mut StdRng) -> (Ipv4Addr, AttackScript) {
+    match rng.gen_range(0..8) {
+        0 => (cfg.honeypots.hostage, AttackScript::SynProbe { port: 23 }),
+        1 => (cfg.honeypots.cowrie, AttackScript::SynProbe { port: 22 }),
+        2 => (cfg.honeypots.conpot, AttackScript::SynProbe { port: 102 }),
+        3 => (cfg.honeypots.thingpot, AttackScript::SynProbe { port: 5_222 }),
+        4 => (cfg.honeypots.dionaea, AttackScript::HttpGet { path: "/".into() }),
+        5 => (cfg.honeypots.upot, AttackScript::UpnpDiscovery),
+        6 => (cfg.honeypots.hostage, AttackScript::CoapDiscovery),
+        _ => (cfg.honeypots.dionaea, AttackScript::SynProbe { port: 445 }),
+    }
+}
+
+/// The probe a malicious source sends into the telescope for a protocol.
+fn telescope_probe(protocol: Protocol) -> AttackScript {
+    match protocol {
+        Protocol::Coap => AttackScript::CoapDiscovery,
+        Protocol::Upnp => AttackScript::UpnpDiscovery,
+        p => AttackScript::SynProbe { port: p.port() },
+    }
+}
+
+/// A time within the month, weighted by the Fig. 8 intensity profile:
+/// baseline early, step up after each listing, heavy late month.
+fn attack_time(cfg: &PlanConfig, rng: &mut StdRng) -> SimTime {
+    let day = sample_day(cfg, rng);
+    cfg.month_start + SimDuration::from_days(day) + SimDuration::from_secs(rng.gen_range(0..86_400))
+}
+
+fn sample_day(cfg: &PlanConfig, rng: &mut StdRng) -> u64 {
+    // Piecewise intensity: listings at days 4/7/11/15 each raise the level.
+    let weights: Vec<f64> = (0..cfg.month_days)
+        .map(|d| {
+            let mut w = 1.0;
+            for &listing in &[4u64, 7, 11, 15] {
+                if d >= listing {
+                    w += 0.35;
+                }
+            }
+            w
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (d, w) in weights.iter().enumerate() {
+        if x < *w {
+            return d as u64;
+        }
+        x -= w;
+    }
+    cfg.month_days - 1
+}
+
+/// Pick `n` credentials from the Table 12 dictionary, weighted by observed
+/// counts (so the honeypot logs regenerate Table 12's ordering).
+fn pick_creds(rng: &mut StdRng, protocol: Protocol, n: usize) -> Vec<(String, String)> {
+    let dict = dictionary_for(protocol);
+    let total: u64 = dict.iter().map(|c| c.paper_count as u64).sum();
+    (0..n)
+        .map(|_| {
+            let mut x = rng.gen_range(0..total);
+            for c in &dict {
+                if x < c.paper_count as u64 {
+                    return (c.username.to_string(), c.password.to_string());
+                }
+                x -= c.paper_count as u64;
+            }
+            ("admin".to_string(), "admin".to_string())
+        })
+        .collect()
+}
+
+fn mirai_sample(rng: &mut StdRng) -> MalwareSample {
+    MalwareSample::synthesize(MalwareFamily::Mirai, rng.gen_range(0..113))
+}
+
+/// A malicious script for a Table 7 row, with its estimated honeypot-event
+/// yield.
+fn malicious_script(cfg: &PlanConfig, protocol: Protocol, rng: &mut StdRng) -> (AttackScript, u64) {
+    match protocol {
+        Protocol::Telnet => {
+            let r = rng.gen_range(0..10);
+            if r < 3 {
+                (AttackScript::SynProbe { port: 23 }, 1)
+            } else {
+                let n_creds = rng.gen_range(1..4);
+                let creds = pick_creds(rng, Protocol::Telnet, n_creds);
+                let n = creds.len() as u64;
+                let dropper = if r >= 8 {
+                    Some((
+                        format!("http://{}/mirai.arm7", dark_addr(cfg, rng)),
+                        mirai_sample(rng),
+                    ))
+                } else {
+                    None
+                };
+                let extra = if dropper.is_some() { 3 } else { 0 };
+                (
+                    AttackScript::TelnetBruteForce {
+                        port: 23,
+                        credentials: creds,
+                        dropper,
+                    },
+                    1 + n + extra,
+                )
+            }
+        }
+        Protocol::Ssh => {
+            let r = rng.gen_range(0..10);
+            if r < 2 {
+                (AttackScript::SynProbe { port: 22 }, 1)
+            } else {
+                let n_creds = rng.gen_range(1..4);
+                let creds = pick_creds(rng, Protocol::Ssh, n_creds);
+                let n = creds.len() as u64;
+                // Crypto-miner droppers (LemonDuck / FritzFrog, §5.1.1).
+                let dropper = if r >= 8 {
+                    let family = if rng.gen_bool(0.5) {
+                        MalwareFamily::LemonDuck
+                    } else {
+                        MalwareFamily::FritzFrog
+                    };
+                    Some((
+                        "http://miner.example.net/xmrig".to_string(),
+                        MalwareSample::synthesize(family, rng.gen_range(0..3)),
+                    ))
+                } else {
+                    None
+                };
+                let extra = if dropper.is_some() { 3 } else { 0 };
+                (
+                    AttackScript::SshBruteForce {
+                        credentials: creds,
+                        dropper,
+                    },
+                    1 + n + extra,
+                )
+            }
+        }
+        Protocol::Mqtt => {
+            let poison = rng.gen_bool(0.6);
+            (
+                AttackScript::MqttAttack {
+                    poison_topic: poison.then(|| "devices/state".to_string()),
+                },
+                2,
+            )
+        }
+        Protocol::Amqp => {
+            // Some floods cross the per-minute DoS threshold (§5.1.2:
+            // publish floods "leading to a Denial Of Service").
+            let frames = rng.gen_range(5..60);
+            (AttackScript::AmqpFlood { frames }, 1 + frames as u64)
+        }
+        Protocol::Coap => match rng.gen_range(0..10) {
+            0..=5 => (AttackScript::CoapDiscovery, 1),
+            6..=7 => (AttackScript::CoapPoison, 1),
+            _ => {
+                let packets = rng.gen_range(10..40);
+                (
+                    AttackScript::UdpFlood {
+                        port: ofh_wire::ports::COAP,
+                        packets,
+                        payload_len: 48,
+                    },
+                    packets as u64,
+                )
+            }
+        },
+        Protocol::Upnp => match rng.gen_range(0..10) {
+            0..=2 => (AttackScript::UpnpDiscovery, 1),
+            _ => {
+                let packets = rng.gen_range(20..80);
+                (
+                    AttackScript::UdpFlood {
+                        port: ofh_wire::ports::SSDP,
+                        packets,
+                        payload_len: 64,
+                    },
+                    packets as u64,
+                )
+            }
+        },
+        Protocol::Xmpp => (AttackScript::XmppAnonToggle, 3),
+        Protocol::Http => match rng.gen_range(0..10) {
+            0..=6 => (
+                AttackScript::HttpGet {
+                    path: ["/", "/login", "/admin", "/api/config"]
+                        .choose(rng)
+                        .map(|s| s.to_string())
+                        .expect("paths nonempty"),
+                },
+                2,
+            ),
+            7..=8 => {
+                let requests = rng.gen_range(5..20);
+                (AttackScript::HttpFlood { requests }, 1 + requests as u64)
+            }
+            _ => (AttackScript::SynProbe { port: 80 }, 1),
+        },
+        Protocol::Ftp => {
+            let family = if rng.gen_bool(0.5) {
+                MalwareFamily::Mozi
+            } else {
+                MalwareFamily::Lokibot
+            };
+            (
+                AttackScript::FtpUploadMalware {
+                    credentials: ("admin".into(), "admin".into()),
+                    sample: MalwareSample::synthesize(family, rng.gen_range(0..3)),
+                },
+                5,
+            )
+        }
+        Protocol::Smb => (
+            AttackScript::SmbEternal {
+                sample: MalwareSample::synthesize(MalwareFamily::WannaCry, rng.gen_range(0..3)),
+            },
+            3,
+        ),
+        Protocol::S7 => {
+            let jobs = rng.gen_range(2..8);
+            (AttackScript::S7JobFlood { jobs }, 1 + 2 * jobs as u64)
+        }
+        Protocol::Modbus => (AttackScript::ModbusTamper, 4),
+    }
+}
+
+/// A bot schedule for an infected device with the given targeting.
+fn bot_schedule(
+    cfg: &PlanConfig,
+    rng: &mut StdRng,
+    hits_honeypots: bool,
+    hits_telescope: bool,
+    _salt: u64,
+) -> Vec<Task> {
+    let mut tasks = Vec::new();
+    if hits_honeypots {
+        let n = rng.gen_range(1..4);
+        // A bot runs one worm: it speaks one protocol for its whole life
+        // (mixing protocols per-bot would masquerade as multistage attacks).
+        let telnet = rng.gen_bool(0.7);
+        for _ in 0..n {
+            let dst = if telnet { cfg.honeypots.cowrie } else { cfg.honeypots.hostage };
+            let script = if telnet {
+                AttackScript::TelnetBruteForce {
+                    port: 23,
+                    credentials: pick_creds(rng, Protocol::Telnet, 2),
+                    dropper: rng.gen_bool(0.4).then(|| {
+                        (
+                            format!("http://{}/mirai.arm7", dark_addr(cfg, rng)),
+                            mirai_sample(rng),
+                        )
+                    }),
+                }
+            } else {
+                AttackScript::SshBruteForce {
+                    credentials: pick_creds(rng, Protocol::Ssh, 2),
+                    dropper: None,
+                }
+            };
+            tasks.push(Task {
+                at: attack_time(cfg, rng),
+                dst,
+                script,
+            });
+        }
+    }
+    if hits_telescope {
+        let n = rng.gen_range(2..6);
+        for _ in 0..n {
+            tasks.push(Task {
+                at: attack_time(cfg, rng),
+                dst: dark_addr(cfg, rng),
+                script: AttackScript::SynProbe { port: 23 },
+            });
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_devices::population::{PopulationBuilder, PopulationSpec};
+
+    fn test_plan() -> (PlanConfig, AttackPlan) {
+        let universe = Universe::new(Ipv4Addr::new(16, 0, 0, 0), 20);
+        let population = PopulationBuilder::new(PopulationSpec {
+            universe,
+            scale: 2_048,
+            seed: 5,
+        })
+        .build();
+        let cfg = PlanConfig {
+            seed: 5,
+            hp_scale: 64,
+            infected_scale: 2_048,
+            universe,
+            month_start: SimTime::ZERO + SimDuration::from_days(31),
+            month_days: 30,
+            honeypots: HoneypotSet::in_lab(&universe),
+        };
+        let plan = AttackPlan::build(&cfg, &population);
+        (cfg, plan)
+    }
+
+    #[test]
+    fn table7_volumes_sum() {
+        let total: u64 = TABLE7_VOLUMES.iter().map(|&(_, _, v)| v).sum();
+        // Table 7's printed rows (the paper's stated total is 200,209; its
+        // printed rows sum to 200,239 — we reproduce the rows as printed).
+        assert_eq!(total, 200_239);
+    }
+
+    #[test]
+    fn plan_has_all_actor_categories() {
+        let (_, plan) = test_plan();
+        let has = |f: &dyn Fn(&ActorCategory) -> bool| plan.actors.iter().any(|a| f(&a.category));
+        assert!(has(&|c| matches!(c, ActorCategory::ScanningService(_))));
+        assert!(has(&|c| matches!(c, ActorCategory::UnknownScanner)));
+        assert!(has(&|c| matches!(c, ActorCategory::Malicious)));
+        assert!(has(&|c| matches!(c, ActorCategory::TorRelay)));
+        assert!(has(&|c| matches!(c, ActorCategory::DomainHost { .. })));
+        assert!(has(&|c| matches!(c, ActorCategory::Multistage)));
+        assert!(!plan.infected.is_empty());
+        assert!(!plan.censys_extra.is_empty());
+    }
+
+    #[test]
+    fn actor_addresses_unique_and_in_attacker_space() {
+        let (cfg, plan) = test_plan();
+        let space = cfg.universe.attacker_space();
+        let mut addrs: Vec<Ipv4Addr> = plan.actors.iter().map(|a| a.addr).collect();
+        let n = addrs.len();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), n);
+        assert!(addrs.iter().all(|a| space.contains(*a)));
+    }
+
+    #[test]
+    fn infected_overlap_structure() {
+        let (_, plan) = test_plan();
+        let both = plan
+            .infected
+            .iter()
+            .filter(|i| i.hits_honeypots && i.hits_telescope)
+            .count();
+        let h_only = plan
+            .infected
+            .iter()
+            .filter(|i| i.hits_honeypots && !i.hits_telescope)
+            .count();
+        let t_only = plan
+            .infected
+            .iter()
+            .filter(|i| !i.hits_honeypots && i.hits_telescope)
+            .count();
+        // Paper: both (8,697) >> honeypot-only (1,147) ≈ telescope-only (1,274).
+        assert!(both > h_only, "both={both} h_only={h_only}");
+        assert!(both > t_only, "both={both} t_only={t_only}");
+        assert_eq!(both + h_only + t_only, plan.infected.len());
+    }
+
+    #[test]
+    fn tasks_lie_within_the_month() {
+        let (cfg, plan) = test_plan();
+        let end = cfg.month_start + SimDuration::from_days(cfg.month_days);
+        for actor in &plan.actors {
+            for task in &actor.tasks {
+                assert!(task.at >= cfg.month_start && task.at < end + SimDuration::from_days(1));
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_intensity_rises_after_listings() {
+        let (cfg, plan) = test_plan();
+        // Count malicious tasks in the first week vs the last week.
+        let mut early = 0u64;
+        let mut late = 0u64;
+        for actor in &plan.actors {
+            if !matches!(actor.category, ActorCategory::Malicious) {
+                continue;
+            }
+            for task in &actor.tasks {
+                let day = task.at.since(cfg.month_start).as_secs() / 86_400;
+                if day < 7 {
+                    early += 1;
+                } else if day >= 23 {
+                    late += 1;
+                }
+            }
+        }
+        assert!(
+            late as f64 > early as f64 * 1.2,
+            "late={late} early={early}: intensity must rise"
+        );
+    }
+
+    #[test]
+    fn listings_match_services() {
+        let (_, plan) = test_plan();
+        let names: Vec<&str> = plan.listings.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"Shodan"));
+        assert!(names.contains(&"BinaryEdge"));
+        assert!(names.contains(&"ZoomEye"));
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let (_, a) = test_plan();
+        let (_, b) = test_plan();
+        assert_eq!(a.total_tasks(), b.total_tasks());
+        assert_eq!(a.actors.len(), b.actors.len());
+        for (x, y) in a.actors.iter().zip(&b.actors) {
+            assert_eq!(x.addr, y.addr);
+            assert_eq!(x.tasks.len(), y.tasks.len());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Scanning services — the benign-but-noisy recon actors of Fig. 3.
+//!
+//! The paper identifies ~20 known scanning services from reverse lookups of
+//! honeypot traffic, with Shodan/Censys/Stretchoid/BinaryEdge dominating,
+//! and observes that **listing by a scanning service precedes a surge of
+//! malicious traffic** (Fig. 8: marked listing dates for Shodan, BinaryEdge
+//! and ZoomEye, upward trend after). GreyNoise misses some of them — the
+//! paper suspects Europe-limited rating platforms (§4.3.3).
+//!
+//! Each service owns a pool of source addresses and probes the honeypot lab
+//! (plus the telescope's dark space — telescopes famously see every
+//! scanner) on a fixed period. Listing services additionally publish a
+//! listing date per honeypot, which the attack plan uses to intensify
+//! post-listing malicious traffic.
+
+use ofh_net::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A known scanning service (Fig. 3 slice).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanningService {
+    pub name: &'static str,
+    /// Relative traffic weight (drives per-service source-IP counts).
+    pub weight: u32,
+    /// Days between full probe rounds.
+    pub period_days: u64,
+    /// Whether this service lists targets publicly (drives Fig. 8 surges).
+    pub lists_targets: bool,
+    /// Whether its scans are Europe-limited (GreyNoise blind spot, §4.3.3).
+    pub europe_only: bool,
+}
+
+/// The service registry (names from §4.3.1; weights approximate Fig. 3's
+/// ordering: Stretchoid and Censys lead, then Shodan, Bitsight, BinaryEdge…).
+pub const SERVICES: &[ScanningService] = &[
+    ScanningService { name: "Stretchoid.com", weight: 16, period_days: 1, lists_targets: false, europe_only: false },
+    ScanningService { name: "Censys", weight: 15, period_days: 1, lists_targets: true, europe_only: false },
+    ScanningService { name: "Shodan", weight: 13, period_days: 2, lists_targets: true, europe_only: false },
+    ScanningService { name: "Bitsight", weight: 9, period_days: 2, lists_targets: false, europe_only: true },
+    ScanningService { name: "BinaryEdge", weight: 8, period_days: 2, lists_targets: true, europe_only: false },
+    ScanningService { name: "Project Sonar", weight: 7, period_days: 3, lists_targets: false, europe_only: false },
+    ScanningService { name: "ShadowServer", weight: 6, period_days: 1, lists_targets: false, europe_only: false },
+    ScanningService { name: "InterneTTL", weight: 4, period_days: 3, lists_targets: false, europe_only: false },
+    ScanningService { name: "Alpha Strike Labs", weight: 4, period_days: 3, lists_targets: false, europe_only: true },
+    ScanningService { name: "Sharashka", weight: 3, period_days: 4, lists_targets: false, europe_only: true },
+    ScanningService { name: "RWTH Aachen University", weight: 3, period_days: 7, lists_targets: false, europe_only: true },
+    ScanningService { name: "CriminalIP", weight: 3, period_days: 4, lists_targets: false, europe_only: false },
+    ScanningService { name: "ipip.net", weight: 2, period_days: 5, lists_targets: false, europe_only: false },
+    ScanningService { name: "Net Systems Research", weight: 2, period_days: 5, lists_targets: false, europe_only: false },
+    ScanningService { name: "LeakIX", weight: 2, period_days: 4, lists_targets: false, europe_only: false },
+    ScanningService { name: "ONYPHE", weight: 2, period_days: 4, lists_targets: false, europe_only: true },
+    ScanningService { name: "Natlas", weight: 1, period_days: 7, lists_targets: false, europe_only: false },
+    ScanningService { name: "Quadmetrics.com", weight: 1, period_days: 7, lists_targets: false, europe_only: true },
+    ScanningService { name: "Arbor Observatory", weight: 1, period_days: 7, lists_targets: false, europe_only: false },
+    ScanningService { name: "ZoomEye", weight: 3, period_days: 3, lists_targets: true, europe_only: false },
+];
+
+/// Fig. 8 listing dates (day index within April; day 0 = April 1).
+/// Derived from the paper's marked listing events: Shodan listed the
+/// honeypots early, BinaryEdge and ZoomEye mid-month.
+pub fn listing_day(service: &ScanningService) -> Option<u64> {
+    if !service.lists_targets {
+        return None;
+    }
+    match service.name {
+        "Shodan" => Some(4),
+        "Censys" => Some(7),
+        "BinaryEdge" => Some(11),
+        "ZoomEye" => Some(15),
+        _ => None,
+    }
+}
+
+/// The instant (within the honeypot month starting at `month_start`) a
+/// service's listing takes effect.
+pub fn listing_time(service: &ScanningService, month_start: SimTime) -> Option<SimTime> {
+    listing_day(service).map(|d| month_start + SimDuration::from_days(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_papers_services() {
+        assert!(SERVICES.len() >= 20);
+        for name in ["Shodan", "Censys", "Stretchoid.com", "BinaryEdge", "RWTH Aachen University"] {
+            assert!(SERVICES.iter().any(|s| s.name == name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn stretchoid_and_censys_lead() {
+        let max = SERVICES.iter().map(|s| s.weight).max().unwrap();
+        assert_eq!(
+            SERVICES.iter().find(|s| s.weight == max).unwrap().name,
+            "Stretchoid.com"
+        );
+    }
+
+    #[test]
+    fn listing_services_have_dates() {
+        for s in SERVICES {
+            if s.lists_targets {
+                assert!(listing_day(s).is_some(), "{} lists but has no date", s.name);
+            } else {
+                assert!(listing_day(s).is_none());
+            }
+        }
+        // Shodan lists first (Fig. 8's first marker).
+        let shodan = SERVICES.iter().find(|s| s.name == "Shodan").unwrap();
+        let be = SERVICES.iter().find(|s| s.name == "BinaryEdge").unwrap();
+        assert!(listing_day(shodan).unwrap() < listing_day(be).unwrap());
+    }
+
+    #[test]
+    fn europe_only_subset_exists() {
+        // The GreyNoise comparison (Fig. 5) needs a blind spot to explain.
+        assert!(SERVICES.iter().filter(|s| s.europe_only).count() >= 3);
+    }
+
+    #[test]
+    fn listing_time_offsets() {
+        let shodan = SERVICES.iter().find(|s| s.name == "Shodan").unwrap();
+        let t = listing_time(shodan, SimTime::ZERO).unwrap();
+        assert_eq!(t.day_index(), 4);
+    }
+}

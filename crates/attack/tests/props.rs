@@ -1,0 +1,91 @@
+//! Property tests for the attack plan: structural invariants over arbitrary
+//! seeds and scales.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use ofh_attack::plan::{AttackPlan, HoneypotSet, PlanConfig};
+use ofh_devices::population::{PopulationBuilder, PopulationSpec};
+use ofh_devices::Universe;
+use ofh_net::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn build(seed: u64, hp_scale_pow: u32) -> (PlanConfig, AttackPlan) {
+    let universe = Universe::new(Ipv4Addr::new(16, 0, 0, 0), 18);
+    let population = PopulationBuilder::new(PopulationSpec {
+        universe,
+        scale: 8_192,
+        seed,
+    })
+    .build();
+    let cfg = PlanConfig {
+        seed,
+        hp_scale: 1u64 << hp_scale_pow,
+        infected_scale: 1_024,
+        universe,
+        month_start: SimTime::ZERO + SimDuration::from_days(31),
+        month_days: 30,
+        honeypots: HoneypotSet::in_lab(&universe),
+    };
+    let plan = AttackPlan::build(&cfg, &population);
+    (cfg, plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Actor addresses never collide with each other, with the honeypot lab,
+    /// or with the population/dark space.
+    #[test]
+    fn actor_addresses_disjoint(seed in any::<u64>(), hp in 5u32..9) {
+        let (cfg, plan) = build(seed, hp);
+        let attacker_space = cfg.universe.attacker_space();
+        let mut seen: BTreeSet<Ipv4Addr> = BTreeSet::new();
+        for actor in &plan.actors {
+            prop_assert!(seen.insert(actor.addr), "duplicate actor {}", actor.addr);
+            prop_assert!(attacker_space.contains(actor.addr));
+            prop_assert!(!cfg.universe.dark_space().contains(actor.addr));
+            prop_assert!(!cfg.universe.honeypot_lab().contains(actor.addr));
+        }
+    }
+
+    /// Every task fires inside the measurement month and targets either the
+    /// lab or the dark space — never the device population (generic actors
+    /// don't attack devices; only infected devices originate there).
+    #[test]
+    fn tasks_bounded_and_targeted(seed in any::<u64>(), hp in 5u32..9) {
+        let (cfg, plan) = build(seed, hp);
+        let end = cfg.month_start + SimDuration::from_days(cfg.month_days + 1);
+        let lab = cfg.universe.honeypot_lab();
+        let dark = cfg.universe.dark_space();
+        for actor in &plan.actors {
+            for task in &actor.tasks {
+                prop_assert!(task.at >= cfg.month_start && task.at < end);
+                prop_assert!(
+                    lab.contains(task.dst) || dark.contains(task.dst),
+                    "task target {} is neither lab nor dark space",
+                    task.dst
+                );
+            }
+        }
+    }
+
+    /// The infected overlap structure always has "both" as the largest
+    /// bucket and every infected index valid and distinct.
+    #[test]
+    fn infected_structure(seed in any::<u64>()) {
+        let (_, plan) = build(seed, 6);
+        let mut seen = BTreeSet::new();
+        let (mut h, mut t, mut b) = (0u32, 0u32, 0u32);
+        for inf in &plan.infected {
+            prop_assert!(seen.insert(inf.record_idx), "record used twice");
+            match (inf.hits_honeypots, inf.hits_telescope) {
+                (true, true) => b += 1,
+                (true, false) => h += 1,
+                (false, true) => t += 1,
+                (false, false) => prop_assert!(false, "infected device attacking nothing"),
+            }
+        }
+        prop_assert!(b >= h && b >= t, "both={b} h={h} t={t}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Microbenchmarks for the hot paths: address permutation, protocol codecs,
+//! SHA-256, FlowTuple ingest.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ofh_intel::sha256::sha256;
+use ofh_net::{ip, FlowKind, FlowObservation, SimTime, Transport};
+use ofh_scan::AddressPermutation;
+use ofh_telescope::Telescope;
+use ofh_net::sim::FlowTap;
+
+fn permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/permutation");
+    for size in [1u64 << 16, 1 << 20] {
+        g.throughput(Throughput::Elements(size));
+        g.bench_function(format!("iterate_2^{}", size.trailing_zeros()), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for v in AddressPermutation::new(size, 9) {
+                    acc ^= v;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/codecs");
+    let mqtt = ofh_wire::mqtt::Packet::Publish {
+        topic: "homeassistant/light/kitchen/state".into(),
+        packet_id: None,
+        payload: vec![0x55; 64],
+        qos: 0,
+        retain: true,
+    };
+    let mqtt_wire = mqtt.encode();
+    g.throughput(Throughput::Bytes(mqtt_wire.len() as u64));
+    g.bench_function("mqtt_decode", |b| {
+        b.iter(|| black_box(ofh_wire::mqtt::Packet::decode(&mqtt_wire).unwrap()))
+    });
+
+    let coap = ofh_wire::coap::Message::well_known_core_request(7);
+    let coap_wire = coap.encode();
+    g.throughput(Throughput::Bytes(coap_wire.len() as u64));
+    g.bench_function("coap_decode", |b| {
+        b.iter(|| black_box(ofh_wire::coap::Message::decode(&coap_wire).unwrap()))
+    });
+
+    let telnet = b"\xff\xfd\x1f\xff\xfb\x01PK5001Z login:\r\nroot@device:~$ ";
+    g.throughput(Throughput::Bytes(telnet.len() as u64));
+    g.bench_function("telnet_visible_text", |b| {
+        b.iter(|| black_box(ofh_wire::telnet::visible_text(telnet)))
+    });
+
+    let s7 = ofh_wire::s7::S7Message::job(1, ofh_wire::s7::function::READ_VAR, &[1, 2, 3]).encode();
+    g.bench_function("s7_decode", |b| {
+        b.iter(|| black_box(ofh_wire::s7::S7Message::decode(&s7).unwrap()))
+    });
+    g.finish();
+}
+
+fn hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/sha256");
+    for size in [256usize, 4_096, 65_536] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| black_box(sha256(&data))));
+    }
+    g.finish();
+}
+
+fn flowtuple_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/telescope");
+    let obs = FlowObservation {
+        time: SimTime(1234),
+        src: ip(9, 8, 7, 6),
+        dst: ip(16, 0, 1, 2),
+        src_port: 40_000,
+        dst_port: 23,
+        transport: Transport::Tcp,
+        kind: FlowKind::TcpSyn,
+        ttl: 44,
+        tcp_flags: FlowObservation::SYN,
+        tcp_window: 65_535,
+        ip_len: 60,
+        payload: vec![],
+        spoofed: false,
+    };
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("ingest_10k_flows", |b| {
+        b.iter(|| {
+            let mut t = Telescope::new(ofh_intel::GeoDb::new());
+            for i in 0..10_000u64 {
+                let mut o = obs.clone();
+                o.time = SimTime(i * 100);
+                t.observe(&o);
+            }
+            black_box(t.total_records())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, permutation, codecs, hashing, flowtuple_ingest);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Study configuration and scale presets.
+
+use std::net::Ipv4Addr;
+
+use ofh_devices::Universe;
+use ofh_net::{FaultPlan, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a full study run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Master seed: same seed ⇒ identical report.
+    pub seed: u64,
+    /// The simulated Internet's address plan.
+    pub universe: Universe,
+    /// Scale divisor for the scan-side population (Tables 4/5/6/10 counts
+    /// and the §5.3 infected set).
+    pub scan_scale: u64,
+    /// Scale divisor for honeypot-month traffic (Table 7 volumes, source
+    /// pools, Fig. 3–9 data).
+    pub hp_scale: u64,
+    /// Length of the honeypot deployment (the paper: 30 days of April).
+    pub month_days: u64,
+    /// Network fault model.
+    pub fault: FaultPlan,
+    /// Run the Sonar and Shodan dataset sweeps (Table 4's extra columns).
+    pub run_dataset_providers: bool,
+    /// Oversampling factor for the §5.3 infected set: infected counts are
+    /// divided by `scan_scale / infected_oversample` instead of
+    /// `scan_scale`. At heavy scan scales the paper-faithful proportion
+    /// (11,118 of 1.8M ≈ 0.6%) rounds the infected set down to ~1 host and
+    /// the overlap structure (honeypot-only / telescope-only / both)
+    /// vanishes; oversampling keeps the *structure* measurable while the
+    /// proportion is noted in EXPERIMENTS.md. Use 1 for strict proportions.
+    pub infected_oversample: u64,
+}
+
+impl StudyConfig {
+    /// Quick preset: small universe, heavy scaling — seconds in debug
+    /// builds. Used by tests and the quickstart example.
+    pub fn quick(seed: u64) -> StudyConfig {
+        StudyConfig {
+            seed,
+            universe: Universe::new(Ipv4Addr::new(16, 0, 0, 0), 16),
+            scan_scale: 8_192,
+            hp_scale: 256,
+            month_days: 30,
+            fault: FaultPlan::NONE,
+            run_dataset_providers: true,
+            infected_oversample: 32,
+        }
+    }
+
+    /// Standard preset: the examples' default — a 2^20-address Internet,
+    /// ~14k exposed devices, a few minutes in release builds.
+    pub fn standard(seed: u64) -> StudyConfig {
+        StudyConfig {
+            seed,
+            universe: Universe::new(Ipv4Addr::new(16, 0, 0, 0), 20),
+            scan_scale: 1_024,
+            hp_scale: 32,
+            month_days: 30,
+            fault: FaultPlan::NONE,
+            run_dataset_providers: true,
+            infected_oversample: 8,
+        }
+    }
+
+    /// Full preset: the EXPERIMENTS.md run — a 2^22-address Internet,
+    /// ~225k exposed devices, 1:64 scan scale, 1:8 honeypot scale.
+    pub fn full(seed: u64) -> StudyConfig {
+        StudyConfig {
+            seed,
+            universe: Universe::new(Ipv4Addr::new(16, 0, 0, 0), 22),
+            scan_scale: 64,
+            hp_scale: 8,
+            month_days: 30,
+            fault: FaultPlan::NONE,
+            run_dataset_providers: true,
+            infected_oversample: 1,
+        }
+    }
+
+    /// The honeypot month starts April 1 (simulation day 31).
+    pub fn month_start(&self) -> SimTime {
+        SimTime::from_date(ofh_net::SimDate::new(2021, 4, 1))
+    }
+
+    /// End of the whole experiment.
+    pub fn study_end(&self) -> SimTime {
+        self.month_start() + SimDuration::from_days(self.month_days) + SimDuration::from_hours(6)
+    }
+
+    /// Sanity-check the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.fault.validate()?;
+        if self.scan_scale == 0 || self.hp_scale == 0 || self.infected_oversample == 0 {
+            return Err("scales must be nonzero".into());
+        }
+        if self.month_days == 0 || self.month_days > 30 {
+            return Err("month_days must be in 1..=30".into());
+        }
+        // The population must fit the universe.
+        let exposed: u64 = ofh_wire::Protocol::SCANNED
+            .iter()
+            .map(|&p| ofh_devices::population::paper_exposed(p) / self.scan_scale)
+            .sum();
+        let (_, pop_len) = self.universe.population_space();
+        if exposed * 2 > pop_len {
+            return Err(format!(
+                "population ({exposed} hosts) would overflow the universe's \
+                 population region ({pop_len} addresses); increase universe \
+                 bits or scan_scale"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        StudyConfig::quick(1).validate().unwrap();
+        StudyConfig::standard(1).validate().unwrap();
+        StudyConfig::full(1).validate().unwrap();
+    }
+
+    #[test]
+    fn month_starts_april_first() {
+        let cfg = StudyConfig::quick(1);
+        assert_eq!(cfg.month_start().day_index(), 31);
+        assert!(cfg.study_end() > cfg.month_start());
+    }
+
+    #[test]
+    fn overflowing_population_rejected() {
+        let cfg = StudyConfig {
+            scan_scale: 1, // full 14M population into a 2^16 universe
+            ..StudyConfig::quick(1)
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

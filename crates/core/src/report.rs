@@ -1,0 +1,172 @@
+//! The study report: one typed result per table/figure, plus renderers.
+
+use ofh_analysis::figures::{AttackTypeBreakdown, Fig2, Fig3, Fig5, Fig6, Fig8, Fig9};
+use ofh_analysis::infected::InfectedHosts;
+use ofh_analysis::table10::Table10;
+use ofh_analysis::table12::Table12;
+use ofh_analysis::table13::Table13;
+use ofh_analysis::table4::Table4;
+use ofh_analysis::table5::Table5;
+use ofh_analysis::table7::Table7;
+use ofh_analysis::{AttackDataset, Table};
+use ofh_fingerprint::FingerprintReport;
+use ofh_honeypots::WildHoneypot;
+use ofh_net::sim::Counters;
+use ofh_scan::ScanResults;
+use ofh_telescope::{Telescope, TelescopeSummary};
+
+use crate::config::StudyConfig;
+
+/// Everything a [`crate::Study`] run produces.
+pub struct StudyReport {
+    pub config: StudyConfig,
+    /// Table 4 — exposed systems by protocol and source.
+    pub table4: Table4,
+    /// Table 5 — misconfigured devices per class (honeypots filtered).
+    pub table5: Table5,
+    /// Table 6 — the fingerprint run behind the honeypot filter.
+    pub fingerprint: FingerprintReport,
+    /// Table 7 — honeypot attack events and source splits.
+    pub table7: Table7,
+    /// Table 8 — telescope traffic classification.
+    pub table8: TelescopeSummary,
+    /// Table 10 — misconfigured devices by country.
+    pub table10: Table10,
+    /// Table 12 — top credentials.
+    pub table12: Table12,
+    /// Table 13 — captured malware hashes.
+    pub table13: Table13,
+    /// Fig. 2 — device types by protocol.
+    pub fig2: Fig2,
+    /// Fig. 3 — scanning-service traffic.
+    pub fig3: Fig3,
+    /// Figs. 4 + 7 — attack-type breakdowns.
+    pub breakdown: AttackTypeBreakdown,
+    /// Fig. 5 — ours vs GreyNoise.
+    pub fig5: Fig5,
+    /// Fig. 6 — VirusTotal malicious shares.
+    pub fig6: Fig6,
+    /// Fig. 8 — attacks per day with listing markers.
+    pub fig8: Fig8,
+    /// Fig. 9 — multistage attacks.
+    pub fig9: Fig9,
+    /// §5.3 — the infected-hosts joins.
+    pub infected: InfectedHosts,
+    /// The merged honeypot dataset (for further analysis).
+    pub dataset: AttackDataset,
+    /// The telescope capture.
+    pub telescope: Telescope,
+    /// The (unfiltered) ZMap scan results.
+    pub zmap_results: ScanResults,
+    /// Diagnostics.
+    pub population_size: usize,
+    pub wild_honeypot_count: usize,
+    pub counters: Counters,
+}
+
+impl StudyReport {
+    /// Render the Table 6 analogue from the fingerprint report.
+    pub fn render_table6(&self) -> String {
+        let counts = self.fingerprint.counts();
+        let mut t = Table::new(
+            "Table 6: Detected honeypots through banner signatures",
+            &["Honeypot", "#Detected", "Paper"],
+        );
+        for family in WildHoneypot::ALL {
+            t.row(&[
+                family.name().into(),
+                counts.get(&family).copied().unwrap_or(0).to_string(),
+                family.paper_count().to_string(),
+            ]);
+        }
+        t.row(&[
+            "Total".into(),
+            self.fingerprint.total().to_string(),
+            ofh_honeypots::wild::PAPER_TOTAL.to_string(),
+        ]);
+        t.render()
+    }
+
+    /// Render the Table 8 analogue.
+    pub fn render_table8(&self) -> String {
+        let mut t = Table::new(
+            "Table 8: Telescope suspicious traffic classification",
+            &["Protocol", "Daily Avg. Count", "Unique IP", "Scanning-service", "Unknown/Suspicious"],
+        );
+        for r in &self.table8.rows {
+            t.row(&[
+                r.protocol.name().into(),
+                format!("{:.1}", r.daily_avg_count),
+                r.unique_sources.to_string(),
+                r.scanning_service_sources.to_string(),
+                r.unknown_sources.to_string(),
+            ]);
+        }
+        t.row(&[
+            "Total".into(),
+            format!("{:.1}", self.table8.total_daily_avg),
+            self.table8.total_unique_sources.to_string(),
+            "".into(),
+            "".into(),
+        ]);
+        t.render()
+    }
+
+    /// A short headline summary.
+    pub fn render_summary(&self) -> String {
+        format!(
+            "openforhire study @ seed {seed} (universe 2^{bits}, scan 1:{ss}, honeypots 1:{hs})\n\
+             exposed hosts (ZMap): {exposed} | misconfigured: {misconf} | honeypots filtered: {filtered}\n\
+             honeypot attack events: {events} | telescope records: {flows}\n\
+             infected misconfigured devices attacking: {infected} \
+             (H-only {h}, T-only {t}, both {b}) | Censys extras: {censys}\n\
+             multistage attackers: {multi} | distinct malware samples: {malware}",
+            seed = self.config.seed,
+            bits = self.config.universe.bits,
+            ss = self.config.scan_scale,
+            hs = self.config.hp_scale,
+            exposed = self.zmap_results.records.len(),
+            misconf = self.table5.total,
+            filtered = self.table5.honeypots_filtered,
+            events = self.table7.total_events,
+            flows = self.telescope.total_records(),
+            infected = self.infected.total,
+            h = self.infected.honeypot_only,
+            t = self.infected.telescope_only,
+            b = self.infected.both,
+            censys = self.infected.censys_total(),
+            multi = self.fig9.attackers,
+            malware = self.table13.distinct_samples(),
+        )
+    }
+
+    /// Render every table and figure.
+    pub fn render_full(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.render_summary());
+        out.push_str("\n\n");
+        for section in [
+            self.table4.render(),
+            self.table5.render(),
+            self.render_table6(),
+            self.table7.render(),
+            self.render_table8(),
+            self.table10.render(),
+            self.table12.render(),
+            self.fig2.render(),
+            self.fig3.render(),
+            self.breakdown.render_fig4(),
+            self.fig5.render(),
+            self.fig6.render(),
+            self.breakdown.render_fig7(),
+            self.fig8.render(),
+            self.fig9.render(),
+            self.infected.render(),
+            self.table13.render(),
+        ] {
+            out.push_str(&section);
+            out.push('\n');
+        }
+        out
+    }
+}

@@ -1,0 +1,358 @@
+//! The orchestrator.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use ofh_analysis::events::AttackDataset;
+use ofh_analysis::figures::{AttackTypeBreakdown, Fig2, Fig3, Fig5, Fig6, Fig8, Fig9};
+use ofh_analysis::infected::InfectedHosts;
+use ofh_analysis::table10::Table10;
+use ofh_analysis::table12::Table12;
+use ofh_analysis::table13::Table13;
+use ofh_analysis::table4::Table4;
+use ofh_analysis::table5::Table5;
+use ofh_analysis::table7::Table7;
+use ofh_attack::plan::{AttackPlan, HoneypotSet, PlanConfig};
+use ofh_attack::{AttackerAgent, InfectedDevice};
+use ofh_devices::population::{Population, PopulationBuilder, PopulationSpec};
+use ofh_fingerprint::{engine, FingerprintProber, SignatureDb};
+use ofh_honeypots::{
+    ConpotHoneypot, CowrieHoneypot, DionaeaHoneypot, HosTaGeHoneypot, ThingPotHoneypot,
+    UPotHoneypot, WildHoneypot, WildHoneypotAgent,
+};
+use ofh_intel::Country;
+use ofh_net::rng::rng_for;
+use ofh_net::{AgentId, SimNet, SimNetConfig, SimTime};
+use ofh_scan::{datasets, scan_start, Scanner, ScannerConfig};
+use ofh_telescope::{Telescope, TelescopeSummary};
+use rand::Rng;
+
+use crate::config::StudyConfig;
+use crate::oracles::Oracles;
+use crate::report::StudyReport;
+
+/// A configured study, ready to run.
+pub struct Study {
+    cfg: StudyConfig,
+}
+
+impl Study {
+    /// Create a study. Panics on invalid configuration (configs are code,
+    /// not user input).
+    pub fn new(cfg: StudyConfig) -> Study {
+        cfg.validate().expect("invalid study configuration");
+        Study { cfg }
+    }
+
+    pub fn config(&self) -> &StudyConfig {
+        &self.cfg
+    }
+
+    /// Execute the full methodology and compute every report.
+    pub fn run(&self) -> StudyReport {
+        self.run_with(|_| {})
+    }
+
+    /// Like [`Self::run`], reporting phase transitions to `progress` (the
+    /// long presets take a minute; callers may want a heartbeat).
+    pub fn run_with(&self, mut progress: impl FnMut(&str)) -> StudyReport {
+        let cfg = &self.cfg;
+        let universe = cfg.universe;
+        let mut rng = rng_for(cfg.seed, "study");
+
+        // ---- 1. Populations -------------------------------------------
+        progress("synthesizing population");
+        let mut population = PopulationBuilder::new(PopulationSpec {
+            universe,
+            scale: cfg.scan_scale,
+            seed: cfg.seed,
+        })
+        .build();
+
+        // Wild honeypots, geo-distributed like devices (Table 6 counts).
+        let mut wild: Vec<(Ipv4Addr, WildHoneypot)> = Vec::new();
+        for family in WildHoneypot::ALL {
+            let n = ((family.paper_count() + cfg.scan_scale / 2) / cfg.scan_scale).max(1);
+            for _ in 0..n {
+                let (addr, _) = population
+                    .allocator
+                    .alloc_weighted(&mut rng)
+                    .expect("space for wild honeypots");
+                wild.push((addr, family));
+            }
+        }
+
+        // ---- 2. Attack plan and oracles --------------------------------
+        progress("building attack plan and oracles");
+        let honeypots = HoneypotSet::in_lab(&universe);
+        let plan_cfg = PlanConfig {
+            seed: cfg.seed,
+            hp_scale: cfg.hp_scale,
+            infected_scale: (cfg.scan_scale / cfg.infected_oversample).max(1),
+            universe,
+            month_start: cfg.month_start(),
+            month_days: cfg.month_days,
+            honeypots,
+        };
+        let plan = AttackPlan::build(&plan_cfg, &population);
+        let oracles = Oracles::populate(cfg.seed, &plan, &population);
+
+        // Extend the geo database over the attacker space so telescope
+        // records carry source countries for those actors too.
+        let mut geo = population.geo.clone();
+        let attacker_space = universe.attacker_space();
+        let chunk = 1u64 << (32 - geo.prefix_len());
+        let mut a = u32::from(attacker_space.first()) as u64;
+        while a <= u32::from(attacker_space.last()) as u64 {
+            let country = ofh_devices::population::sample_country(&mut rng);
+            geo.allocate_block(Ipv4Addr::from(a as u32), country, 64_000 + rng.gen_range(0..400));
+            a += chunk;
+        }
+
+        // ---- 3. Wire up the simulated Internet -------------------------
+        progress("attaching agents");
+        let mut net = SimNet::new(SimNetConfig {
+            seed: cfg.seed,
+            fault: cfg.fault,
+            ..SimNetConfig::default()
+        });
+        let telescope_tap = net.add_tap(
+            universe.dark_space(),
+            Box::new(Telescope::new(geo.clone())),
+        );
+
+        // Devices — infected ones get their bot schedules.
+        let mut infected_tasks: BTreeMap<usize, Vec<ofh_attack::Task>> = BTreeMap::new();
+        for inf in plan.infected.iter().chain(&plan.censys_extra) {
+            infected_tasks
+                .entry(inf.record_idx)
+                .or_default()
+                .extend(inf.tasks.iter().cloned());
+        }
+        for (i, record) in population.records.iter().enumerate() {
+            let agent = record.build_agent();
+            match infected_tasks.remove(&i) {
+                Some(tasks) => {
+                    net.attach(record.addr, Box::new(InfectedDevice::new(agent, tasks)));
+                }
+                None => {
+                    net.attach(record.addr, agent);
+                }
+            }
+        }
+        for &(addr, family) in &wild {
+            net.attach(addr, Box::new(WildHoneypotAgent::new(family)));
+        }
+
+        // Deployed honeypots.
+        let hostage_id = net.attach(honeypots.hostage, Box::new(HosTaGeHoneypot::new()));
+        let upot_id = net.attach(honeypots.upot, Box::new(UPotHoneypot::new()));
+        let conpot_id = net.attach(honeypots.conpot, Box::new(ConpotHoneypot::new()));
+        let thingpot_id = net.attach(honeypots.thingpot, Box::new(ThingPotHoneypot::new()));
+        let cowrie_id = net.attach(honeypots.cowrie, Box::new(CowrieHoneypot::new()));
+        let dionaea_id = net.attach(honeypots.dionaea, Box::new(DionaeaHoneypot::new()));
+
+        // Attackers.
+        for actor in &plan.actors {
+            net.attach(actor.addr, Box::new(AttackerAgent::new(actor.tasks.clone())));
+        }
+
+        // Scanners (ours + the dataset providers).
+        let scanner_base = u32::from(universe.scanner_addr());
+        let zmap_cfgs: Vec<ScannerConfig> = ofh_wire::Protocol::SCANNED
+            .iter()
+            .map(|&p| {
+                ScannerConfig::full(
+                    p,
+                    universe.cidr().first(),
+                    universe.size(),
+                    scan_start(p),
+                    cfg.seed ^ 0x5A4D_4150,
+                )
+            })
+            .collect();
+        let scan_end = zmap_cfgs
+            .iter()
+            .map(Scanner::estimated_end)
+            .max()
+            .expect("six sweeps");
+        let zmap_id = net.attach(
+            Ipv4Addr::from(scanner_base),
+            Box::new(Scanner::new("ZMap Scan", zmap_cfgs)),
+        );
+        let (sonar_id, shodan_id) = if cfg.run_dataset_providers {
+            let sonar = Scanner::new(
+                "Project Sonar",
+                datasets::sonar_configs(
+                    universe.cidr().first(),
+                    universe.size(),
+                    SimTime::ZERO,
+                    cfg.seed,
+                ),
+            );
+            let shodan = Scanner::new(
+                "Shodan",
+                datasets::shodan_configs(
+                    universe.cidr().first(),
+                    universe.size(),
+                    SimTime::ZERO,
+                    cfg.seed,
+                ),
+            );
+            (
+                Some(net.attach(Ipv4Addr::from(scanner_base + 1), Box::new(sonar))),
+                Some(net.attach(Ipv4Addr::from(scanner_base + 2), Box::new(shodan))),
+            )
+        } else {
+            (None, None)
+        };
+
+        // ---- 4. Scan phase (March) -------------------------------------
+        progress("running the March scan campaign");
+        net.run_until(scan_end);
+        let zmap_results = net
+            .agent_downcast_mut::<Scanner>(zmap_id)
+            .expect("zmap scanner")
+            .results
+            .clone();
+
+        // ---- 5. Fingerprint phase --------------------------------------
+        progress("fingerprinting honeypot candidates");
+        let signature_db = SignatureDb::new();
+        let candidates = engine::passive_candidates(&signature_db, &zmap_results);
+        let candidate_count = candidates.len();
+        let prober_id = net.attach(
+            Ipv4Addr::from(scanner_base + 3),
+            Box::new(FingerprintProber::new(candidates)),
+        );
+        net.run_until(net.now() + FingerprintProber::estimated_duration(candidate_count));
+
+        // ---- 6. Honeypot month (April) ----------------------------------
+        progress("running the April honeypot month");
+        net.run_until(cfg.study_end());
+
+        // ---- 7. Extraction ----------------------------------------------
+        let fingerprint_report = net
+            .agent_downcast_mut::<FingerprintProber>(prober_id)
+            .expect("prober")
+            .report
+            .clone();
+        let sonar_results = sonar_id
+            .map(|id| extract_results(&mut net, id))
+            .unwrap_or_else(|| ofh_scan::ScanResults::new("Project Sonar"));
+        let shodan_results = shodan_id
+            .map(|id| extract_results(&mut net, id))
+            .unwrap_or_else(|| ofh_scan::ScanResults::new("Shodan"));
+
+        let mut logs = vec![
+            std::mem::take(&mut net.agent_downcast_mut::<HosTaGeHoneypot>(hostage_id).expect("hostage").log).events,
+            std::mem::take(&mut net.agent_downcast_mut::<UPotHoneypot>(upot_id).expect("upot").log).events,
+            std::mem::take(&mut net.agent_downcast_mut::<ConpotHoneypot>(conpot_id).expect("conpot").log).events,
+            std::mem::take(&mut net.agent_downcast_mut::<ThingPotHoneypot>(thingpot_id).expect("thingpot").log).events,
+            std::mem::take(&mut net.agent_downcast_mut::<CowrieHoneypot>(cowrie_id).expect("cowrie").log).events,
+            std::mem::take(&mut net.agent_downcast_mut::<DionaeaHoneypot>(dionaea_id).expect("dionaea").log).events,
+        ];
+        // Exclude our own measurement infrastructure (the scanning host and
+        // the fingerprint prober) from the attack dataset — the paper's
+        // pipeline likewise discounts its own probes.
+        let own_infra: std::collections::BTreeSet<Ipv4Addr> = (0..4u32)
+            .map(|i| Ipv4Addr::from(scanner_base + i))
+            .collect();
+        for log in &mut logs {
+            log.retain(|e| !own_infra.contains(&e.src));
+        }
+        let dataset = AttackDataset::merge(logs);
+        let telescope = std::mem::replace(
+            net.tap_downcast_mut::<Telescope>(telescope_tap)
+                .expect("telescope tap"),
+            Telescope::new(ofh_intel::GeoDb::new()),
+        );
+
+        // ---- 8. Analysis -------------------------------------------------
+        progress("computing tables and figures");
+        let honeypot_filter = fingerprint_report.filter_set();
+        let table4 = Table4::compute(&zmap_results, &sonar_results, &shodan_results);
+        let table5 = Table5::compute(&zmap_results, &honeypot_filter);
+        let misconfigured = Table5::misconfigured_addrs(&zmap_results, &honeypot_filter);
+        let table7 = Table7::compute(&dataset, &oracles.rdns);
+        let month_start_day = cfg.month_start().day_index();
+        let known_scanners: std::collections::BTreeSet<Ipv4Addr> = plan
+            .service_sources()
+            .keys()
+            .copied()
+            .filter(|a| ofh_analysis::AttackDataset::is_scanning_service(&oracles.rdns, *a))
+            .collect();
+        let table8 = TelescopeSummary::compute(
+            &telescope,
+            month_start_day,
+            month_start_day + cfg.month_days,
+            &known_scanners,
+        );
+        let table10 = Table10::compute(&misconfigured, &geo);
+        let table12 = Table12::compute(&dataset, 11);
+        let table13 = Table13::compute(&dataset, &oracles.malware);
+        let fig2 = Fig2::compute(&zmap_results);
+        let fig3 = Fig3::compute(&dataset, &oracles.rdns);
+        let breakdown = AttackTypeBreakdown::compute(&dataset);
+        let fig5 = Fig5::compute(&dataset, &oracles.rdns, &oracles.greynoise);
+        let fig6 = Fig6::compute(&dataset, &telescope, &oracles.rdns, &oracles.virustotal);
+        let fig8 = Fig8::compute(&dataset, cfg.month_start(), cfg.month_days, &plan.listings);
+        let fig9 = Fig9::compute(&dataset, &oracles.rdns);
+        let infected = InfectedHosts::compute(
+            &misconfigured,
+            &dataset,
+            &telescope,
+            &oracles.virustotal,
+            &oracles.censys,
+            &oracles.rdns,
+        );
+
+        StudyReport {
+            config: cfg.clone(),
+            table4,
+            table5,
+            fingerprint: fingerprint_report,
+            table7,
+            table8,
+            table10,
+            table12,
+            table13,
+            fig2,
+            fig3,
+            breakdown,
+            fig5,
+            fig6,
+            fig8,
+            fig9,
+            infected,
+            dataset,
+            telescope,
+            zmap_results,
+            population_size: population.records.len(),
+            wild_honeypot_count: wild.len(),
+            counters: net.counters(),
+        }
+    }
+}
+
+fn extract_results(net: &mut SimNet, id: AgentId) -> ofh_scan::ScanResults {
+    net.agent_downcast_mut::<Scanner>(id)
+        .expect("scanner agent")
+        .results
+        .clone()
+}
+
+/// Ground-truth-free helper used by tests: build just the population.
+pub fn population_for(cfg: &StudyConfig) -> Population {
+    PopulationBuilder::new(PopulationSpec {
+        universe: cfg.universe,
+        scale: cfg.scan_scale,
+        seed: cfg.seed,
+    })
+    .build()
+}
+
+/// Export used by report rendering.
+pub fn country_name(c: Country) -> &'static str {
+    c.name()
+}

@@ -1,0 +1,98 @@
+//! Default credentials — Appendix Table 12.
+//!
+//! The brute-force dictionaries Mirai-style bots iterate, and the default
+//! credentials weakly configured devices accept. Counts are the paper's
+//! observed per-credential attempt totals; the attack generator uses them as
+//! sampling weights so the honeypots' credential logs regenerate Table 12's
+//! ordering.
+
+use ofh_wire::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// A (username, password) pair with the paper's observed attempt count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CredentialEntry {
+    pub protocol: Protocol,
+    pub username: &'static str,
+    pub password: &'static str,
+    /// Observed attempt count in Table 12 (used as a sampling weight).
+    pub paper_count: u32,
+}
+
+/// Table 12, verbatim.
+pub const TOP_CREDENTIALS: &[CredentialEntry] = &[
+    CredentialEntry { protocol: Protocol::Telnet, username: "admin", password: "admin", paper_count: 9_772 },
+    CredentialEntry { protocol: Protocol::Telnet, username: "root", password: "root", paper_count: 1_721 },
+    CredentialEntry { protocol: Protocol::Telnet, username: "root", password: "admin", paper_count: 1_254 },
+    CredentialEntry { protocol: Protocol::Telnet, username: "telnet", password: "telnet", paper_count: 689 },
+    CredentialEntry { protocol: Protocol::Telnet, username: "root", password: "xc3511", paper_count: 556 },
+    CredentialEntry { protocol: Protocol::Telnet, username: "admin", password: "admin123", paper_count: 467 },
+    CredentialEntry { protocol: Protocol::Telnet, username: "root", password: "12345", paper_count: 456 },
+    CredentialEntry { protocol: Protocol::Telnet, username: "user", password: "user", paper_count: 321 },
+    CredentialEntry { protocol: Protocol::Telnet, username: "admin", password: "12345", paper_count: 267 },
+    CredentialEntry { protocol: Protocol::Telnet, username: "admin", password: "polycom", paper_count: 217 },
+    CredentialEntry { protocol: Protocol::Telnet, username: "admin", password: "", paper_count: 198 },
+    CredentialEntry { protocol: Protocol::Ssh, username: "admin", password: "admin", paper_count: 11_543 },
+    CredentialEntry { protocol: Protocol::Ssh, username: "root", password: "root", paper_count: 3_432 },
+    CredentialEntry { protocol: Protocol::Ssh, username: "root", password: "admin", paper_count: 1_943 },
+    CredentialEntry { protocol: Protocol::Ssh, username: "zyfwp", password: "PrOw!aN_fXp", paper_count: 1_538 },
+    CredentialEntry { protocol: Protocol::Ssh, username: "cisco", password: "cisco", paper_count: 629 },
+    CredentialEntry { protocol: Protocol::Ssh, username: "admin", password: "ssh1234", paper_count: 254 },
+];
+
+/// Credential dictionary for one protocol, ordered by paper count
+/// (descending) — the order a dictionary attack tries them in.
+pub fn dictionary_for(protocol: Protocol) -> Vec<&'static CredentialEntry> {
+    let mut v: Vec<&'static CredentialEntry> = TOP_CREDENTIALS
+        .iter()
+        .filter(|c| c.protocol == protocol)
+        .collect();
+    v.sort_by(|a, b| b.paper_count.cmp(&a.paper_count));
+    v
+}
+
+/// Total weight of one protocol's dictionary (for weighted sampling).
+pub fn total_weight(protocol: Protocol) -> u64 {
+    TOP_CREDENTIALS
+        .iter()
+        .filter(|c| c.protocol == protocol)
+        .map(|c| c.paper_count as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionaries_nonempty_and_sorted() {
+        for proto in [Protocol::Telnet, Protocol::Ssh] {
+            let d = dictionary_for(proto);
+            assert!(!d.is_empty());
+            assert!(d.windows(2).all(|w| w[0].paper_count >= w[1].paper_count));
+        }
+    }
+
+    #[test]
+    fn admin_admin_tops_both() {
+        // Table 12: admin/admin is the most-tried pair on both protocols.
+        for proto in [Protocol::Telnet, Protocol::Ssh] {
+            let top = dictionary_for(proto)[0];
+            assert_eq!((top.username, top.password), ("admin", "admin"));
+        }
+    }
+
+    #[test]
+    fn mirai_signature_credential_present() {
+        // root/xc3511 is the classic Mirai-era XiongMai default.
+        assert!(TOP_CREDENTIALS
+            .iter()
+            .any(|c| c.username == "root" && c.password == "xc3511"));
+    }
+
+    #[test]
+    fn weights() {
+        assert!(total_weight(Protocol::Ssh) > total_weight(Protocol::Telnet));
+        assert_eq!(total_weight(Protocol::Mqtt), 0);
+    }
+}

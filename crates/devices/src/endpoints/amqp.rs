@@ -1,0 +1,231 @@
+//! AMQP broker device behaviour.
+//!
+//! Banner-grab flow: the client sends the 8-byte protocol header; the broker
+//! answers with `Connection.Start`, whose server-properties disclose product
+//! and version. A misconfigured broker (`AmqpNoAuth`) runs one of the
+//! known-vulnerable RabbitMQ versions from Table 2 (2.7.1 / 2.8.4) and
+//! offers `ANONYMOUS`; a configured one runs a modern version and requires
+//! `PLAIN` credentials. Poisoning publishes after an anonymous handshake are
+//! counted (§5.1.2 observed queue flooding to the point of DoS).
+
+use std::collections::HashMap;
+
+use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
+use ofh_wire::amqp::{frame_type, ConnectionStart, Frame, PROTOCOL_HEADER};
+use ofh_wire::ports;
+
+use crate::misconfig::Misconfig;
+
+/// A simulated AMQP broker on an IoT gateway.
+pub struct AmqpDevice {
+    pub misconfig: Option<Misconfig>,
+    /// Broker version advertised in server-properties.
+    pub version: String,
+    /// Ground truth: frames received after the handshake (publish flood /
+    /// poisoning volume).
+    pub post_handshake_frames: u64,
+    started: HashMap<ConnToken, bool>,
+}
+
+impl AmqpDevice {
+    pub fn new(misconfig: Option<Misconfig>) -> Self {
+        let version = if misconfig.is_some() {
+            // The two vulnerable versions of Table 2, split deterministically
+            // by posture to keep both visible in scan results.
+            "2.7.1".to_string()
+        } else {
+            "3.8.9".to_string()
+        };
+        AmqpDevice {
+            misconfig,
+            version,
+            post_handshake_frames: 0,
+            started: HashMap::new(),
+        }
+    }
+
+    /// Override the advertised version (population builder alternates 2.7.1
+    /// and 2.8.4 across the vulnerable population).
+    pub fn with_version(mut self, version: &str) -> Self {
+        self.version = version.into();
+        self
+    }
+
+    fn connection_start(&self) -> ConnectionStart {
+        let mechanisms = if matches!(self.misconfig, Some(Misconfig::AmqpNoAuth)) {
+            "ANONYMOUS PLAIN"
+        } else {
+            "PLAIN AMQPLAIN"
+        };
+        ConnectionStart {
+            version_major: 0,
+            version_minor: 9,
+            server_properties: vec![
+                ("product".into(), "RabbitMQ".into()),
+                ("version".into(), self.version.clone()),
+                ("platform".into(), "Erlang/OTP".into()),
+            ],
+            mechanisms: mechanisms.into(),
+            locales: "en_US".into(),
+        }
+    }
+}
+
+impl Agent for AmqpDevice {
+    fn on_tcp_open(
+        &mut self,
+        _ctx: &mut NetCtx<'_>,
+        conn: ConnToken,
+        local_port: u16,
+        _peer: SockAddr,
+    ) -> TcpDecision {
+        if local_port != ports::AMQP {
+            return TcpDecision::Refuse;
+        }
+        self.started.insert(conn, false);
+        TcpDecision::accept()
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        let started = self.started.get(&conn).copied().unwrap_or(false);
+        if !started {
+            if data.starts_with(&PROTOCOL_HEADER) {
+                self.started.insert(conn, true);
+                let frame = Frame {
+                    frame_type: frame_type::METHOD,
+                    channel: 0,
+                    payload: self.connection_start().encode_method(),
+                };
+                ctx.tcp_send(conn, frame.encode());
+            } else {
+                // Spec: a server that receives a bad header replies with the
+                // header it expects and closes.
+                ctx.tcp_send(conn, PROTOCOL_HEADER.to_vec());
+                ctx.tcp_close(conn);
+            }
+            return;
+        }
+        // Post-handshake traffic: count frames (publish floods, poisoning).
+        let mut rest = data;
+        while let Ok((_, used)) = Frame::decode(rest) {
+            self.post_handshake_frames += 1;
+            rest = &rest[used..];
+            if rest.is_empty() {
+                break;
+            }
+        }
+    }
+
+    fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.started.remove(&conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_net::{ip, SimNet, SimNetConfig, SimTime};
+
+    struct AmqpProbe {
+        dst: SockAddr,
+        send_bad_header: bool,
+        publish_after: bool,
+        start: Option<ConnectionStart>,
+        closed: bool,
+    }
+
+    impl Agent for AmqpProbe {
+        fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+            ctx.tcp_connect(self.dst);
+        }
+        fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+            if self.send_bad_header {
+                ctx.tcp_send(conn, b"HTTP/1.1 GET /\r\n".to_vec());
+            } else {
+                ctx.tcp_send(conn, PROTOCOL_HEADER.to_vec());
+            }
+        }
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+            if let Ok((frame, _)) = Frame::decode(data) {
+                self.start = ConnectionStart::decode_method(&frame.payload).ok();
+                if self.publish_after {
+                    let junk = Frame {
+                        frame_type: frame_type::BODY,
+                        channel: 1,
+                        payload: b"poison".to_vec(),
+                    };
+                    ctx.tcp_send(conn, junk.encode());
+                }
+            }
+        }
+        fn on_tcp_closed(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken) {
+            self.closed = true;
+        }
+    }
+
+    fn probe(device: AmqpDevice, bad_header: bool, publish: bool) -> (AmqpProbe, u64) {
+        let mut net = SimNet::new(SimNetConfig::default());
+        let daddr = ip(16, 9, 0, 1);
+        let did = net.attach(daddr, Box::new(device));
+        let pid = net.attach(
+            ip(16, 9, 0, 2),
+            Box::new(AmqpProbe {
+                dst: SockAddr::new(daddr, 5672),
+                send_bad_header: bad_header,
+                publish_after: publish,
+                start: None,
+                closed: false,
+            }),
+        );
+        net.run_until(SimTime(30_000));
+        let p = net.agent_downcast::<AmqpProbe>(pid).unwrap();
+        let probe = AmqpProbe {
+            dst: p.dst,
+            send_bad_header: p.send_bad_header,
+            publish_after: p.publish_after,
+            start: p.start.clone(),
+            closed: p.closed,
+        };
+        let frames = net
+            .agent_downcast::<AmqpDevice>(did)
+            .unwrap()
+            .post_handshake_frames;
+        (probe, frames)
+    }
+
+    #[test]
+    fn vulnerable_broker_banners_old_version_and_anonymous() {
+        let (p, _) = probe(AmqpDevice::new(Some(Misconfig::AmqpNoAuth)), false, false);
+        let start = p.start.unwrap();
+        assert_eq!(start.property("version"), Some("2.7.1"));
+        assert!(start.mechanisms.contains("ANONYMOUS"));
+    }
+
+    #[test]
+    fn configured_broker_requires_plain() {
+        let (p, _) = probe(AmqpDevice::new(None), false, false);
+        let start = p.start.unwrap();
+        assert_eq!(start.property("version"), Some("3.8.9"));
+        assert!(!start.mechanisms.contains("ANONYMOUS"));
+    }
+
+    #[test]
+    fn version_override() {
+        let dev = AmqpDevice::new(Some(Misconfig::AmqpNoAuth)).with_version("2.8.4");
+        let (p, _) = probe(dev, false, false);
+        assert_eq!(p.start.unwrap().property("version"), Some("2.8.4"));
+    }
+
+    #[test]
+    fn bad_header_closed() {
+        let (p, _) = probe(AmqpDevice::new(None), true, false);
+        assert!(p.start.is_none());
+        assert!(p.closed);
+    }
+
+    #[test]
+    fn post_handshake_frames_counted() {
+        let (_, frames) = probe(AmqpDevice::new(Some(Misconfig::AmqpNoAuth)), false, true);
+        assert_eq!(frames, 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Future-work scope devices — TR-069 CPEs and OPC UA servers (paper §6).
+//!
+//! The paper's future work extends the scanning scope to TR069 and
+//! industrial protocols (DDS, OPC UA). These endpoints provide the device
+//! side of that extension; `examples/future_scope.rs` scans them with a
+//! custom sweep built from the same public APIs the six-protocol study uses.
+
+use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
+use ofh_wire::opcua::{Acknowledge, Hello};
+use ofh_wire::tr069::Inform;
+use ofh_wire::{http, ports};
+
+/// A TR-069 customer-premises device: answers connection requests on 7547.
+/// A misconfigured CPE requires no authentication and fires its Inform —
+/// with manufacturer/OUI/product identity — at whoever knocked.
+pub struct Tr069Device {
+    /// Whether the connection-request endpoint requires authentication.
+    pub requires_auth: bool,
+    pub inform: Inform,
+    /// Ground truth: unauthenticated informs emitted.
+    pub informs_sent: u64,
+}
+
+impl Tr069Device {
+    pub fn new(requires_auth: bool, manufacturer: &str, product_class: &str) -> Tr069Device {
+        Tr069Device {
+            requires_auth,
+            inform: Inform {
+                manufacturer: manufacturer.into(),
+                oui: "00259E".into(),
+                product_class: product_class.into(),
+                serial_number: "48575443".into(),
+                event: "6 CONNECTION REQUEST".into(),
+            },
+            informs_sent: 0,
+        }
+    }
+}
+
+impl Agent for Tr069Device {
+    fn on_tcp_open(
+        &mut self,
+        _ctx: &mut NetCtx<'_>,
+        _conn: ConnToken,
+        local_port: u16,
+        _peer: SockAddr,
+    ) -> TcpDecision {
+        if local_port != ports::TR069 {
+            return TcpDecision::Refuse;
+        }
+        TcpDecision::accept()
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        let Ok(req) = http::Request::parse(data) else {
+            return;
+        };
+        if !req.path.contains("connectionrequest") {
+            ctx.tcp_send(conn, http::Response::status_only(404, "Not Found").render());
+            return;
+        }
+        if self.requires_auth && req.header("Authorization").is_none() {
+            ctx.tcp_send(
+                conn,
+                http::Response::status_only(401, "Unauthorized").render(),
+            );
+            return;
+        }
+        self.informs_sent += 1;
+        let body = self.inform.render();
+        ctx.tcp_send(conn, http::Response::ok(body.into_bytes()).render());
+    }
+}
+
+/// An OPC UA server: answers HEL with ACK on 4840. Misconfigured servers
+/// accept anonymous sessions; the exposure itself is what the future-work
+/// scan measures.
+pub struct OpcUaDevice {
+    /// Advertised endpoint URL (identifies the product).
+    pub endpoint_url: String,
+    /// Ground truth: handshakes answered.
+    pub acks_sent: u64,
+}
+
+impl OpcUaDevice {
+    pub fn new(endpoint_url: &str) -> OpcUaDevice {
+        OpcUaDevice {
+            endpoint_url: endpoint_url.into(),
+            acks_sent: 0,
+        }
+    }
+}
+
+impl Agent for OpcUaDevice {
+    fn on_tcp_open(
+        &mut self,
+        _ctx: &mut NetCtx<'_>,
+        _conn: ConnToken,
+        local_port: u16,
+        _peer: SockAddr,
+    ) -> TcpDecision {
+        if local_port != ports::OPCUA {
+            return TcpDecision::Refuse;
+        }
+        TcpDecision::accept()
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        if Hello::decode(data).is_ok() {
+            self.acks_sent += 1;
+            ctx.tcp_send(conn, Acknowledge::standard().encode());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_net::{ip, SimNet, SimNetConfig, SimTime};
+
+    struct Probe {
+        dst: SockAddr,
+        payload: Vec<u8>,
+        replies: Vec<Vec<u8>>,
+    }
+    impl Agent for Probe {
+        fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+            ctx.tcp_connect(self.dst);
+        }
+        fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+            ctx.tcp_send(conn, self.payload.clone());
+        }
+        fn on_tcp_data(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken, data: &[u8]) {
+            self.replies.push(data.to_vec());
+        }
+    }
+
+    fn probe(agent: Box<dyn Agent>, port: u16, payload: Vec<u8>) -> Vec<Vec<u8>> {
+        let mut net = SimNet::new(SimNetConfig::default());
+        let daddr = ip(16, 60, 0, 1);
+        net.attach(daddr, agent);
+        let pid = net.attach(
+            ip(16, 60, 0, 2),
+            Box::new(Probe {
+                dst: SockAddr::new(daddr, port),
+                payload,
+                replies: Vec::new(),
+            }),
+        );
+        net.run_until(SimTime(30_000));
+        net.agent_downcast::<Probe>(pid).unwrap().replies.clone()
+    }
+
+    #[test]
+    fn open_cpe_leaks_inform() {
+        let replies = probe(
+            Box::new(Tr069Device::new(false, "Huawei", "HG532e")),
+            7_547,
+            ofh_wire::tr069::connection_request().render(),
+        );
+        let body = String::from_utf8_lossy(&replies[0]).into_owned();
+        assert!(body.contains("200 OK"));
+        let inform = Inform::parse(&body).unwrap();
+        assert_eq!(inform.manufacturer, "Huawei");
+        assert_eq!(inform.product_class, "HG532e");
+    }
+
+    #[test]
+    fn secured_cpe_requires_auth() {
+        let replies = probe(
+            Box::new(Tr069Device::new(true, "AVM", "FRITZ!Box")),
+            7_547,
+            ofh_wire::tr069::connection_request().render(),
+        );
+        assert!(String::from_utf8_lossy(&replies[0]).contains("401"));
+    }
+
+    #[test]
+    fn opcua_handshake() {
+        let replies = probe(
+            Box::new(OpcUaDevice::new("opc.tcp://plc-7:4840/")),
+            4_840,
+            Hello::probe("opc.tcp://scanner/").encode(),
+        );
+        let ack = Acknowledge::decode(&replies[0]).unwrap();
+        assert_eq!(ack.protocol_version, 0);
+    }
+
+    #[test]
+    fn opcua_ignores_garbage() {
+        let replies = probe(
+            Box::new(OpcUaDevice::new("opc.tcp://plc-7:4840/")),
+            4_840,
+            b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        );
+        assert!(replies.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Behavioural device agents.
+//!
+//! One module per protocol; each agent speaks real `ofh-wire` bytes over the
+//! simulator. A device's security posture is captured by its optional
+//! [`Misconfig`](crate::misconfig::Misconfig): misconfigured devices exhibit
+//! exactly the banner/response indicators of Tables 2 and 3, properly
+//! configured (but exposed) devices answer in ways that prove the port is
+//! open without revealing a vulnerability — reproducing the gap between
+//! Table 4 (exposed) and Table 5 (misconfigured).
+
+pub mod amqp;
+pub mod coap;
+pub mod future;
+pub mod mqtt;
+pub mod telnet;
+pub mod upnp;
+pub mod xmpp;
+
+pub use amqp::AmqpDevice;
+pub use coap::CoapDevice;
+pub use future::{OpcUaDevice, Tr069Device};
+pub use mqtt::MqttDevice;
+pub use telnet::TelnetDevice;
+pub use upnp::UpnpDevice;
+pub use xmpp::XmppDevice;

@@ -1,0 +1,41 @@
+//! # ofh-devices — the simulated IoT device population
+//!
+//! The paper measures the *real* Internet's IoT population; this crate
+//! synthesizes the closest measurable equivalent. It provides:
+//!
+//! * [`profiles`] — the device-profile catalog of Appendix Table 11
+//!   (HiKVision cameras, ZyXEL DSL modems, Philips Hue bridges, …), each with
+//!   the banner/response text the paper identifies it by;
+//! * [`misconfig`] — the misconfiguration taxonomy of Tables 2/3/5 with the
+//!   paper's per-class device counts;
+//! * [`credentials`] — the default-credential dictionary of Appendix
+//!   Table 12 (what Mirai-style bots brute-force with, and what weakly
+//!   configured devices accept);
+//! * [`endpoints`] — behavioural device agents: a misconfigured MQTT broker
+//!   really answers `CONNACK 0`, a CoAP node really serves
+//!   `/.well-known/core`, an SSDP stack really discloses its root device —
+//!   all in real protocol bytes via `ofh-wire`;
+//! * [`universe`] — the scaled address plan (population region, telescope
+//!   dark space sized at exactly 1/256 of the universe like the UCSD /8,
+//!   infrastructure and attacker pools);
+//! * [`population`] — the generator that places devices into the universe
+//!   following the paper's published marginals (Tables 4, 5, 10, Fig. 2).
+//!
+//! **Measurement honesty.** The generator's output (`Vec<DeviceRecord>`) is
+//! ground truth used to *instantiate agents and oracles only*. The analysis
+//! pipeline never reads it; every reported number is re-measured from
+//! network interactions.
+
+pub mod credentials;
+pub mod endpoints;
+pub mod misconfig;
+pub mod population;
+pub mod profiles;
+pub mod types;
+pub mod universe;
+
+pub use misconfig::Misconfig;
+pub use population::{DeviceRecord, PopulationBuilder, PopulationSpec};
+pub use profiles::{DeviceProfile, PROFILES};
+pub use types::DeviceType;
+pub use universe::Universe;

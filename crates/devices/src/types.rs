@@ -1,0 +1,73 @@
+//! Device-type taxonomy (the categories of Fig. 2 / Appendix Table 11).
+
+use serde::{Deserialize, Serialize};
+
+/// IoT device categories identified from banners and responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceType {
+    Camera,
+    DslModem,
+    Router,
+    SmartHome,
+    TvReceiver,
+    AccessPoint,
+    Nas,
+    SmartSpeaker,
+    Printer3d,
+    Hvac,
+    RemoteDisplayUnit,
+    IpPhone,
+}
+
+impl DeviceType {
+    pub const ALL: [DeviceType; 12] = [
+        DeviceType::Camera,
+        DeviceType::DslModem,
+        DeviceType::Router,
+        DeviceType::SmartHome,
+        DeviceType::TvReceiver,
+        DeviceType::AccessPoint,
+        DeviceType::Nas,
+        DeviceType::SmartSpeaker,
+        DeviceType::Printer3d,
+        DeviceType::Hvac,
+        DeviceType::RemoteDisplayUnit,
+        DeviceType::IpPhone,
+    ];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            DeviceType::Camera => "Camera",
+            DeviceType::DslModem => "DSL Modem",
+            DeviceType::Router => "Router",
+            DeviceType::SmartHome => "Smart Home",
+            DeviceType::TvReceiver => "TV Receiver",
+            DeviceType::AccessPoint => "Access Point",
+            DeviceType::Nas => "NAS",
+            DeviceType::SmartSpeaker => "Smart Speaker",
+            DeviceType::Printer3d => "3D Printer",
+            DeviceType::Hvac => "HVAC",
+            DeviceType::RemoteDisplayUnit => "Remote Display Unit",
+            DeviceType::IpPhone => "IP Phone",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = DeviceType::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DeviceType::ALL.len());
+    }
+}

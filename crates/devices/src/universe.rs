@@ -1,0 +1,162 @@
+//! The scaled address plan.
+//!
+//! The study needs four kinds of address space, mirroring the paper's
+//! infrastructure:
+//!
+//! * **dark space** — unoccupied, telescope-tapped. Sized at exactly 1/256
+//!   of the universe, because the UCSD telescope is a /8 — 1/256th of the
+//!   IPv4 Internet;
+//! * **infrastructure** — the scanning host and the honeypot lab subnet
+//!   (the paper's university network);
+//! * **attacker pool** — addresses for actors that are *not* misconfigured
+//!   devices (scanning services, dedicated DoS hosts, Tor relays);
+//! * **population region** — where generated IoT devices (and wild
+//!   honeypots) live.
+//!
+//! A [`Universe`] carves these deterministically from `2^bits` addresses and
+//! hands out non-overlapping sub-allocations.
+
+use std::net::Ipv4Addr;
+
+use ofh_net::Cidr;
+use serde::{Deserialize, Serialize};
+
+/// The simulated Internet's address plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Universe {
+    /// First address of the universe.
+    pub base: u32,
+    /// The universe spans `2^bits` addresses.
+    pub bits: u8,
+}
+
+impl Universe {
+    /// Create a universe of `2^bits` addresses starting at `base`.
+    /// `bits` must be in 12..=32 (below 2^12 the carve-up degenerates).
+    pub fn new(base: Ipv4Addr, bits: u8) -> Universe {
+        assert!((12..=32).contains(&bits), "universe bits {bits} out of range");
+        let base = u32::from(base);
+        let mask = ((1u64 << bits) - 1) as u32;
+        assert_eq!(base & mask, 0, "universe base must be aligned to its size");
+        Universe { base, bits }
+    }
+
+    /// The default evaluation universe: 2^24 addresses at 16.0.0.0 — a /8 of
+    /// simulated Internet, every 256th the size of IPv4.
+    pub fn default_eval() -> Universe {
+        Universe::new(Ipv4Addr::new(16, 0, 0, 0), 24)
+    }
+
+    /// Total number of addresses.
+    pub const fn size(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// The whole universe as a CIDR block.
+    pub fn cidr(&self) -> Cidr {
+        Cidr::new(Ipv4Addr::from(self.base), 32 - self.bits).expect("bits <= 32")
+    }
+
+    /// The telescope's dark space: the universe's first 1/256 (its "/8").
+    pub fn dark_space(&self) -> Cidr {
+        Cidr::new(Ipv4Addr::from(self.base), 32 - self.bits + 8).expect("bits >= 12")
+    }
+
+    /// The infrastructure block (scanner + honeypot lab): the 1/256 slice
+    /// following the dark space.
+    pub fn infra_space(&self) -> Cidr {
+        let offset = self.size() / 256;
+        Cidr::new(Ipv4Addr::from(self.base + offset as u32), 32 - self.bits + 8)
+            .expect("bits >= 12")
+    }
+
+    /// The attacker pool: the 4/256 slice at offset 1/64 (the 2/256 gap
+    /// between infra and the attacker pool is reserved space).
+    pub fn attacker_space(&self) -> Cidr {
+        let offset = self.size() / 64;
+        Cidr::new(Ipv4Addr::from(self.base + offset as u32), 32 - self.bits + 6)
+            .expect("bits >= 12")
+    }
+
+    /// The population region: everything after the first 8/256.
+    pub fn population_space(&self) -> (Ipv4Addr, u64) {
+        let offset = self.size() / 32;
+        (
+            Ipv4Addr::from(self.base + offset as u32),
+            self.size() - offset,
+        )
+    }
+
+    /// The scanning host's address (first address of infra space).
+    pub fn scanner_addr(&self) -> Ipv4Addr {
+        self.infra_space().first()
+    }
+
+    /// The honeypot lab subnet: 16 addresses in the middle of infra space.
+    pub fn honeypot_lab(&self) -> Cidr {
+        let infra = self.infra_space();
+        let mid = u32::from(infra.first()) + (infra.len() / 2) as u32;
+        Cidr::new(Ipv4Addr::from(mid), 28).expect("static prefix")
+    }
+
+    /// Whether `addr` is inside the universe.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.cidr().contains(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_disjoint_and_ordered() {
+        let u = Universe::default_eval();
+        let dark = u.dark_space();
+        let infra = u.infra_space();
+        let attackers = u.attacker_space();
+        let (pop_base, pop_len) = u.population_space();
+
+        // Ordered, non-overlapping carve-up (a reserved gap sits between
+        // infra and the attacker pool).
+        assert_eq!(u32::from(dark.last()) + 1, u32::from(infra.first()));
+        assert!(u32::from(infra.last()) < u32::from(attackers.first()));
+        assert_eq!(u32::from(attackers.last()) + 1, u32::from(pop_base));
+        assert!(dark.len() + infra.len() + attackers.len() + pop_len <= u.size());
+        // The attacker pool is 4x the dark space.
+        assert_eq!(attackers.len(), dark.len() * 4);
+    }
+
+    #[test]
+    fn dark_space_is_one_256th() {
+        let u = Universe::default_eval();
+        assert_eq!(u.dark_space().len() * 256, u.size());
+    }
+
+    #[test]
+    fn lab_and_scanner_inside_infra() {
+        let u = Universe::default_eval();
+        let infra = u.infra_space();
+        assert!(infra.contains(u.scanner_addr()));
+        assert!(infra.contains(u.honeypot_lab().first()));
+        assert!(infra.contains(u.honeypot_lab().last()));
+        assert_eq!(u.honeypot_lab().len(), 16);
+    }
+
+    #[test]
+    fn small_universe_still_valid() {
+        let u = Universe::new(Ipv4Addr::new(16, 0, 0, 0), 16);
+        assert_eq!(u.size(), 65_536);
+        assert_eq!(u.dark_space().len(), 256);
+        let (_, pop) = u.population_space();
+        assert!(pop > 60_000);
+    }
+
+    #[test]
+    fn contains_respects_bounds() {
+        let u = Universe::default_eval();
+        assert!(u.contains(Ipv4Addr::new(16, 1, 2, 3)));
+        assert!(!u.contains(Ipv4Addr::new(17, 0, 0, 0)));
+        assert!(!u.contains(Ipv4Addr::new(15, 255, 255, 255)));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for population synthesis: the invariants must hold over
+//! arbitrary seeds and scales, not just the seeds the unit tests pin.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use ofh_devices::population::{paper_exposed, PopulationBuilder, PopulationSpec};
+use ofh_devices::{Misconfig, Universe};
+use ofh_wire::Protocol;
+use proptest::prelude::*;
+
+fn spec(seed: u64, scale_pow: u32) -> PopulationSpec {
+    PopulationSpec {
+        universe: Universe::new(Ipv4Addr::new(16, 0, 0, 0), 18),
+        scale: 1u64 << scale_pow,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Addresses are unique, inside the population region, and the geo
+    /// database agrees with the assigned countries — for any seed/scale.
+    #[test]
+    fn population_invariants(seed in any::<u64>(), scale_pow in 12u32..16) {
+        let s = spec(seed, scale_pow);
+        let pop = PopulationBuilder::new(s).build();
+        let (pop_base, pop_len) = s.universe.population_space();
+        let base = u32::from(pop_base);
+        let mut seen: BTreeSet<Ipv4Addr> = BTreeSet::new();
+        for r in &pop.records {
+            prop_assert!(seen.insert(r.addr), "duplicate address {}", r.addr);
+            let v = u32::from(r.addr);
+            prop_assert!(v >= base && ((v - base) as u64) < pop_len);
+            prop_assert_eq!(pop.geo.country_of(r.addr), r.country);
+        }
+    }
+
+    /// Scaled marginals: per-protocol exposed counts and per-class
+    /// misconfigured counts match the rounding rule for any seed.
+    #[test]
+    fn marginals_hold(seed in any::<u64>()) {
+        let s = spec(seed, 13);
+        let pop = PopulationBuilder::new(s).build();
+        for proto in Protocol::SCANNED {
+            let expect = s.scaled(paper_exposed(proto));
+            let got = pop.records.iter().filter(|r| r.protocol == proto).count() as u64;
+            prop_assert_eq!(got, expect);
+        }
+        for class in Misconfig::ALL {
+            let expect = s.scaled(class.paper_count());
+            let got = pop.records.iter().filter(|r| r.misconfig == Some(class)).count() as u64;
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// Misconfiguration classes always sit on their own protocol, and
+    /// default credentials only on configured Telnet devices.
+    #[test]
+    fn record_consistency(seed in any::<u64>()) {
+        let pop = PopulationBuilder::new(spec(seed, 13)).build();
+        for r in &pop.records {
+            if let Some(m) = r.misconfig {
+                prop_assert_eq!(m.protocol(), r.protocol);
+            }
+            if r.default_creds.is_some() {
+                prop_assert_eq!(r.protocol, Protocol::Telnet);
+                prop_assert!(r.misconfig.is_none());
+            }
+            if r.port == 2323 {
+                prop_assert_eq!(r.protocol, Protocol::Telnet);
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The multistage fingerprinting engine.
+//!
+//! Stage 1 (passive) walks the scan results' raw banners through the
+//! [`SignatureDb`]. Stage 2 (active) re-probes each candidate with two junk
+//! lines: a low-interaction honeypot replays the same static output both
+//! times, while a real device's shell reacts to the input (command echo,
+//! error text). Only candidates that pass both stages are reported —
+//! which is what keeps Table 6 free of false positives even though banners
+//! are attacker-controllable strings.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+use ofh_honeypots::WildHoneypot;
+use ofh_net::{Agent, ConnToken, NetCtx, SimDuration, SockAddr};
+use ofh_scan::ScanResults;
+
+use crate::signatures::SignatureDb;
+
+/// One confirmed honeypot instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    pub addr: Ipv4Addr,
+    pub port: u16,
+    pub family: WildHoneypot,
+}
+
+/// The end result of a fingerprint run.
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintReport {
+    pub detections: Vec<Detection>,
+    /// Candidates that matched passively but failed the active check
+    /// (banner coincidence on a real device).
+    pub rejected: Vec<(Ipv4Addr, u16)>,
+}
+
+impl FingerprintReport {
+    /// Counts per family — Table 6's #Detected Instances column.
+    pub fn counts(&self) -> BTreeMap<WildHoneypot, u64> {
+        let mut map = BTreeMap::new();
+        for d in &self.detections {
+            *map.entry(d.family).or_insert(0u64) += 1;
+        }
+        map
+    }
+
+    /// The confirmed honeypot address set — what gets filtered out of the
+    /// misconfigured-device results.
+    pub fn filter_set(&self) -> BTreeSet<Ipv4Addr> {
+        self.detections.iter().map(|d| d.addr).collect()
+    }
+
+    pub fn total(&self) -> usize {
+        self.detections.len()
+    }
+}
+
+/// Passive stage: candidates from scan results whose raw banner matches a
+/// signature.
+pub fn passive_candidates(
+    db: &SignatureDb,
+    results: &ScanResults,
+) -> Vec<(Ipv4Addr, u16, WildHoneypot)> {
+    results
+        .records
+        .values()
+        .filter_map(|r| {
+            db.match_banner(&r.raw)
+                .map(|family| (r.addr, r.port, family))
+        })
+        .collect()
+}
+
+#[derive(Debug)]
+struct ProbeState {
+    addr: Ipv4Addr,
+    port: u16,
+    family: WildHoneypot,
+    /// Response chunks per probe round (banner, reply 1, reply 2).
+    rounds: Vec<Vec<u8>>,
+    sent: u8,
+}
+
+/// The active-stage prober agent: connects to every candidate, sends two
+/// junk probes, and compares responses.
+pub struct FingerprintProber {
+    pub report: FingerprintReport,
+    queue: Vec<(Ipv4Addr, u16, WildHoneypot)>,
+    states: HashMap<ConnToken, ProbeState>,
+    batch: usize,
+    outstanding: usize,
+}
+
+const JUNK_PROBE: &[u8] = b"zxcv-fingerprint-probe\n";
+const ROUND_GAP: SimDuration = SimDuration::from_millis(1_200);
+const TICK: u64 = u64::MAX; // timer token for the dispatch tick
+
+impl FingerprintProber {
+    pub fn new(candidates: Vec<(Ipv4Addr, u16, WildHoneypot)>) -> FingerprintProber {
+        FingerprintProber {
+            report: FingerprintReport::default(),
+            queue: candidates,
+            states: HashMap::new(),
+            batch: 512,
+            outstanding: 0,
+        }
+    }
+
+    /// Conservative end-time estimate for `n` candidates.
+    pub fn estimated_duration(n: usize) -> SimDuration {
+        let rounds = (n / 512 + 2) as u64;
+        SimDuration::from_millis(rounds * 1_000) + ROUND_GAP.mul(4) + SimDuration::from_secs(30)
+    }
+
+    fn dispatch(&mut self, ctx: &mut NetCtx<'_>) {
+        while self.outstanding < self.batch {
+            let Some((addr, port, family)) = self.queue.pop() else {
+                return;
+            };
+            let conn = ctx.tcp_connect(SockAddr::new(addr, port));
+            self.states.insert(
+                conn,
+                ProbeState {
+                    addr,
+                    port,
+                    family,
+                    rounds: vec![Vec::new()],
+                    sent: 0,
+                },
+            );
+            self.outstanding += 1;
+        }
+    }
+
+    fn conclude(&mut self, conn: ConnToken) {
+        let Some(st) = self.states.remove(&conn) else {
+            return;
+        };
+        self.outstanding = self.outstanding.saturating_sub(1);
+        // Verdict: both junk probes answered, answers identical, and the
+        // static banner (with the signature) keeps being replayed.
+        let confirmed = st.rounds.len() >= 3
+            && !st.rounds[1].is_empty()
+            && st.rounds[1] == st.rounds[2]
+            && !st.rounds[1]
+                .windows(JUNK_PROBE.len() - 1)
+                .any(|w| w == &JUNK_PROBE[..JUNK_PROBE.len() - 1]);
+        if confirmed {
+            self.report.detections.push(Detection {
+                addr: st.addr,
+                port: st.port,
+                family: st.family,
+            });
+        } else {
+            self.report.rejected.push((st.addr, st.port));
+        }
+    }
+}
+
+impl Agent for FingerprintProber {
+    fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(10), TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
+        if token == TICK {
+            self.dispatch(ctx);
+            if !self.queue.is_empty() || self.outstanding > 0 {
+                ctx.set_timer(SimDuration::from_secs(1), TICK);
+            }
+            return;
+        }
+        // Per-connection round deadline.
+        let conn = ConnToken(token);
+        let Some(st) = self.states.get_mut(&conn) else {
+            return;
+        };
+        if st.sent < 2 {
+            st.sent += 1;
+            st.rounds.push(Vec::new());
+            ctx.tcp_send(conn, JUNK_PROBE.to_vec());
+            ctx.set_timer(ROUND_GAP, conn.0);
+        } else {
+            ctx.tcp_close(conn);
+            self.conclude(conn);
+        }
+    }
+
+    fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        if self.states.contains_key(&conn) {
+            ctx.set_timer(ROUND_GAP, conn.0);
+        }
+    }
+
+    fn on_tcp_data(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        if let Some(st) = self.states.get_mut(&conn) {
+            st.rounds.last_mut().expect("round open").extend_from_slice(data);
+        }
+    }
+
+    fn on_tcp_refused(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.conclude(conn);
+    }
+
+    fn on_tcp_timeout(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.conclude(conn);
+    }
+
+    fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.conclude(conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_devices::endpoints::TelnetDevice;
+    use ofh_devices::Misconfig;
+    use ofh_honeypots::WildHoneypotAgent;
+    use ofh_net::{ip, SimNet, SimNetConfig, SimTime};
+
+    /// A malicious "real device" whose banner *contains* the Anglerfish
+    /// signature but which otherwise behaves like a shell — the active stage
+    /// must reject it.
+    fn impostor() -> TelnetDevice {
+        TelnetDevice::new("[root@LocalHost tmp]$ fake", Some(Misconfig::TelnetNoAuth), 23)
+    }
+
+    #[test]
+    fn passive_then_active_distinguishes() {
+        let mut net = SimNet::new(SimNetConfig::default());
+        // A true wild Cowrie, a true Anglerfish, and an impostor device.
+        net.attach(ip(16, 20, 0, 1), Box::new(WildHoneypotAgent::new(WildHoneypot::Cowrie)));
+        net.attach(
+            ip(16, 20, 0, 2),
+            Box::new(WildHoneypotAgent::new(WildHoneypot::Anglerfish)),
+        );
+        net.attach(ip(16, 20, 0, 3), Box::new(impostor()));
+
+        let candidates = vec![
+            (ip(16, 20, 0, 1), 23, WildHoneypot::Cowrie),
+            (ip(16, 20, 0, 2), 23, WildHoneypot::Anglerfish),
+            (ip(16, 20, 0, 3), 23, WildHoneypot::Anglerfish), // passive hit
+        ];
+        let pid = net.attach(
+            ip(16, 3, 0, 9),
+            Box::new(FingerprintProber::new(candidates)),
+        );
+        net.run_until(SimTime::ZERO + FingerprintProber::estimated_duration(3));
+        let report = &net.agent_downcast::<FingerprintProber>(pid).unwrap().report;
+        let counts = report.counts();
+        assert_eq!(counts.get(&WildHoneypot::Cowrie), Some(&1));
+        assert_eq!(counts.get(&WildHoneypot::Anglerfish), Some(&1));
+        assert_eq!(report.total(), 2);
+        assert!(report.rejected.contains(&(ip(16, 20, 0, 3), 23)));
+        assert!(report.filter_set().contains(&ip(16, 20, 0, 1)));
+        assert!(!report.filter_set().contains(&ip(16, 20, 0, 3)));
+    }
+
+    #[test]
+    fn vanished_candidates_are_rejected_not_detected() {
+        let mut net = SimNet::new(SimNetConfig::default());
+        let candidates = vec![(ip(16, 20, 0, 99), 23, WildHoneypot::Kako)];
+        let pid = net.attach(
+            ip(16, 3, 0, 9),
+            Box::new(FingerprintProber::new(candidates)),
+        );
+        net.run_until(SimTime::ZERO + FingerprintProber::estimated_duration(1));
+        let report = &net.agent_downcast::<FingerprintProber>(pid).unwrap().report;
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.rejected.len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Multi-pattern byte matching.
+//!
+//! The passive fingerprint stage searches every collected banner for every
+//! known honeypot signature. With ~14M banners × 9 signatures in the paper's
+//! dataset, per-banner cost matters; an Aho-Corasick automaton finds all
+//! patterns in one pass. A naive per-pattern scan is retained for the
+//! `banner_match` ablation benchmark and as a differential-testing oracle.
+
+use std::collections::HashMap;
+
+/// An Aho-Corasick automaton over byte patterns.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// goto function: per node, byte -> next node.
+    goto_fn: Vec<HashMap<u8, u32>>,
+    /// failure links.
+    fail: Vec<u32>,
+    /// pattern indices that end at each node.
+    output: Vec<Vec<u32>>,
+    pattern_count: usize,
+}
+
+impl AhoCorasick {
+    /// Build the automaton. Empty patterns are rejected.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> AhoCorasick {
+        assert!(
+            patterns.iter().all(|p| !p.as_ref().is_empty()),
+            "empty patterns are not allowed"
+        );
+        let mut goto_fn: Vec<HashMap<u8, u32>> = vec![HashMap::new()];
+        let mut output: Vec<Vec<u32>> = vec![Vec::new()];
+        for (idx, pat) in patterns.iter().enumerate() {
+            let mut node = 0u32;
+            for &b in pat.as_ref() {
+                let next = match goto_fn[node as usize].get(&b) {
+                    Some(&n) => n,
+                    None => {
+                        let n = goto_fn.len() as u32;
+                        goto_fn.push(HashMap::new());
+                        output.push(Vec::new());
+                        goto_fn[node as usize].insert(b, n);
+                        n
+                    }
+                };
+                node = next;
+            }
+            output[node as usize].push(idx as u32);
+        }
+        // BFS for failure links.
+        let mut fail = vec![0u32; goto_fn.len()];
+        let mut queue: std::collections::VecDeque<u32> = goto_fn[0].values().copied().collect();
+        while let Some(node) = queue.pop_front() {
+            let transitions: Vec<(u8, u32)> =
+                goto_fn[node as usize].iter().map(|(&b, &n)| (b, n)).collect();
+            for (b, next) in transitions {
+                queue.push_back(next);
+                let mut f = fail[node as usize];
+                loop {
+                    if let Some(&g) = goto_fn[f as usize].get(&b) {
+                        if g != next {
+                            fail[next as usize] = g;
+                        }
+                        break;
+                    }
+                    if f == 0 {
+                        break;
+                    }
+                    f = fail[f as usize];
+                }
+                let f_out = output[fail[next as usize] as usize].clone();
+                output[next as usize].extend(f_out);
+            }
+        }
+        AhoCorasick {
+            goto_fn,
+            fail,
+            output,
+            pattern_count: patterns.len(),
+        }
+    }
+
+    /// Indices of all patterns occurring in `haystack` (deduplicated,
+    /// sorted).
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<u32> {
+        let mut hits = Vec::new();
+        let mut node = 0u32;
+        for &b in haystack {
+            loop {
+                if let Some(&next) = self.goto_fn[node as usize].get(&b) {
+                    node = next;
+                    break;
+                }
+                if node == 0 {
+                    break;
+                }
+                node = self.fail[node as usize];
+            }
+            hits.extend_from_slice(&self.output[node as usize]);
+        }
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+
+    /// Index of the first pattern present, if any.
+    pub fn find_first(&self, haystack: &[u8]) -> Option<u32> {
+        self.find_all(haystack).into_iter().next()
+    }
+
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+}
+
+/// Naive multi-pattern scan (ablation oracle).
+pub fn naive_find_all<P: AsRef<[u8]>>(patterns: &[P], haystack: &[u8]) -> Vec<u32> {
+    let mut hits = Vec::new();
+    for (i, p) in patterns.iter().enumerate() {
+        let p = p.as_ref();
+        if !p.is_empty() && haystack.windows(p.len()).any(|w| w == p) {
+            hits.push(i as u32);
+        }
+    }
+    hits
+}
+
+/// Match-throughput counters for benchmarking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatcherStats {
+    pub banners_scanned: u64,
+    pub matches: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_multiple_patterns() {
+        let ac = AhoCorasick::new(&[b"he".as_slice(), b"she", b"his", b"hers"]);
+        assert_eq!(ac.find_all(b"ushers"), vec![0, 1, 3]);
+        assert_eq!(ac.find_all(b"nothing"), Vec::<u32>::new());
+        assert_eq!(ac.find_first(b"his house"), Some(2)); // only "his" occurs
+    }
+
+    #[test]
+    fn overlapping_and_nested_patterns() {
+        let ac = AhoCorasick::new(&[b"abc".as_slice(), b"bc", b"c"]);
+        assert_eq!(ac.find_all(b"abc"), vec![0, 1, 2]);
+        assert_eq!(ac.find_all(b"zc"), vec![2]);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let cowrie = b"\xff\xfd\x1flogin:";
+        let ac = AhoCorasick::new(&[cowrie.as_slice()]);
+        let banner = b"\xff\xfd\x1flogin: \r\n$ ";
+        assert_eq!(ac.find_all(banner), vec![0]);
+        assert!(ac.find_all(b"\xff\xfb\x01login: ").is_empty());
+    }
+
+    #[test]
+    fn agrees_with_naive() {
+        let patterns: Vec<&[u8]> = vec![b"login:", b"\xff\xfd\x1f", b"BusyBox", b"$"];
+        let ac = AhoCorasick::new(&patterns);
+        for haystack in [
+            b"BusyBox v1.19.3 login: $ ".as_slice(),
+            b"\xff\xfd\x1f",
+            b"",
+            b"no match here!",
+            b"$$$$",
+        ] {
+            assert_eq!(
+                ac.find_all(haystack),
+                naive_find_all(&patterns, haystack),
+                "haystack {haystack:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty patterns")]
+    fn rejects_empty_pattern() {
+        AhoCorasick::new(&[b"".as_slice()]);
+    }
+}

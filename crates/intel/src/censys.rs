@@ -1,0 +1,84 @@
+//! Censys stand-in: the "iot" device tag.
+//!
+//! §5.3 extends the infected-host search with Censys' labelled dataset: IPs
+//! that Censys' periodic scans have tagged `iot` (the paper found 1,671
+//! additional IoT attackers this way, mostly cameras, routers and IP
+//! phones). Censys only tags what its own scans reached and recognized, so
+//! the oracle applies a coverage probability on ingest.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rand::Rng;
+
+/// The Censys host-tag database.
+#[derive(Debug, Clone, Default)]
+pub struct CensysDb {
+    /// IP -> device type label (e.g. "camera", "router", "ip phone").
+    tagged: HashMap<Ipv4Addr, String>,
+}
+
+impl CensysDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest a ground-truth IoT device; Censys tags it with probability
+    /// `coverage`.
+    pub fn ingest(
+        &mut self,
+        rng: &mut impl Rng,
+        addr: Ipv4Addr,
+        device_type: &str,
+        coverage: f64,
+    ) {
+        if rng.gen_bool(coverage.clamp(0.0, 1.0)) {
+            self.tagged.insert(addr, device_type.to_string());
+        }
+    }
+
+    /// Whether Censys returns the "iot" tag for this IP.
+    pub fn is_tagged_iot(&self, addr: Ipv4Addr) -> bool {
+        self.tagged.contains_key(&addr)
+    }
+
+    /// The device type Censys recorded, if tagged.
+    pub fn device_type(&self, addr: Ipv4Addr) -> Option<&str> {
+        self.tagged.get(&addr).map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.tagged.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tagged.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_net::rng::rng_for;
+
+    #[test]
+    fn tagging_and_lookup() {
+        let mut db = CensysDb::new();
+        let mut rng = rng_for(9, "censys");
+        let cam: Ipv4Addr = "198.51.100.7".parse().unwrap();
+        db.ingest(&mut rng, cam, "camera", 1.0);
+        assert!(db.is_tagged_iot(cam));
+        assert_eq!(db.device_type(cam), Some("camera"));
+        assert!(!db.is_tagged_iot("198.51.100.8".parse().unwrap()));
+    }
+
+    #[test]
+    fn coverage_is_partial() {
+        let mut db = CensysDb::new();
+        let mut rng = rng_for(9, "censys");
+        for i in 0..1000u32 {
+            db.ingest(&mut rng, Ipv4Addr::from(i), "router", 0.5);
+        }
+        assert!(db.len() > 380 && db.len() < 620, "got {}", db.len());
+    }
+}

@@ -1,0 +1,48 @@
+//! ExoneraTor stand-in: "was this IP a Tor relay?"
+//!
+//! §5.1.6: reverse lookups of HTTP attack sources through the ExoneraTor
+//! service identified 151 unique IPs originating from Tor relays, with a
+//! daily recurring scan pattern. The oracle is a plain set of relay IPs,
+//! populated when the attack population is generated.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// The Tor-relay membership oracle.
+#[derive(Debug, Clone, Default)]
+pub struct Exonerator {
+    relays: HashSet<Ipv4Addr>,
+}
+
+impl Exonerator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_relay(&mut self, addr: Ipv4Addr) {
+        self.relays.insert(addr);
+    }
+
+    /// Whether `addr` was a Tor relay during the measurement window.
+    pub fn was_relay(&self, addr: Ipv4Addr) -> bool {
+        self.relays.contains(&addr)
+    }
+
+    pub fn relay_count(&self) -> usize {
+        self.relays.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let mut db = Exonerator::new();
+        db.add_relay("185.220.101.1".parse().unwrap());
+        assert!(db.was_relay("185.220.101.1".parse().unwrap()));
+        assert!(!db.was_relay("8.8.8.8".parse().unwrap()));
+        assert_eq!(db.relay_count(), 1);
+    }
+}

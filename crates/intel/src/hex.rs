@@ -1,0 +1,45 @@
+//! Lowercase-hex helpers for digests (Table 13 prints SHA-256 hashes in hex).
+
+/// Encode bytes as lowercase hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decode a hex string (case-insensitive). `None` on odd length or non-hex.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in b.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = vec![0x00, 0x7F, 0x80, 0xFF, 0xDE, 0xAD];
+        assert_eq!(to_hex(&data), "007f80ffdead");
+        assert_eq!(from_hex("007f80ffDEAD").unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,35 @@
+//! # ofh-intel — threat intelligence oracles and cryptographic substrate
+//!
+//! The paper validates its classifications against external services:
+//! GreyNoise (benign/malicious/unknown source labels, Fig. 5), VirusTotal
+//! (malicious flags on IPs/URLs/file hashes, Fig. 6 and Table 13), Censys
+//! ("iot" device tags, §5.3), an IP-geolocation database (Table 10), reverse
+//! DNS (§5.3) and the Tor ExoneraTor service (§5.1.6). None of those
+//! services can be queried in a reproduction, so this crate implements them
+//! as **oracles populated from the simulation's own ground truth with
+//! imperfect, deterministic coverage** — the comparisons in Figs. 5/6 stay
+//! meaningful precisely because the oracles do *not* know everything.
+//!
+//! It also provides the cryptographic substrate: a from-scratch FIPS 180-4
+//! SHA-256 (tested against NIST vectors) used to fingerprint captured
+//! malware payloads exactly as the paper's Table 13 does, and a deterministic
+//! malware registry that synthesizes the dropper binaries the botnets deploy.
+
+pub mod censys;
+pub mod exonerator;
+pub mod geo;
+pub mod greynoise;
+pub mod hex;
+pub mod malware;
+pub mod rdns;
+pub mod sha256;
+pub mod virustotal;
+
+pub use censys::CensysDb;
+pub use exonerator::Exonerator;
+pub use geo::{Country, GeoDb};
+pub use greynoise::{GreyNoiseDb, GreyNoiseLabel};
+pub use malware::{MalwareFamily, MalwareRegistry, MalwareSample};
+pub use rdns::ReverseDns;
+pub use sha256::{sha256, Sha256};
+pub use virustotal::VirusTotalDb;

@@ -1,0 +1,112 @@
+//! Reverse DNS registry.
+//!
+//! §5.3 performs reverse lookups of attack sources, finding 797 registered
+//! domains (427 with webpages — default WordPress sites, Apache test pages,
+//! fake shops), one Telnet malware source registered as a UK restaurant
+//! website (§5.1.1), and duplicate DNS entries across two CoAP flood sources
+//! (§5.1.3 — the reflection hint). The registry supports exactly those
+//! queries: IP → domain, domain → IPs, and "does this domain resolve to more
+//! addresses than the one observed".
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Facts recorded about a registered domain.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DomainInfo {
+    /// Whether an HTTP webpage is served.
+    pub has_webpage: bool,
+    /// Free-form description of the page ("default wordpress site", …).
+    pub webpage_kind: String,
+}
+
+/// The reverse-DNS database.
+#[derive(Debug, Clone, Default)]
+pub struct ReverseDns {
+    ptr: HashMap<Ipv4Addr, String>,
+    forward: HashMap<String, Vec<Ipv4Addr>>,
+    info: HashMap<String, DomainInfo>,
+}
+
+impl ReverseDns {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `domain` at `addr` (a domain may span multiple addresses —
+    /// the /29 and /30 subnets of §5.3).
+    pub fn register(&mut self, addr: Ipv4Addr, domain: &str, info: DomainInfo) {
+        self.ptr.insert(addr, domain.to_string());
+        self.forward.entry(domain.to_string()).or_default().push(addr);
+        self.info.entry(domain.to_string()).or_insert(info);
+    }
+
+    /// PTR lookup: the domain for an IP, if registered.
+    pub fn domain_of(&self, addr: Ipv4Addr) -> Option<&str> {
+        self.ptr.get(&addr).map(String::as_str)
+    }
+
+    /// Forward lookup: all addresses serving a domain.
+    pub fn addresses_of(&self, domain: &str) -> &[Ipv4Addr] {
+        self.forward.get(domain).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn domain_info(&self, domain: &str) -> Option<&DomainInfo> {
+        self.info.get(domain)
+    }
+
+    /// Whether two addresses share a DNS entry — the paper's duplicate-entry
+    /// reflection indicator.
+    pub fn share_domain(&self, a: Ipv4Addr, b: Ipv4Addr) -> bool {
+        match (self.domain_of(a), self.domain_of(b)) {
+            (Some(da), Some(db)) => da == db,
+            _ => false,
+        }
+    }
+
+    /// Distinct registered domains.
+    pub fn domain_count(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Domains with webpages.
+    pub fn webpage_count(&self) -> usize {
+        self.info.values().filter(|i| i.has_webpage).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ptr_and_forward() {
+        let mut db = ReverseDns::new();
+        db.register(
+            a("192.0.2.10"),
+            "restaurant.example.co.uk",
+            DomainInfo {
+                has_webpage: true,
+                webpage_kind: "restaurant website".into(),
+            },
+        );
+        db.register(a("192.0.2.11"), "restaurant.example.co.uk", DomainInfo::default());
+        assert_eq!(db.domain_of(a("192.0.2.10")), Some("restaurant.example.co.uk"));
+        assert_eq!(db.addresses_of("restaurant.example.co.uk").len(), 2);
+        assert!(db.share_domain(a("192.0.2.10"), a("192.0.2.11")));
+        assert!(!db.share_domain(a("192.0.2.10"), a("192.0.2.99")));
+        assert_eq!(db.domain_count(), 1);
+        assert_eq!(db.webpage_count(), 1);
+    }
+
+    #[test]
+    fn unregistered_lookups() {
+        let db = ReverseDns::new();
+        assert_eq!(db.domain_of(a("8.8.8.8")), None);
+        assert!(db.addresses_of("nothing.example").is_empty());
+    }
+}

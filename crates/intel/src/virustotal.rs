@@ -1,0 +1,128 @@
+//! VirusTotal stand-in: vendor "positive" scores for IPs, URLs and file
+//! hashes.
+//!
+//! The paper uses VirusTotal three ways: (a) Fig. 6 — the share of honeypot/
+//! telescope attack sources flagged malicious by ≥1 vendor, per protocol;
+//! (b) §5.3 — all 11,118 infected misconfigured devices were flagged by at
+//! least one vendor; (c) Table 13 — pcap-extracted binaries identified by
+//! hash. The oracle models a vendor panel: each ingested indicator receives
+//! a deterministic number of vendor positives, with imperfect coverage
+//! (freshly-infected hosts may not be flagged yet).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rand::Rng;
+
+/// Number of simulated AV vendors on the panel.
+pub const VENDOR_PANEL: u32 = 70;
+
+/// The VirusTotal database oracle.
+#[derive(Debug, Clone, Default)]
+pub struct VirusTotalDb {
+    ips: HashMap<Ipv4Addr, u32>,
+    urls: HashMap<String, u32>,
+    file_hashes: HashMap<String, u32>,
+}
+
+impl VirusTotalDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest a ground-truth malicious IP. `coverage` is the probability any
+    /// vendor has flagged it; if flagged, the positive count is 1..=20.
+    pub fn ingest_ip(&mut self, rng: &mut impl Rng, addr: Ipv4Addr, coverage: f64) {
+        if rng.gen_bool(coverage.clamp(0.0, 1.0)) {
+            let positives = rng.gen_range(1..=20);
+            self.ips.insert(addr, positives);
+        }
+    }
+
+    /// Ingest a known-malicious URL (the paper found 346 of 427 webpages
+    /// flagged).
+    pub fn ingest_url(&mut self, rng: &mut impl Rng, url: &str, coverage: f64) {
+        if rng.gen_bool(coverage.clamp(0.0, 1.0)) {
+            let positives = rng.gen_range(1..=30);
+            self.urls.insert(url.to_string(), positives);
+        }
+    }
+
+    /// Register a malware sample hash; file hashes have essentially full
+    /// vendor coverage once the sample circulates.
+    pub fn ingest_file_hash(&mut self, rng: &mut impl Rng, sha256_hex: &str) {
+        let positives = rng.gen_range(25..=60);
+        self.file_hashes.insert(sha256_hex.to_string(), positives);
+    }
+
+    /// Positive score for an IP (0 = clean or unknown).
+    pub fn ip_positives(&self, addr: Ipv4Addr) -> u32 {
+        self.ips.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// The paper's criterion: "we consider the IP to be a malicious actor if
+    /// there is at least one security vendor to label them as malicious".
+    pub fn ip_is_malicious(&self, addr: Ipv4Addr) -> bool {
+        self.ip_positives(addr) >= 1
+    }
+
+    pub fn url_positives(&self, url: &str) -> u32 {
+        self.urls.get(url).copied().unwrap_or(0)
+    }
+
+    pub fn url_is_malicious(&self, url: &str) -> bool {
+        self.url_positives(url) >= 1
+    }
+
+    pub fn hash_positives(&self, sha256_hex: &str) -> u32 {
+        self.file_hashes.get(sha256_hex).copied().unwrap_or(0)
+    }
+
+    pub fn hash_is_malicious(&self, sha256_hex: &str) -> bool {
+        self.hash_positives(sha256_hex) >= 1
+    }
+
+    pub fn flagged_ip_count(&self) -> usize {
+        self.ips.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_net::rng::rng_for;
+
+    #[test]
+    fn ip_flags() {
+        let mut db = VirusTotalDb::new();
+        let mut rng = rng_for(3, "vt");
+        let addr: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        db.ingest_ip(&mut rng, addr, 1.0);
+        assert!(db.ip_is_malicious(addr));
+        assert!(db.ip_positives(addr) >= 1);
+        assert!(!db.ip_is_malicious("203.0.113.10".parse().unwrap()));
+    }
+
+    #[test]
+    fn partial_coverage() {
+        let mut db = VirusTotalDb::new();
+        let mut rng = rng_for(3, "vt");
+        for i in 0..1000u32 {
+            db.ingest_ip(&mut rng, Ipv4Addr::from(i), 0.6);
+        }
+        let n = db.flagged_ip_count();
+        assert!(n > 450 && n < 750, "got {n}");
+    }
+
+    #[test]
+    fn url_and_hash_lookup() {
+        let mut db = VirusTotalDb::new();
+        let mut rng = rng_for(3, "vt");
+        db.ingest_url(&mut rng, "http://restaurant.example.co.uk/bot.sh", 1.0);
+        assert!(db.url_is_malicious("http://restaurant.example.co.uk/bot.sh"));
+        assert!(!db.url_is_malicious("http://example.org/"));
+        db.ingest_file_hash(&mut rng, "deadbeef");
+        assert!(db.hash_positives("deadbeef") >= 25);
+        assert!(!db.hash_is_malicious("cafebabe"));
+    }
+}

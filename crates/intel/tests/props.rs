@@ -1,0 +1,42 @@
+//! Property tests for the crypto substrate.
+
+use ofh_intel::hex::{from_hex, to_hex};
+use ofh_intel::sha256::{sha256, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Hex encode/decode is a bijection.
+    #[test]
+    fn hex_roundtrip(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    /// Streaming SHA-256 with arbitrary chunking equals the one-shot digest.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let mut positions: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        positions.sort_unstable();
+        positions.dedup();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for &p in &positions {
+            h.update(&data[prev..p]);
+            prev = p;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Distinct inputs (almost surely) produce distinct digests; identical
+    /// inputs always produce identical digests.
+    #[test]
+    fn sha256_deterministic(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(sha256(&data), sha256(&data));
+        let mut tweaked = data.clone();
+        tweaked.push(0x55);
+        prop_assert_ne!(sha256(&tweaked), sha256(&data));
+    }
+}

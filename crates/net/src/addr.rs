@@ -1,0 +1,79 @@
+//! IPv4 address utilities.
+//!
+//! The simulator identifies hosts by `std::net::Ipv4Addr`. Conversions to and
+//! from `u32` are used pervasively (the ZMap-style scanner iterates the address
+//! space as integers; CIDR sets operate on prefix bits), so tiny helpers live
+//! here rather than being re-derived in every crate.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// Construct an [`Ipv4Addr`] from four octets. Shorthand used throughout the
+/// workspace's tests and catalogs.
+pub const fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+    Ipv4Addr::new(a, b, c, d)
+}
+
+/// Construct an [`Ipv4Addr`] from its `u32` representation (network order).
+pub const fn ipu(v: u32) -> Ipv4Addr {
+    Ipv4Addr::new(
+        (v >> 24) as u8,
+        (v >> 16) as u8,
+        (v >> 8) as u8,
+        v as u8,
+    )
+}
+
+/// A socket address within the simulation: IPv4 address + port.
+///
+/// `std::net::SocketAddrV4` would work, but a local type lets us derive
+/// `Serialize`/`Deserialize` and keep `Ord` (needed for deterministic
+/// iteration over result maps).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SockAddr {
+    pub addr: Ipv4Addr,
+    pub port: u16,
+}
+
+impl SockAddr {
+    pub const fn new(addr: Ipv4Addr, port: u16) -> Self {
+        SockAddr { addr, port }
+    }
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.addr, self.port)
+    }
+}
+
+impl From<(Ipv4Addr, u16)> for SockAddr {
+    fn from((addr, port): (Ipv4Addr, u16)) -> Self {
+        SockAddr { addr, port }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        let a = ip(192, 168, 0, 64);
+        assert_eq!(ipu(u32::from(a)), a);
+        assert_eq!(u32::from(ip(0, 0, 0, 1)), 1);
+        assert_eq!(ipu(0xFFFF_FFFF), ip(255, 255, 255, 255));
+    }
+
+    #[test]
+    fn sockaddr_display_and_order() {
+        let s = SockAddr::new(ip(10, 0, 0, 1), 23);
+        assert_eq!(s.to_string(), "10.0.0.1:23");
+        let t = SockAddr::new(ip(10, 0, 0, 1), 2323);
+        assert!(s < t);
+    }
+}

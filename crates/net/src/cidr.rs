@@ -1,0 +1,331 @@
+//! CIDR blocks and sets of CIDR blocks.
+//!
+//! The paper's scans honour the default ZMap blocklist plus the FireHOL
+//! European blocklist; the network telescope is a routed /8. Both call for an
+//! efficient "is this address covered by any of these prefixes?" structure.
+//! [`CidrSet`] is a binary trie on prefix bits: O(32) lookup independent of the
+//! number of entries (the ablation bench `cidr_trie` compares this against the
+//! naive linear scan).
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 CIDR block, e.g. `10.0.0.0/8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Cidr {
+    base: u32,
+    prefix_len: u8,
+}
+
+/// Error parsing or constructing a [`Cidr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CidrError {
+    /// Prefix length above 32.
+    PrefixTooLong(u8),
+    /// String form was not `a.b.c.d/len`.
+    Malformed(String),
+}
+
+impl fmt::Display for CidrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CidrError::PrefixTooLong(l) => write!(f, "prefix length {l} exceeds 32"),
+            CidrError::Malformed(s) => write!(f, "malformed CIDR {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CidrError {}
+
+impl Cidr {
+    /// Create a CIDR block. Host bits below the prefix are masked off.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Result<Self, CidrError> {
+        if prefix_len > 32 {
+            return Err(CidrError::PrefixTooLong(prefix_len));
+        }
+        let mask = Self::mask(prefix_len);
+        Ok(Cidr {
+            base: u32::from(addr) & mask,
+            prefix_len,
+        })
+    }
+
+    /// The all-addresses block `0.0.0.0/0`.
+    pub const fn everything() -> Self {
+        Cidr {
+            base: 0,
+            prefix_len: 0,
+        }
+    }
+
+    /// A single-host /32 block.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Cidr {
+            base: u32::from(addr),
+            prefix_len: 32,
+        }
+    }
+
+    const fn mask(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.prefix_len)) == self.base
+    }
+
+    pub fn first(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.base)
+    }
+
+    pub fn last(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.base | !Self::mask(self.prefix_len))
+    }
+
+    pub const fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Number of addresses in the block (2^(32-len), saturating for /0).
+    pub fn len(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// CIDR blocks are never empty, but the method pairs with [`Self::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate all addresses in the block. Intended for small blocks (tests,
+    /// honeypot subnets); the scanner uses its own permutation iterator.
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        let first = self.base as u64;
+        (first..first + self.len()).map(|v| Ipv4Addr::from(v as u32))
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.base), self.prefix_len)
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = CidrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| CidrError::Malformed(s.to_string()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| CidrError::Malformed(s.to_string()))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| CidrError::Malformed(s.to_string()))?;
+        Cidr::new(addr, len)
+    }
+}
+
+/// A set of CIDR blocks with O(32) membership lookup.
+///
+/// Implemented as a binary trie over address bits, most significant bit first.
+/// A node marked `covered` subsumes its entire subtree, so inserting `10.0.0.0/8`
+/// after `10.1.0.0/16` collapses the latter.
+#[derive(Debug, Clone, Default)]
+pub struct CidrSet {
+    nodes: Vec<Node>,
+    entries: Vec<Cidr>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    covered: bool,
+    children: [Option<u32>; 2],
+}
+
+impl CidrSet {
+    pub fn new() -> Self {
+        CidrSet {
+            nodes: vec![Node::default()],
+            entries: Vec::new(),
+        }
+    }
+
+    /// Build a set from an iterator of blocks.
+    pub fn from_blocks<I: IntoIterator<Item = Cidr>>(blocks: I) -> Self {
+        let mut set = CidrSet::new();
+        for b in blocks {
+            set.insert(b);
+        }
+        set
+    }
+
+    /// Insert a block. Returns `false` if the block was already covered.
+    pub fn insert(&mut self, cidr: Cidr) -> bool {
+        let mut node = 0usize;
+        for depth in 0..cidr.prefix_len {
+            if self.nodes[node].covered {
+                return false; // already subsumed by a shorter prefix
+            }
+            let bit = ((cidr.base >> (31 - depth)) & 1) as usize;
+            let child = match self.nodes[node].children[bit] {
+                Some(c) => c as usize,
+                None => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[node].children[bit] = Some(idx);
+                    idx as usize
+                }
+            };
+            node = child;
+        }
+        if self.nodes[node].covered {
+            return false;
+        }
+        self.nodes[node].covered = true;
+        // Covering a node subsumes its subtree; drop the children.
+        self.nodes[node].children = [None, None];
+        self.entries.push(cidr);
+        true
+    }
+
+    /// Whether the address is covered by any inserted block.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        let v = u32::from(addr);
+        let mut node = 0usize;
+        for depth in 0..32 {
+            if self.nodes[node].covered {
+                return true;
+            }
+            let bit = ((v >> (31 - depth)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(c) => node = c as usize,
+                None => return self.nodes[node].covered,
+            }
+        }
+        self.nodes[node].covered
+    }
+
+    /// The blocks inserted so far (in insertion order, including any that were
+    /// later subsumed — the trie answers membership; this list is for display).
+    pub fn blocks(&self) -> &[Cidr] {
+        &self.entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Naive linear-scan membership, kept for the ablation benchmark.
+    pub fn contains_linear(&self, addr: Ipv4Addr) -> bool {
+        self.entries.iter().any(|c| c.contains(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::ip;
+
+    #[test]
+    fn cidr_basics() {
+        let c: Cidr = "10.0.0.0/8".parse().unwrap();
+        assert!(c.contains(ip(10, 255, 0, 1)));
+        assert!(!c.contains(ip(11, 0, 0, 1)));
+        assert_eq!(c.first(), ip(10, 0, 0, 0));
+        assert_eq!(c.last(), ip(10, 255, 255, 255));
+        assert_eq!(c.len(), 1 << 24);
+        assert_eq!(c.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn host_bits_masked() {
+        let c = Cidr::new(ip(192, 168, 7, 9), 16).unwrap();
+        assert_eq!(c.first(), ip(192, 168, 0, 0));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            "1.2.3.4/33".parse::<Cidr>(),
+            Err(CidrError::PrefixTooLong(33))
+        ));
+        assert!(matches!(
+            "nonsense".parse::<Cidr>(),
+            Err(CidrError::Malformed(_))
+        ));
+        assert!(matches!(
+            "1.2.3/8".parse::<Cidr>(),
+            Err(CidrError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn everything_covers_all() {
+        let c = Cidr::everything();
+        assert!(c.contains(ip(0, 0, 0, 0)));
+        assert!(c.contains(ip(255, 255, 255, 255)));
+    }
+
+    #[test]
+    fn set_membership() {
+        let mut set = CidrSet::new();
+        assert!(set.insert("10.0.0.0/8".parse().unwrap()));
+        assert!(set.insert("192.168.0.0/16".parse().unwrap()));
+        assert!(set.contains(ip(10, 1, 2, 3)));
+        assert!(set.contains(ip(192, 168, 200, 1)));
+        assert!(!set.contains(ip(8, 8, 8, 8)));
+        assert!(!set.contains(ip(192, 169, 0, 1)));
+    }
+
+    #[test]
+    fn set_subsumption() {
+        let mut set = CidrSet::new();
+        assert!(set.insert("10.1.0.0/16".parse().unwrap()));
+        assert!(set.insert("10.0.0.0/8".parse().unwrap()));
+        // Re-inserting anything under 10/8 is a no-op now.
+        assert!(!set.insert("10.1.0.0/16".parse().unwrap()));
+        assert!(!set.insert("10.2.3.4/32".parse().unwrap()));
+        assert!(set.contains(ip(10, 200, 0, 1)));
+    }
+
+    #[test]
+    fn set_host_entries() {
+        let mut set = CidrSet::new();
+        set.insert(Cidr::host(ip(1, 2, 3, 4)));
+        assert!(set.contains(ip(1, 2, 3, 4)));
+        assert!(!set.contains(ip(1, 2, 3, 5)));
+    }
+
+    #[test]
+    fn trie_agrees_with_linear() {
+        let blocks: Vec<Cidr> = ["10.0.0.0/8", "172.16.0.0/12", "203.0.113.0/24", "5.5.5.5/32"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let set = CidrSet::from_blocks(blocks);
+        for probe in [
+            ip(10, 0, 0, 1),
+            ip(172, 16, 0, 1),
+            ip(172, 32, 0, 1),
+            ip(203, 0, 113, 200),
+            ip(203, 0, 114, 1),
+            ip(5, 5, 5, 5),
+            ip(5, 5, 5, 6),
+        ] {
+            assert_eq!(set.contains(probe), set.contains_linear(probe), "{probe}");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The discrete-event queue at the heart of the simulator.
+//!
+//! Events are ordered by (time, sequence number): ties in simulated time are
+//! broken by insertion order, which keeps the simulation deterministic without
+//! requiring every producer to pick unique timestamps.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event carrying a payload of type `E`.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Force the clock forward (used when starting an experiment phase at a
+    /// given calendar instant). Panics if this would move time backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "cannot move simulated time backwards");
+        self.now = t;
+    }
+
+    /// Schedule `payload` at absolute time `at`. Events scheduled in the past
+    /// are clamped to `now` (they run next, in scheduling order).
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.schedule(SimTime(5), label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(100));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), "late");
+        q.pop();
+        q.schedule(SimTime(10), "early-but-past");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime(100)); // clamped, time never runs backwards
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::ZERO + SimDuration::from_days(31));
+        assert_eq!(q.now().day_index(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_to_rejects_backwards() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime(10));
+        q.advance_to(SimTime(5));
+    }
+}

@@ -1,0 +1,80 @@
+//! Fault injection.
+//!
+//! Adverse network conditions are part of the substrate's contract: the
+//! paper's scanner must tolerate loss (ZMap famously scans statelessly and
+//! accepts ~2% loss), and the honeypots must survive floods. A [`FaultPlan`]
+//! configures probabilistic packet drops, extra latency jitter, and payload
+//! corruption, applied uniformly by the simulator. All probabilities are
+//! evaluated against the simulator's seeded RNG, so faulty runs are exactly
+//! reproducible too.
+
+use serde::{Deserialize, Serialize};
+
+/// Probabilistic fault model applied to every delivered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability in [0, 1] that a packet is silently dropped.
+    pub drop_chance: f64,
+    /// Probability in [0, 1] that one octet of a data payload is flipped.
+    pub corrupt_chance: f64,
+    /// Additional uniformly-distributed latency jitter, in milliseconds.
+    pub jitter_ms: u64,
+}
+
+impl FaultPlan {
+    /// No faults at all (the default).
+    pub const NONE: FaultPlan = FaultPlan {
+        drop_chance: 0.0,
+        corrupt_chance: 0.0,
+        jitter_ms: 0,
+    };
+
+    /// A lossy-but-usable Internet: 2% drops, 0.1% corruption, 40 ms jitter.
+    /// Matches the loss regime ZMap reports for real scans.
+    pub const LOSSY: FaultPlan = FaultPlan {
+        drop_chance: 0.02,
+        corrupt_chance: 0.001,
+        jitter_ms: 40,
+    };
+
+    /// Validate that probabilities are in range.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [("drop_chance", self.drop_chance), ("corrupt_chance", self.corrupt_chance)] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!("{name} = {p} is not a probability"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_valid() {
+        FaultPlan::NONE.validate().unwrap();
+        FaultPlan::LOSSY.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let bad = FaultPlan {
+            drop_chance: 1.5,
+            ..FaultPlan::NONE
+        };
+        assert!(bad.validate().is_err());
+        let nan = FaultPlan {
+            corrupt_chance: f64::NAN,
+            ..FaultPlan::NONE
+        };
+        assert!(nan.validate().is_err());
+    }
+}

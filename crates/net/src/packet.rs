@@ -1,0 +1,116 @@
+//! Packet- and flow-level observations.
+//!
+//! The simulator's transport is session-based, but two consumers need a
+//! packet's-eye view: the network telescope (which records one FlowTuple per
+//! flow it sees) and the per-host pcap-style capture the paper analyses with
+//! `tcpdump`. [`FlowObservation`] is the common record both are fed with.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Transport protocol of a simulated packet/flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Transport {
+    Tcp,
+    Udp,
+}
+
+impl Transport {
+    /// IANA protocol number, as recorded in FlowTuple's `protocol` field.
+    pub const fn protocol_number(self) -> u8 {
+        match self {
+            Transport::Tcp => 6,
+            Transport::Udp => 17,
+        }
+    }
+}
+
+/// What kind of packet a flow observation describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowKind {
+    /// TCP connection attempt (SYN).
+    TcpSyn,
+    /// Data on an established TCP connection.
+    TcpData,
+    /// A UDP datagram.
+    UdpDatagram,
+}
+
+/// A single observed packet, as seen by a capture tap.
+///
+/// Field selection mirrors what the CAIDA FlowTuple format records per flow
+/// (source/destination, ports, protocol, TTL, TCP flags, lengths) plus the
+/// payload for honeypot-side pcap analysis. Taps on unoccupied space (the
+/// telescope) only ever see first packets, because nothing answers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowObservation {
+    pub time: SimTime,
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub transport: Transport,
+    pub kind: FlowKind,
+    /// IP TTL as it arrives at the observation point.
+    pub ttl: u8,
+    /// TCP flags byte (SYN=0x02, ACK=0x10, …); zero for UDP.
+    pub tcp_flags: u8,
+    /// Advertised TCP window in the SYN; zero for UDP. Scanning tools have
+    /// characteristic values (masscan: 1024, ZMap: 65535), which is how the
+    /// telescope computes its `is_masscan` flag — mirroring how CAIDA derives
+    /// the flag from packet quirks rather than from ground truth.
+    pub tcp_window: u16,
+    /// Total IP packet length in bytes.
+    pub ip_len: u16,
+    /// Application payload carried by this packet (empty for a bare SYN).
+    pub payload: Vec<u8>,
+    /// Whether the sender marked this packet as having a spoofed source
+    /// (simulation ground truth used to populate FlowTuple's `is_spoofed`).
+    pub spoofed: bool,
+}
+
+impl FlowObservation {
+    /// TCP flag constants.
+    pub const SYN: u8 = 0x02;
+    pub const ACK: u8 = 0x10;
+    pub const PSH: u8 = 0x08;
+    pub const RST: u8 = 0x04;
+    pub const FIN: u8 = 0x01;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::ip;
+
+    #[test]
+    fn protocol_numbers() {
+        assert_eq!(Transport::Tcp.protocol_number(), 6);
+        assert_eq!(Transport::Udp.protocol_number(), 17);
+    }
+
+    #[test]
+    fn observation_roundtrips_json() {
+        let obs = FlowObservation {
+            time: SimTime(1234),
+            src: ip(1, 2, 3, 4),
+            dst: ip(5, 6, 7, 8),
+            src_port: 40000,
+            dst_port: 23,
+            transport: Transport::Tcp,
+            kind: FlowKind::TcpSyn,
+            ttl: 48,
+            tcp_flags: FlowObservation::SYN,
+            tcp_window: 65535,
+            ip_len: 40,
+            payload: vec![],
+            spoofed: false,
+        };
+        let json = serde_json::to_string(&obs).unwrap();
+        let back: FlowObservation = serde_json::from_str(&json).unwrap();
+        assert_eq!(obs, back);
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic component of the simulation (population placement, attacker
+//! inter-arrival times, packet loss, …) draws from an RNG whose seed is derived
+//! from the study's master seed and a label. Labelled derivation means adding a
+//! new consumer never perturbs the streams of existing consumers, keeping
+//! regression baselines stable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derive a child seed from `master` and a string label.
+///
+/// Uses the FNV-1a/SplitMix64 combination: cheap, well distributed, and stable
+/// across platforms and Rust versions (unlike `std::hash`).
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ master.rotate_left(17);
+    for &b in label.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+/// Derive a child seed from `master`, a label, and an index (for per-entity
+/// streams such as "bot #4217").
+pub fn derive_seed_indexed(master: u64, label: &str, index: u64) -> u64 {
+    splitmix64(derive_seed(master, label) ^ splitmix64(index.wrapping_add(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// One round of SplitMix64 — used as a finalizer so similar inputs map to
+/// well-separated seeds.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded [`StdRng`] for the given label.
+pub fn rng_for(master: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, label))
+}
+
+/// A seeded [`StdRng`] for the given label and index.
+pub fn rng_for_indexed(master: u64, label: &str, index: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed_indexed(master, label, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_seed(42, "scan"), derive_seed(42, "scan"));
+        assert_eq!(
+            derive_seed_indexed(42, "bot", 7),
+            derive_seed_indexed(42, "bot", 7)
+        );
+    }
+
+    #[test]
+    fn labels_separate_streams() {
+        assert_ne!(derive_seed(42, "scan"), derive_seed(42, "telescope"));
+        assert_ne!(derive_seed(42, "scan"), derive_seed(43, "scan"));
+        assert_ne!(
+            derive_seed_indexed(42, "bot", 0),
+            derive_seed_indexed(42, "bot", 1)
+        );
+    }
+
+    #[test]
+    fn rng_streams_reproducible() {
+        let a: Vec<u32> = rng_for(1, "x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u32> = rng_for(1, "x").sample_iter(rand::distributions::Standard).take(8).collect();
+        assert_eq!(a, b);
+        let c: Vec<u32> = rng_for(1, "y").sample_iter(rand::distributions::Standard).take(8).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference value from the canonical SplitMix64 implementation with
+        // state 0: first output is 0xE220A8397B1DCDAF.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+}

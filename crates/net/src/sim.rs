@@ -1,0 +1,1112 @@
+//! The simulator proper: [`SimNet`] owns the agents, the connection table,
+//! the event queue, capture taps, and the fault model, and drives everything
+//! deterministically.
+//!
+//! ## Transport semantics
+//!
+//! * **TCP connect**: subject to `FaultPlan::drop_chance` (a lost SYN or
+//!   SYN-ACK manifests as a timeout, exactly the loss mode stateless scanners
+//!   like ZMap experience). Connecting to unoccupied space times out; to an
+//!   occupied host with a refusing agent, produces an RST (`on_tcp_refused`).
+//! * **TCP data**: reliable and ordered once established (retransmission is
+//!   below the abstraction line), delivered after the connection's fixed
+//!   per-pair latency.
+//! * **UDP**: unreliable — subject to drops and (optionally) single-octet
+//!   corruption. Supports spoofed sources, the reflection-attack primitive.
+//!
+//! ## Observation taps
+//!
+//! A [`FlowTap`] attached to a CIDR range sees every packet destined into the
+//! range, including — crucially — packets to *unoccupied* addresses. This is
+//! the mechanism behind `ofh-telescope`'s /8 darknet, and mirrors how a real
+//! network telescope passively records unsolicited traffic.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::addr::SockAddr;
+use crate::agent::{Agent, AgentId, ConnToken, NetCtx, TcpDecision};
+use crate::cidr::Cidr;
+use crate::event::EventQueue;
+use crate::fault::FaultPlan;
+use crate::packet::{FlowKind, FlowObservation, Transport};
+use crate::rng;
+use crate::time::{SimDuration, SimTime};
+
+/// How latency between a pair of hosts is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every packet takes exactly this long.
+    Fixed(SimDuration),
+    /// `base_ms` plus a deterministic per-(src,dst) component in
+    /// `[0, spread_ms)` — distant hosts stay consistently distant.
+    PairHash { base_ms: u64, spread_ms: u64 },
+}
+
+impl LatencyModel {
+    fn one_way(&self, src: Ipv4Addr, dst: Ipv4Addr) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::PairHash { base_ms, spread_ms } => {
+                let h = rng::splitmix64(((u32::from(src) as u64) << 32) | u32::from(dst) as u64);
+                SimDuration::from_millis(base_ms + if spread_ms == 0 { 0 } else { h % spread_ms })
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::PairHash {
+            base_ms: 10,
+            spread_ms: 140,
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimNetConfig {
+    /// Master seed for the fabric RNG (fault decisions, jitter).
+    pub seed: u64,
+    /// Fault injection plan.
+    pub fault: FaultPlan,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// How long a connection attempt waits before `on_tcp_timeout`.
+    pub syn_timeout: SimDuration,
+}
+
+impl Default for SimNetConfig {
+    fn default() -> Self {
+        SimNetConfig {
+            seed: 0,
+            fault: FaultPlan::NONE,
+            latency: LatencyModel::default(),
+            syn_timeout: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// Aggregate traffic counters, handy for tests and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    pub events_processed: u64,
+    pub syns_sent: u64,
+    pub conns_established: u64,
+    pub conns_refused: u64,
+    pub conn_timeouts: u64,
+    pub tcp_payload_bytes: u64,
+    pub udp_datagrams_sent: u64,
+    pub udp_datagrams_dropped: u64,
+    pub udp_datagrams_corrupted: u64,
+}
+
+/// A passive packet observer attached to a CIDR range. Implemented by the
+/// network telescope; `Any` lets experiments recover the concrete tap after a
+/// run.
+pub trait FlowTap: Any {
+    fn observe(&mut self, obs: &FlowObservation);
+}
+
+/// Handle to a registered tap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapId(usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnPhase {
+    Connecting,
+    Established,
+}
+
+struct ConnState {
+    client: AgentId,
+    client_sock: SockAddr,
+    /// Filled in when the SYN reaches an occupied host.
+    server: Option<AgentId>,
+    server_sock: SockAddr,
+    latency: SimDuration,
+    phase: ConnPhase,
+    /// Whether the client has heard the outcome (established/refused).
+    client_notified: bool,
+}
+
+enum NetEvent {
+    Boot {
+        agent: AgentId,
+    },
+    SynArrive {
+        conn: u64,
+    },
+    ConnOutcome {
+        conn: u64,
+        accepted: bool,
+    },
+    DataArrive {
+        conn: u64,
+        to_server: bool,
+        data: Vec<u8>,
+    },
+    CloseArrive {
+        conn: u64,
+        to_agent: AgentId,
+    },
+    ConnTimeout {
+        conn: u64,
+    },
+    UdpArrive {
+        src: SockAddr,
+        dst: SockAddr,
+        payload: Vec<u8>,
+    },
+    Timer {
+        agent: AgentId,
+        token: u64,
+    },
+}
+
+/// The network fabric: everything except the agents themselves. Split out so
+/// an agent callback can mutate the fabric (send packets, set timers) while
+/// the simulator holds the agent itself mutably.
+pub struct Fabric {
+    queue: EventQueue<NetEvent>,
+    conns: HashMap<u64, ConnState>,
+    next_conn: u64,
+    next_port: u16,
+    by_addr: HashMap<Ipv4Addr, AgentId>,
+    ttls: Vec<u8>,
+    windows: Vec<u16>,
+    /// Outbound-initiation counters per agent: TCP connects + UDP datagrams
+    /// sent to peers the agent was not already talking to. The egress audit
+    /// (paper Appendix A.3: honeypots must never attack back) reads these.
+    egress: Vec<EgressStats>,
+    /// While dispatching a UDP arrival: (receiving agent, sender) — used to
+    /// classify the agent's own sends during the callback as replies.
+    current_udp_inbound: Option<(AgentId, SockAddr)>,
+    pub(crate) rng: StdRng,
+    cfg: SimNetConfig,
+    taps: Vec<(Cidr, Box<dyn FlowTap>)>,
+    pub counters: Counters,
+}
+
+/// Per-agent egress accounting (Appendix A.3's sandboxing audit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EgressStats {
+    /// TCP connections this agent initiated.
+    pub tcp_initiated: u64,
+    /// UDP datagrams this agent sent that were *not* replies (the
+    /// destination had not previously sent this agent a datagram).
+    pub udp_unsolicited: u64,
+    /// UDP datagrams sent as replies to a peer that contacted us first.
+    pub udp_replies: u64,
+}
+
+impl Fabric {
+    pub(crate) fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    pub(crate) fn peek_next_conn_id(&self) -> u64 {
+        self.next_conn
+    }
+
+    pub(crate) fn next_ephemeral_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = if p >= 60_999 { 32_768 } else { p + 1 };
+        p
+    }
+
+    pub(crate) fn set_ttl(&mut self, agent: AgentId, ttl: u8) {
+        self.ttls[agent.0 as usize] = ttl;
+    }
+
+    pub(crate) fn set_window(&mut self, agent: AgentId, window: u16) {
+        self.windows[agent.0 as usize] = window;
+    }
+
+    fn hops(src: Ipv4Addr, dst: Ipv4Addr) -> u8 {
+        let h = rng::splitmix64(((u32::from(dst) as u64) << 32) | u32::from(src) as u64);
+        5 + (h % 25) as u8
+    }
+
+    fn observe(
+        &mut self,
+        src: SockAddr,
+        dst: SockAddr,
+        transport: Transport,
+        kind: FlowKind,
+        ttl: u8,
+        tcp_flags: u8,
+        tcp_window: u16,
+        payload: &[u8],
+        spoofed: bool,
+    ) {
+        if self.taps.is_empty() {
+            return;
+        }
+        let header = match transport {
+            Transport::Tcp => 40,
+            Transport::Udp => 28,
+        };
+        let ip_len = (header + payload.len()).min(u16::MAX as usize) as u16;
+        let now = self.queue.now();
+        for (range, tap) in &mut self.taps {
+            if range.contains(dst.addr) {
+                tap.observe(&FlowObservation {
+                    time: now,
+                    src: src.addr,
+                    dst: dst.addr,
+                    src_port: src.port,
+                    dst_port: dst.port,
+                    transport,
+                    kind,
+                    ttl: ttl.saturating_sub(Self::hops(src.addr, dst.addr)),
+                    tcp_flags,
+                    tcp_window,
+                    ip_len,
+                    payload: payload.to_vec(),
+                    spoofed,
+                });
+            }
+        }
+    }
+
+    pub(crate) fn tcp_connect(
+        &mut self,
+        client: AgentId,
+        client_addr: Ipv4Addr,
+        src_port: u16,
+        dst: SockAddr,
+    ) -> ConnToken {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        let latency = self.cfg.latency.one_way(client_addr, dst.addr);
+        let client_sock = SockAddr::new(client_addr, src_port);
+        self.conns.insert(
+            id,
+            ConnState {
+                client,
+                client_sock,
+                server: None,
+                server_sock: dst,
+                latency,
+                phase: ConnPhase::Connecting,
+                client_notified: false,
+            },
+        );
+        self.counters.syns_sent += 1;
+        self.egress[client.0 as usize].tcp_initiated += 1;
+        let ttl = self.ttls[client.0 as usize];
+        let window = self.windows[client.0 as usize];
+        self.observe(
+            client_sock,
+            dst,
+            Transport::Tcp,
+            FlowKind::TcpSyn,
+            ttl,
+            FlowObservation::SYN,
+            window,
+            &[],
+            false,
+        );
+        let now = self.queue.now();
+        // The timeout backstop always exists; it is ignored if an outcome
+        // reaches the client first.
+        self.queue
+            .schedule(now + self.cfg.syn_timeout, NetEvent::ConnTimeout { conn: id });
+        let occupied = self.by_addr.contains_key(&dst.addr);
+        let syn_lost = self.roll(self.cfg.fault.drop_chance);
+        if occupied && !syn_lost {
+            self.queue
+                .schedule(now + latency, NetEvent::SynArrive { conn: id });
+        }
+        ConnToken(id)
+    }
+
+    pub(crate) fn tcp_send(&mut self, sender: AgentId, conn: ConnToken, data: Vec<u8>) {
+        let Some(c) = self.conns.get(&conn.0) else {
+            return; // connection already gone (closed/refused)
+        };
+        let to_server = c.client == sender;
+        let (latency, src, dst) = if to_server {
+            (c.latency, c.client_sock, c.server_sock)
+        } else {
+            (c.latency, c.server_sock, c.client_sock)
+        };
+        self.counters.tcp_payload_bytes += data.len() as u64;
+        let ttl = self.ttls[sender.0 as usize];
+        self.observe(
+            src,
+            dst,
+            Transport::Tcp,
+            FlowKind::TcpData,
+            ttl,
+            FlowObservation::ACK | FlowObservation::PSH,
+            0,
+            &data,
+            false,
+        );
+        let now = self.queue.now();
+        self.queue.schedule(
+            now + latency,
+            NetEvent::DataArrive {
+                conn: conn.0,
+                to_server,
+                data,
+            },
+        );
+    }
+
+    pub(crate) fn tcp_close(&mut self, closer: AgentId, conn: ConnToken) {
+        let Some(c) = self.conns.remove(&conn.0) else {
+            return;
+        };
+        let peer = if c.client == closer { c.server } else { Some(c.client) };
+        if let Some(peer) = peer {
+            let now = self.queue.now();
+            self.queue.schedule(
+                now + c.latency,
+                NetEvent::CloseArrive {
+                    conn: conn.0,
+                    to_agent: peer,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn udp_send(
+        &mut self,
+        sender: AgentId,
+        src: SockAddr,
+        dst: SockAddr,
+        mut payload: Vec<u8>,
+        spoofed: bool,
+    ) {
+        self.counters.udp_datagrams_sent += 1;
+        // Egress accounting: a send to the peer whose datagram we are
+        // currently handling is a reply; everything else is unsolicited.
+        let is_reply = matches!(
+            self.current_udp_inbound,
+            Some((agent, peer)) if agent == sender && peer.addr == dst.addr
+        );
+        if is_reply {
+            self.egress[sender.0 as usize].udp_replies += 1;
+        } else {
+            self.egress[sender.0 as usize].udp_unsolicited += 1;
+        }
+        // Spoofed packets carry the TTL fingerprint of the claimed source's
+        // would-be stack only if the attacker bothers; we use a fixed 255.
+        let ttl = 255u8;
+        self.observe(
+            src,
+            dst,
+            Transport::Udp,
+            FlowKind::UdpDatagram,
+            ttl,
+            0,
+            0,
+            &payload,
+            spoofed,
+        );
+        if !self.by_addr.contains_key(&dst.addr) {
+            return;
+        }
+        if self.roll(self.cfg.fault.drop_chance) {
+            self.counters.udp_datagrams_dropped += 1;
+            return;
+        }
+        if !payload.is_empty() && self.roll(self.cfg.fault.corrupt_chance) {
+            self.counters.udp_datagrams_corrupted += 1;
+            let idx = self.rng.gen_range(0..payload.len());
+            let bit = 1u8 << self.rng.gen_range(0..8);
+            payload[idx] ^= bit;
+        }
+        let latency = self.cfg.latency.one_way(src.addr, dst.addr) + self.jitter();
+        let now = self.queue.now();
+        self.queue
+            .schedule(now + latency, NetEvent::UdpArrive { src, dst, payload });
+    }
+
+    pub(crate) fn set_timer(&mut self, agent: AgentId, delay: SimDuration, token: u64) {
+        let now = self.queue.now();
+        self.queue
+            .schedule(now + delay, NetEvent::Timer { agent, token });
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen_bool(p.min(1.0))
+    }
+
+    fn jitter(&mut self) -> SimDuration {
+        if self.cfg.fault.jitter_ms == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_millis(self.rng.gen_range(0..=self.cfg.fault.jitter_ms))
+        }
+    }
+}
+
+/// The simulated Internet.
+pub struct SimNet {
+    fabric: Fabric,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    addrs: Vec<Ipv4Addr>,
+}
+
+impl SimNet {
+    pub fn new(cfg: SimNetConfig) -> Self {
+        cfg.fault.validate().expect("invalid fault plan");
+        let rng = StdRng::seed_from_u64(rng::derive_seed(cfg.seed, "ofh-net/fabric"));
+        SimNet {
+            fabric: Fabric {
+                queue: EventQueue::new(),
+                conns: HashMap::new(),
+                next_conn: 0,
+                next_port: 32_768,
+                by_addr: HashMap::new(),
+                ttls: Vec::new(),
+                windows: Vec::new(),
+                egress: Vec::new(),
+                current_udp_inbound: None,
+                rng,
+                cfg,
+                taps: Vec::new(),
+                counters: Counters::default(),
+            },
+            agents: Vec::new(),
+            addrs: Vec::new(),
+        }
+    }
+
+    /// Attach an agent at `addr`. Panics if the address is already occupied —
+    /// the population builders guarantee distinct addresses.
+    pub fn attach(&mut self, addr: Ipv4Addr, agent: Box<dyn Agent>) -> AgentId {
+        assert!(
+            !self.fabric.by_addr.contains_key(&addr),
+            "address {addr} is already occupied"
+        );
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(Some(agent));
+        self.addrs.push(addr);
+        self.fabric.ttls.push(64);
+        self.fabric.windows.push(65_535);
+        self.fabric.egress.push(EgressStats::default());
+        self.fabric.by_addr.insert(addr, id);
+        let now = self.fabric.queue.now();
+        self.fabric.queue.schedule(now, NetEvent::Boot { agent: id });
+        id
+    }
+
+    /// Register a passive observation tap over `range`.
+    pub fn add_tap(&mut self, range: Cidr, tap: Box<dyn FlowTap>) -> TapId {
+        self.fabric.taps.push((range, tap));
+        TapId(self.fabric.taps.len() - 1)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.fabric.queue.now()
+    }
+
+    /// Whether any agent is attached at `addr`.
+    pub fn is_occupied(&self, addr: Ipv4Addr) -> bool {
+        self.fabric.by_addr.contains_key(&addr)
+    }
+
+    /// The address an agent is attached at.
+    pub fn addr_of(&self, id: AgentId) -> Ipv4Addr {
+        self.addrs[id.0 as usize]
+    }
+
+    /// The agent attached at `addr`, if any.
+    pub fn agent_at(&self, addr: Ipv4Addr) -> Option<AgentId> {
+        self.fabric.by_addr.get(&addr).copied()
+    }
+
+    /// Number of attached agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Traffic counters so far.
+    pub fn counters(&self) -> Counters {
+        self.fabric.counters
+    }
+
+    /// Egress accounting for an agent — the Appendix A.3 sandboxing audit:
+    /// a well-behaved honeypot has `tcp_initiated == 0` and
+    /// `udp_unsolicited == 0` (it only ever *answers*).
+    pub fn egress_of(&self, id: AgentId) -> EgressStats {
+        self.fabric.egress[id.0 as usize]
+    }
+
+    /// Jump the clock forward to `t` (no events may be pending before `t`).
+    pub fn advance_to(&mut self, t: SimTime) {
+        if let Some(next) = self.fabric.queue.peek_time() {
+            assert!(
+                next >= t,
+                "cannot advance past pending events (next at {next}, target {t})"
+            );
+        }
+        self.fabric.queue.advance_to(t);
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((_, ev)) = self.fabric.queue.pop() else {
+            return false;
+        };
+        self.fabric.counters.events_processed += 1;
+        self.dispatch(ev);
+        true
+    }
+
+    /// Run until the queue is empty or the clock passes `deadline`.
+    /// Events scheduled exactly at the deadline are processed.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.fabric.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.fabric.queue.now() < deadline {
+            self.fabric.queue.advance_to(deadline);
+        }
+    }
+
+    /// Run until the event queue drains completely. Only safe for workloads
+    /// without self-rearming timers; prefer [`Self::run_until`].
+    pub fn run_to_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Recover a concrete agent for result extraction after (or during) a run.
+    pub fn agent_downcast_mut<T: Agent>(&mut self, id: AgentId) -> Option<&mut T> {
+        let slot = self.agents.get_mut(id.0 as usize)?.as_deref_mut()?;
+        let any: &mut dyn Any = slot;
+        any.downcast_mut::<T>()
+    }
+
+    /// Recover a concrete agent immutably.
+    pub fn agent_downcast<T: Agent>(&self, id: AgentId) -> Option<&T> {
+        let slot = self.agents.get(id.0 as usize)?.as_deref()?;
+        let any: &dyn Any = slot;
+        any.downcast_ref::<T>()
+    }
+
+    /// Recover a concrete tap for result extraction after a run.
+    pub fn tap_downcast_mut<T: FlowTap>(&mut self, id: TapId) -> Option<&mut T> {
+        let (_, tap) = self.fabric.taps.get_mut(id.0)?;
+        let any: &mut dyn Any = tap.as_mut();
+        any.downcast_mut::<T>()
+    }
+
+    /// Visit every attached agent of concrete type `T`.
+    pub fn for_each_agent<T: Agent>(&self, mut f: impl FnMut(AgentId, &T)) {
+        for (i, slot) in self.agents.iter().enumerate() {
+            if let Some(agent) = slot.as_deref() {
+                let any: &dyn Any = agent;
+                if let Some(t) = any.downcast_ref::<T>() {
+                    f(AgentId(i as u32), t);
+                }
+            }
+        }
+    }
+
+    fn with_agent(&mut self, id: AgentId, f: impl FnOnce(&mut dyn Agent, &mut NetCtx<'_>)) {
+        let Some(slot) = self.agents.get_mut(id.0 as usize) else {
+            return;
+        };
+        let Some(mut agent) = slot.take() else {
+            return; // re-entrant dispatch cannot happen; defensive
+        };
+        let mut ctx = NetCtx {
+            fabric: &mut self.fabric,
+            me: id,
+            my_addr: self.addrs[id.0 as usize],
+        };
+        f(agent.as_mut(), &mut ctx);
+        self.agents[id.0 as usize] = Some(agent);
+    }
+
+    fn dispatch(&mut self, ev: NetEvent) {
+        match ev {
+            NetEvent::Boot { agent } => {
+                self.with_agent(agent, |a, ctx| a.on_boot(ctx));
+            }
+            NetEvent::SynArrive { conn } => {
+                let Some(c) = self.fabric.conns.get(&conn) else {
+                    return;
+                };
+                let (dst_sock, client_sock) = (c.server_sock, c.client_sock);
+                let Some(server_id) = self.fabric.by_addr.get(&dst_sock.addr).copied() else {
+                    return; // host vanished; client times out
+                };
+                let mut decision = TcpDecision::Refuse;
+                self.with_agent(server_id, |a, ctx| {
+                    decision = a.on_tcp_open(ctx, ConnToken(conn), dst_sock.port, client_sock);
+                });
+                let response_lost = self.fabric.roll(self.fabric.cfg.fault.drop_chance);
+                let Some(c) = self.fabric.conns.get_mut(&conn) else {
+                    return;
+                };
+                let latency = c.latency;
+                let now = self.fabric.queue.now();
+                match decision {
+                    TcpDecision::Accept { greeting } => {
+                        c.server = Some(server_id);
+                        c.phase = ConnPhase::Established;
+                        if !response_lost {
+                            self.fabric.queue.schedule(
+                                now + latency,
+                                NetEvent::ConnOutcome {
+                                    conn,
+                                    accepted: true,
+                                },
+                            );
+                            if let Some(banner) = greeting {
+                                // Scheduled after the outcome at the same
+                                // arrival time: seq order guarantees the
+                                // client learns "established" first.
+                                self.fabric.tcp_send(server_id, ConnToken(conn), banner);
+                            }
+                        }
+                    }
+                    TcpDecision::Refuse => {
+                        if !response_lost {
+                            self.fabric.queue.schedule(
+                                now + latency,
+                                NetEvent::ConnOutcome {
+                                    conn,
+                                    accepted: false,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            NetEvent::ConnOutcome { conn, accepted } => {
+                let Some(c) = self.fabric.conns.get_mut(&conn) else {
+                    return;
+                };
+                if c.client_notified {
+                    return;
+                }
+                c.client_notified = true;
+                let client = c.client;
+                if accepted {
+                    self.fabric.counters.conns_established += 1;
+                    self.with_agent(client, |a, ctx| a.on_tcp_established(ctx, ConnToken(conn)));
+                } else {
+                    self.fabric.counters.conns_refused += 1;
+                    self.fabric.conns.remove(&conn);
+                    self.with_agent(client, |a, ctx| a.on_tcp_refused(ctx, ConnToken(conn)));
+                }
+            }
+            NetEvent::DataArrive {
+                conn,
+                to_server,
+                data,
+            } => {
+                let Some(c) = self.fabric.conns.get(&conn) else {
+                    return;
+                };
+                if c.phase != ConnPhase::Established {
+                    return;
+                }
+                let target = if to_server { c.server } else { Some(c.client) };
+                if let Some(target) = target {
+                    self.with_agent(target, |a, ctx| a.on_tcp_data(ctx, ConnToken(conn), &data));
+                }
+            }
+            NetEvent::CloseArrive { conn, to_agent } => {
+                self.with_agent(to_agent, |a, ctx| a.on_tcp_closed(ctx, ConnToken(conn)));
+            }
+            NetEvent::ConnTimeout { conn } => {
+                let Some(c) = self.fabric.conns.get(&conn) else {
+                    return;
+                };
+                if c.client_notified {
+                    return; // outcome already delivered; backstop is stale
+                }
+                let client = c.client;
+                self.fabric.conns.remove(&conn);
+                self.fabric.counters.conn_timeouts += 1;
+                self.with_agent(client, |a, ctx| a.on_tcp_timeout(ctx, ConnToken(conn)));
+            }
+            NetEvent::UdpArrive { src, dst, payload } => {
+                let Some(target) = self.fabric.by_addr.get(&dst.addr).copied() else {
+                    return;
+                };
+                self.fabric.current_udp_inbound = Some((target, src));
+                self.with_agent(target, |a, ctx| a.on_udp(ctx, dst.port, src, &payload));
+                self.fabric.current_udp_inbound = None;
+            }
+            NetEvent::Timer { agent, token } => {
+                self.with_agent(agent, |a, ctx| a.on_timer(ctx, token));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::ip;
+
+    /// A server that accepts on one port with a banner and echoes data back
+    /// in upper-case; refuses every other port.
+    struct Echo {
+        port: u16,
+        banner: &'static [u8],
+        seen: Vec<Vec<u8>>,
+        closed: usize,
+        udp_seen: Vec<Vec<u8>>,
+    }
+
+    impl Echo {
+        fn new(port: u16, banner: &'static [u8]) -> Self {
+            Echo {
+                port,
+                banner,
+                seen: Vec::new(),
+                closed: 0,
+                udp_seen: Vec::new(),
+            }
+        }
+    }
+
+    impl Agent for Echo {
+        fn on_tcp_open(
+            &mut self,
+            _ctx: &mut NetCtx<'_>,
+            _conn: ConnToken,
+            port: u16,
+            _peer: SockAddr,
+        ) -> TcpDecision {
+            if port == self.port {
+                TcpDecision::accept_with(self.banner)
+            } else {
+                TcpDecision::Refuse
+            }
+        }
+
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+            self.seen.push(data.to_vec());
+            ctx.tcp_send(conn, data.to_ascii_uppercase());
+        }
+
+        fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, _conn: ConnToken) {
+            self.closed += 1;
+        }
+
+        fn on_udp(&mut self, ctx: &mut NetCtx<'_>, port: u16, peer: SockAddr, payload: &[u8]) {
+            self.udp_seen.push(payload.to_vec());
+            ctx.udp_send(port, peer, payload.to_ascii_uppercase());
+        }
+    }
+
+    /// A client that connects on boot, records lifecycle events, sends one
+    /// message, and closes after the echo comes back.
+    struct Client {
+        dst: SockAddr,
+        conn: Option<ConnToken>,
+        established: bool,
+        refused: bool,
+        timed_out: bool,
+        received: Vec<Vec<u8>>,
+        udp_received: Vec<Vec<u8>>,
+    }
+
+    impl Client {
+        fn new(dst: SockAddr) -> Self {
+            Client {
+                dst,
+                conn: None,
+                established: false,
+                refused: false,
+                timed_out: false,
+                received: Vec::new(),
+                udp_received: Vec::new(),
+            }
+        }
+    }
+
+    impl Agent for Client {
+        fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+            self.conn = Some(ctx.tcp_connect(self.dst));
+        }
+
+        fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+            self.established = true;
+            ctx.tcp_send(conn, b"hello".to_vec());
+        }
+
+        fn on_tcp_refused(&mut self, _ctx: &mut NetCtx<'_>, _conn: ConnToken) {
+            self.refused = true;
+        }
+
+        fn on_tcp_timeout(&mut self, _ctx: &mut NetCtx<'_>, _conn: ConnToken) {
+            self.timed_out = true;
+        }
+
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+            self.received.push(data.to_vec());
+            if self.received.len() == 2 {
+                ctx.tcp_close(conn);
+            }
+        }
+
+        fn on_udp(&mut self, _ctx: &mut NetCtx<'_>, _port: u16, _peer: SockAddr, payload: &[u8]) {
+            self.udp_received.push(payload.to_vec());
+        }
+    }
+
+    fn net() -> SimNet {
+        SimNet::new(SimNetConfig {
+            latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
+            ..SimNetConfig::default()
+        })
+    }
+
+    #[test]
+    fn tcp_handshake_banner_echo_close() {
+        let mut net = net();
+        let server_addr = ip(10, 0, 0, 1);
+        let server = net.attach(server_addr, Box::new(Echo::new(23, b"login: ")));
+        let client = net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(Client::new(SockAddr::new(server_addr, 23))),
+        );
+        net.run_until(SimTime(10_000));
+
+        let c = net.agent_downcast::<Client>(client).unwrap();
+        assert!(c.established);
+        assert!(!c.refused && !c.timed_out);
+        // Banner first, then the upper-cased echo.
+        assert_eq!(c.received, vec![b"login: ".to_vec(), b"HELLO".to_vec()]);
+
+        let s = net.agent_downcast::<Echo>(server).unwrap();
+        assert_eq!(s.seen, vec![b"hello".to_vec()]);
+        assert_eq!(s.closed, 1, "server must learn about the client's close");
+
+        let counters = net.counters();
+        assert_eq!(counters.conns_established, 1);
+        assert_eq!(counters.conn_timeouts, 0);
+    }
+
+    #[test]
+    fn tcp_refused_on_closed_port() {
+        let mut net = net();
+        let server_addr = ip(10, 0, 0, 1);
+        net.attach(server_addr, Box::new(Echo::new(23, b"")));
+        let client = net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(Client::new(SockAddr::new(server_addr, 8080))),
+        );
+        net.run_until(SimTime(10_000));
+        let c = net.agent_downcast::<Client>(client).unwrap();
+        assert!(c.refused && !c.established && !c.timed_out);
+        assert_eq!(net.counters().conns_refused, 1);
+    }
+
+    #[test]
+    fn tcp_timeout_on_empty_space() {
+        let mut net = net();
+        let client = net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(Client::new(SockAddr::new(ip(10, 9, 9, 9), 23))),
+        );
+        net.run_until(SimTime(10_000));
+        let c = net.agent_downcast::<Client>(client).unwrap();
+        assert!(c.timed_out && !c.established && !c.refused);
+        assert_eq!(net.counters().conn_timeouts, 1);
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        struct UdpClient {
+            dst: SockAddr,
+            got: Vec<Vec<u8>>,
+        }
+        impl Agent for UdpClient {
+            fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+                ctx.udp_send(40_000, self.dst, b"coap?".to_vec());
+            }
+            fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &[u8]) {
+                self.got.push(payload.to_vec());
+            }
+        }
+        let mut net = net();
+        let server_addr = ip(10, 0, 0, 1);
+        net.attach(server_addr, Box::new(Echo::new(23, b"")));
+        let client = net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(UdpClient {
+                dst: SockAddr::new(server_addr, 5683),
+                got: Vec::new(),
+            }),
+        );
+        net.run_until(SimTime(10_000));
+        let c = net.agent_downcast::<UdpClient>(client).unwrap();
+        assert_eq!(c.got, vec![b"COAP?".to_vec()]);
+    }
+
+    #[test]
+    fn spoofed_udp_reflects_to_victim() {
+        // Attacker spoofs the victim's address; the reflector's reply lands
+        // on the victim. This is the CoAP/SSDP amplification primitive.
+        struct Attacker {
+            reflector: SockAddr,
+            victim: SockAddr,
+        }
+        impl Agent for Attacker {
+            fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+                ctx.udp_send_spoofed(self.victim, self.reflector, b"discover".to_vec());
+            }
+        }
+        struct Victim {
+            hits: Vec<Vec<u8>>,
+        }
+        impl Agent for Victim {
+            fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &[u8]) {
+                self.hits.push(payload.to_vec());
+            }
+        }
+        let mut net = net();
+        let reflector_addr = ip(10, 0, 0, 1);
+        net.attach(reflector_addr, Box::new(Echo::new(23, b"")));
+        let victim_id = net.attach(ip(10, 0, 0, 3), Box::new(Victim { hits: Vec::new() }));
+        let victim_addr = SockAddr::new(ip(10, 0, 0, 3), 9999);
+        net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(Attacker {
+                reflector: SockAddr::new(reflector_addr, 1900),
+                victim: victim_addr,
+            }),
+        );
+        net.run_until(SimTime(10_000));
+        let v = net.agent_downcast::<Victim>(victim_id).unwrap();
+        assert_eq!(v.hits, vec![b"DISCOVER".to_vec()]);
+    }
+
+    #[test]
+    fn tap_sees_traffic_into_unoccupied_range() {
+        struct Recorder {
+            flows: Vec<FlowObservation>,
+        }
+        impl FlowTap for Recorder {
+            fn observe(&mut self, obs: &FlowObservation) {
+                self.flows.push(obs.clone());
+            }
+        }
+        let mut net = net();
+        let tap = net.add_tap(
+            "44.0.0.0/8".parse().unwrap(),
+            Box::new(Recorder { flows: Vec::new() }),
+        );
+        // A client probing into the dark /8: nobody answers, but the tap sees
+        // the SYN — this is the network telescope mechanism.
+        let dark = SockAddr::new(ip(44, 1, 2, 3), 23);
+        let client = net.attach(ip(10, 0, 0, 2), Box::new(Client::new(dark)));
+        net.run_until(SimTime(10_000));
+
+        let c = net.agent_downcast::<Client>(client).unwrap();
+        assert!(c.timed_out);
+        let rec = net.tap_downcast_mut::<Recorder>(tap).unwrap();
+        assert_eq!(rec.flows.len(), 1);
+        let f = &rec.flows[0];
+        assert_eq!(f.dst, ip(44, 1, 2, 3));
+        assert_eq!(f.dst_port, 23);
+        assert_eq!(f.transport, Transport::Tcp);
+        assert_eq!(f.tcp_flags, FlowObservation::SYN);
+        assert!(f.ttl < 64, "TTL must be decremented by hop count");
+    }
+
+    #[test]
+    fn faults_cause_timeouts_deterministically() {
+        let cfg = SimNetConfig {
+            seed: 7,
+            fault: FaultPlan {
+                drop_chance: 0.5,
+                corrupt_chance: 0.0,
+                jitter_ms: 0,
+            },
+            latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
+            ..SimNetConfig::default()
+        };
+        let run = |cfg: SimNetConfig| {
+            let mut net = SimNet::new(cfg);
+            let server_addr = ip(10, 0, 0, 1);
+            net.attach(server_addr, Box::new(Echo::new(23, b"x")));
+            let mut clients = Vec::new();
+            for i in 0..64u32 {
+                clients.push(net.attach(
+                    Ipv4Addr::from(0x0b00_0000 + i),
+                    Box::new(Client::new(SockAddr::new(server_addr, 23))),
+                ));
+            }
+            net.run_until(SimTime(60_000));
+            clients
+                .iter()
+                .map(|&c| net.agent_downcast::<Client>(c).unwrap().timed_out)
+                .collect::<Vec<bool>>()
+        };
+        let a = run(cfg.clone());
+        let b = run(cfg);
+        assert_eq!(a, b, "same seed, same outcome");
+        let timeouts = a.iter().filter(|&&t| t).count();
+        assert!(timeouts > 5 && timeouts < 60, "drop_chance=0.5 must lose some, not all: {timeouts}");
+    }
+
+    #[test]
+    fn per_pair_latency_is_stable() {
+        let m = LatencyModel::default();
+        let a = m.one_way(ip(1, 2, 3, 4), ip(5, 6, 7, 8));
+        let b = m.one_way(ip(1, 2, 3, 4), ip(5, 6, 7, 8));
+        assert_eq!(a, b);
+        assert!(a >= SimDuration::from_millis(10));
+        assert!(a < SimDuration::from_millis(150));
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_attach_panics() {
+        let mut net = net();
+        net.attach(ip(10, 0, 0, 1), Box::new(Echo::new(23, b"")));
+        net.attach(ip(10, 0, 0, 1), Box::new(Echo::new(24, b"")));
+    }
+
+    #[test]
+    fn send_after_close_is_dropped() {
+        // Closing removes the connection; any straggler send is a no-op.
+        struct Rude {
+            dst: SockAddr,
+        }
+        impl Agent for Rude {
+            fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+                let conn = ctx.tcp_connect(self.dst);
+                ctx.tcp_close(conn);
+                ctx.tcp_send(conn, b"too late".to_vec());
+            }
+        }
+        let mut net = net();
+        let server_addr = ip(10, 0, 0, 1);
+        let server = net.attach(server_addr, Box::new(Echo::new(23, b"")));
+        net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(Rude {
+                dst: SockAddr::new(server_addr, 23),
+            }),
+        );
+        net.run_until(SimTime(10_000));
+        let s = net.agent_downcast::<Echo>(server).unwrap();
+        assert!(s.seen.is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Simulated time.
+//!
+//! The simulator never touches the wall clock. Time is a millisecond counter
+//! anchored at the **simulation epoch**, 2021-03-01T00:00:00Z — the first scan
+//! day in the paper (Appendix Table 9). Calendar arithmetic is provided so the
+//! experiments can speak in the paper's terms ("the scans ran March 1–5 2021",
+//! "the honeypots recorded attacks for April 2021", "Fig. 8 day 24").
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// The calendar date of `SimTime::ZERO`: 2021-03-01 (UTC).
+pub const SIM_EPOCH_DATE: SimDate = SimDate {
+    year: 2021,
+    month: 3,
+    day: 1,
+};
+
+/// An instant in simulated time, in milliseconds since the simulation epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000)
+    }
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * 86_400_000)
+    }
+
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// Saturating multiplication by a scalar.
+    pub const fn mul(self, k: u64) -> Self {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds elapsed since `earlier` (saturating at zero).
+    pub const fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Whole days elapsed since the simulation epoch.
+    pub const fn day_index(self) -> u64 {
+        self.0 / 86_400_000
+    }
+
+    /// Seconds-of-day, minutes-of-day helpers used by the telescope's
+    /// minute-binned FlowTuple files.
+    pub const fn minute_index(self) -> u64 {
+        self.0 / 60_000
+    }
+    pub const fn hour_index(self) -> u64 {
+        self.0 / 3_600_000
+    }
+
+    /// The calendar date this instant falls on.
+    pub fn date(self) -> SimDate {
+        SIM_EPOCH_DATE.plus_days(self.day_index() as i64)
+    }
+
+    /// Construct an instant from a calendar date (midnight UTC).
+    pub fn from_date(date: SimDate) -> SimTime {
+        let days = date.days_since(SIM_EPOCH_DATE);
+        assert!(days >= 0, "date {date} precedes the simulation epoch");
+        SimTime(days as u64 * 86_400_000)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let date = self.date();
+        let ms_of_day = self.0 % 86_400_000;
+        let (h, m, s) = (
+            ms_of_day / 3_600_000,
+            (ms_of_day / 60_000) % 60,
+            (ms_of_day / 1_000) % 60,
+        );
+        write!(f, "{date}T{h:02}:{m:02}:{s:02}Z")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ms", self.0)
+        } else if self.0 < 60_000 {
+            write!(f, "{:.1}s", self.0 as f64 / 1_000.0)
+        } else if self.0 < 3_600_000 {
+            write!(f, "{:.1}min", self.0 as f64 / 60_000.0)
+        } else {
+            write!(f, "{:.1}h", self.0 as f64 / 3_600_000.0)
+        }
+    }
+}
+
+/// A proleptic-Gregorian calendar date (UTC).
+///
+/// Implements the standard civil-date ↔ day-number conversion (Howard Hinnant's
+/// `days_from_civil` algorithm) so the simulator can report paper-style dates
+/// without pulling in a calendar dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimDate {
+    pub year: i32,
+    /// 1-based month.
+    pub month: u8,
+    /// 1-based day of month.
+    pub day: u8,
+}
+
+impl SimDate {
+    pub const fn new(year: i32, month: u8, day: u8) -> Self {
+        SimDate { year, month, day }
+    }
+
+    /// Days since 1970-01-01 (may be negative).
+    pub fn to_epoch_days(self) -> i64 {
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (self.month as i64 + 9) % 12; // [0, 11], March = 0
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`Self::to_epoch_days`].
+    pub fn from_epoch_days(z: i64) -> Self {
+        let z = z + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let day = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let month = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+        let year = if month <= 2 { y + 1 } else { y } as i32;
+        SimDate { year, month, day }
+    }
+
+    /// Signed number of days from `other` to `self`.
+    pub fn days_since(self, other: SimDate) -> i64 {
+        self.to_epoch_days() - other.to_epoch_days()
+    }
+
+    pub fn plus_days(self, days: i64) -> SimDate {
+        SimDate::from_epoch_days(self.to_epoch_days() + days)
+    }
+}
+
+impl fmt::Display for SimDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_date_roundtrip() {
+        let d = SIM_EPOCH_DATE;
+        assert_eq!(SimDate::from_epoch_days(d.to_epoch_days()), d);
+        // Known anchor: 1970-01-01 is epoch day 0.
+        assert_eq!(SimDate::new(1970, 1, 1).to_epoch_days(), 0);
+        // 2021-03-01 is 18687 days after the Unix epoch.
+        assert_eq!(SIM_EPOCH_DATE.to_epoch_days(), 18_687);
+    }
+
+    #[test]
+    fn leap_years_handled() {
+        // 2020 was a leap year: Feb 29 exists and Mar 1 follows it.
+        let feb29 = SimDate::new(2020, 2, 29);
+        assert_eq!(feb29.plus_days(1), SimDate::new(2020, 3, 1));
+        // 2021 is not: Feb 28 -> Mar 1.
+        assert_eq!(
+            SimDate::new(2021, 2, 28).plus_days(1),
+            SimDate::new(2021, 3, 1)
+        );
+        // 1900 was not a leap year (century rule), 2000 was (400 rule).
+        assert_eq!(
+            SimDate::new(1900, 2, 28).plus_days(1),
+            SimDate::new(1900, 3, 1)
+        );
+        assert_eq!(
+            SimDate::new(2000, 2, 28).plus_days(1),
+            SimDate::new(2000, 2, 29)
+        );
+    }
+
+    #[test]
+    fn sim_time_calendar() {
+        // Day 31 of the simulation is April 1st 2021: the honeypot month begins.
+        let t = SimTime::from_date(SimDate::new(2021, 4, 1));
+        assert_eq!(t.day_index(), 31);
+        assert_eq!(t.date(), SimDate::new(2021, 4, 1));
+        assert_eq!(format!("{t}"), "2021-04-01T00:00:00Z");
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_days(2) + SimDuration::from_hours(3);
+        assert_eq!(t.day_index(), 2);
+        assert_eq!(t.hour_index(), 51);
+        assert_eq!(t.since(SimTime::ZERO).as_secs(), 2 * 86_400 + 3 * 3_600);
+        // Saturating subtraction never underflows.
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.0s");
+        assert_eq!(format!("{}", SimDuration::from_mins(90)), "1.5h");
+        assert_eq!(format!("{SIM_EPOCH_DATE}"), "2021-03-01");
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the simulator substrate's core data structures.
+
+use std::net::Ipv4Addr;
+
+use ofh_net::event::EventQueue;
+use ofh_net::time::{SimDate, SimTime};
+use ofh_net::{Cidr, CidrSet};
+use proptest::prelude::*;
+
+proptest! {
+    /// Civil-date <-> epoch-day conversion is a bijection over a wide range.
+    #[test]
+    fn date_roundtrip(days in -1_000_000i64..1_000_000) {
+        let d = SimDate::from_epoch_days(days);
+        prop_assert_eq!(d.to_epoch_days(), days);
+        prop_assert!((1..=12).contains(&d.month));
+        prop_assert!((1..=31).contains(&d.day));
+    }
+
+    /// Consecutive epoch days yield consecutive calendar dates.
+    #[test]
+    fn date_monotonic(days in -100_000i64..100_000) {
+        let d0 = SimDate::from_epoch_days(days);
+        let d1 = SimDate::from_epoch_days(days + 1);
+        prop_assert_eq!(d0.plus_days(1), d1);
+        prop_assert_eq!(d1.days_since(d0), 1);
+    }
+
+    /// The CIDR trie agrees with the naive linear scan on arbitrary
+    /// block sets and probe addresses.
+    #[test]
+    fn cidr_trie_matches_linear(
+        blocks in prop::collection::vec((any::<u32>(), 0u8..=32), 0..24),
+        probes in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let blocks: Vec<Cidr> = blocks
+            .into_iter()
+            .map(|(addr, len)| Cidr::new(Ipv4Addr::from(addr), len).unwrap())
+            .collect();
+        let set = CidrSet::from_blocks(blocks.clone());
+        for p in probes {
+            let addr = Ipv4Addr::from(p);
+            let linear = blocks.iter().any(|b| b.contains(addr));
+            prop_assert_eq!(set.contains(addr), linear, "addr {}", addr);
+        }
+    }
+
+    /// A CIDR block contains exactly its own first and last address, and its
+    /// parent block contains it entirely.
+    #[test]
+    fn cidr_bounds(addr in any::<u32>(), len in 1u8..=32) {
+        let c = Cidr::new(Ipv4Addr::from(addr), len).unwrap();
+        prop_assert!(c.contains(c.first()));
+        prop_assert!(c.contains(c.last()));
+        let parent = Cidr::new(c.first(), len - 1).unwrap();
+        prop_assert!(parent.contains(c.first()) && parent.contains(c.last()));
+    }
+
+    /// The event queue pops every scheduled event in non-decreasing time
+    /// order, with FIFO order among equal timestamps.
+    #[test]
+    fn event_queue_ordering(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, idx)) = q.pop() {
+            popped.push((t, idx));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+}

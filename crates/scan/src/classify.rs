@@ -1,0 +1,224 @@
+//! The misconfiguration classifier — Tables 2 and 3 as executable rules.
+//!
+//! Input is the normalized banner/response text a probe produced; output is
+//! the misconfiguration class, if any. Rules are transcribed from the
+//! paper's indicator tables:
+//!
+//! | protocol | indicator | class |
+//! |---|---|---|
+//! | Telnet | `root@…$` / `admin@…$` | no auth, **root** console |
+//! | Telnet | `$` | no auth, console |
+//! | MQTT | `MQTT Connection Code:0` | connection accepted with no auth |
+//! | AMQP | version 2.7.1 / 2.8.4 (or ANONYMOUS) | no auth |
+//! | XMPP | `MECHANISM <ANONYMOUS>` | anonymous login |
+//! | XMPP | `MECHANISM <PLAIN>` | no encryption |
+//! | CoAP | `220-Admin` | admin-access connection |
+//! | CoAP | `220` / `x1C` | connected session / full access |
+//! | CoAP | resource listing | reflection-attack resource |
+//! | UPnP | `upnp:rootdevice` disclosure | reflection-attack resource |
+
+use ofh_devices::Misconfig;
+use ofh_wire::Protocol;
+
+/// Classify a normalized response. `None` = exposed but not misconfigured.
+pub fn classify_response(protocol: Protocol, text: &str) -> Option<Misconfig> {
+    match protocol {
+        Protocol::Telnet => {
+            let has_dollar = text.contains('$');
+            if (text.contains("root@") || text.contains("admin@")) && has_dollar {
+                Some(Misconfig::TelnetNoAuthRoot)
+            } else if has_dollar {
+                Some(Misconfig::TelnetNoAuth)
+            } else {
+                None
+            }
+        }
+        Protocol::Mqtt => {
+            if text.contains("MQTT Connection Code:0") {
+                Some(Misconfig::MqttNoAuth)
+            } else {
+                None
+            }
+        }
+        Protocol::Amqp => {
+            if text.contains("Version: 2.7.1")
+                || text.contains("Version: 2.8.4")
+                || text.contains("ANONYMOUS")
+            {
+                Some(Misconfig::AmqpNoAuth)
+            } else {
+                None
+            }
+        }
+        Protocol::Xmpp => {
+            if text.contains("<mechanism>ANONYMOUS</mechanism>") {
+                Some(Misconfig::XmppAnonymousLogin)
+            } else if text.contains("<mechanism>PLAIN</mechanism>")
+                && !text.contains("<required/>")
+            {
+                Some(Misconfig::XmppNoEncryption)
+            } else {
+                None
+            }
+        }
+        Protocol::Coap => {
+            if text.contains("220-Admin") {
+                Some(Misconfig::CoapNoAuthAdmin)
+            } else if text.contains("220 ") || text.contains("x1C") {
+                Some(Misconfig::CoapNoAuth)
+            } else if text.contains("rt: ") || text.contains("</") || has_resource_line(text) {
+                Some(Misconfig::CoapReflection)
+            } else {
+                None
+            }
+        }
+        Protocol::Upnp => {
+            if text.contains("rootdevice") {
+                Some(Misconfig::UpnpReflection)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Whether normalized CoAP text contains a resource path line (resource
+/// disclosure without any session marker).
+fn has_resource_line(text: &str) -> bool {
+    text.lines().any(|l| l.starts_with('/') && l.len() > 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telnet_rules() {
+        assert_eq!(
+            classify_response(Protocol::Telnet, "PK5001Z login:\nroot@device:~$ "),
+            Some(Misconfig::TelnetNoAuthRoot)
+        );
+        assert_eq!(
+            classify_response(Protocol::Telnet, "admin@cam:~$ "),
+            Some(Misconfig::TelnetNoAuthRoot)
+        );
+        assert_eq!(
+            classify_response(Protocol::Telnet, "BusyBox v1.19\n$ "),
+            Some(Misconfig::TelnetNoAuth)
+        );
+        assert_eq!(classify_response(Protocol::Telnet, "192.168.0.64 login:"), None);
+    }
+
+    #[test]
+    fn mqtt_rules() {
+        assert_eq!(
+            classify_response(Protocol::Mqtt, "MQTT Connection Code:0\ntopic: a/b\n"),
+            Some(Misconfig::MqttNoAuth)
+        );
+        assert_eq!(
+            classify_response(Protocol::Mqtt, "MQTT Connection Code:5\n"),
+            None
+        );
+    }
+
+    #[test]
+    fn amqp_rules() {
+        assert_eq!(
+            classify_response(Protocol::Amqp, "Product: RabbitMQ\nVersion: 2.7.1\n"),
+            Some(Misconfig::AmqpNoAuth)
+        );
+        assert_eq!(
+            classify_response(Protocol::Amqp, "Version: 2.8.4\nMechanisms: PLAIN\n"),
+            Some(Misconfig::AmqpNoAuth)
+        );
+        assert_eq!(
+            classify_response(Protocol::Amqp, "Version: 3.8.9\nMechanisms: PLAIN AMQPLAIN\n"),
+            None
+        );
+    }
+
+    #[test]
+    fn xmpp_rules() {
+        assert_eq!(
+            classify_response(
+                Protocol::Xmpp,
+                "<mechanisms><mechanism>ANONYMOUS</mechanism><mechanism>PLAIN</mechanism></mechanisms>"
+            ),
+            Some(Misconfig::XmppAnonymousLogin)
+        );
+        assert_eq!(
+            classify_response(Protocol::Xmpp, "<mechanism>PLAIN</mechanism>"),
+            Some(Misconfig::XmppNoEncryption)
+        );
+        // TLS-required servers offering SCRAM are fine even if PLAIN appears
+        // behind mandatory STARTTLS.
+        assert_eq!(
+            classify_response(
+                Protocol::Xmpp,
+                "<starttls><required/></starttls><mechanism>PLAIN</mechanism>"
+            ),
+            None
+        );
+        assert_eq!(
+            classify_response(Protocol::Xmpp, "<mechanism>SCRAM-SHA-1</mechanism>"),
+            None
+        );
+    }
+
+    #[test]
+    fn coap_rules() {
+        assert_eq!(
+            classify_response(Protocol::Coap, "CoAP 2.05\n220-Admin </x>\n/x\n"),
+            Some(Misconfig::CoapNoAuthAdmin)
+        );
+        assert_eq!(
+            classify_response(Protocol::Coap, "CoAP 2.05\n220 </x>\n/x\n"),
+            Some(Misconfig::CoapNoAuth)
+        );
+        assert_eq!(
+            classify_response(Protocol::Coap, "CoAP 2.05\nx1C /sensors content\n"),
+            Some(Misconfig::CoapNoAuth)
+        );
+        assert_eq!(
+            classify_response(Protocol::Coap, "CoAP 2.05\n</a>,</b>\n/a\n/b\nrt: temp\n"),
+            Some(Misconfig::CoapReflection)
+        );
+        assert_eq!(classify_response(Protocol::Coap, "CoAP 4.01\n"), None);
+    }
+
+    #[test]
+    fn upnp_rules() {
+        assert_eq!(
+            classify_response(
+                Protocol::Upnp,
+                "HTTP/1.1 200 OK\r\nST: upnp:rootdevice\r\nSERVER: MiniUPnPd/1.4\r\n"
+            ),
+            Some(Misconfig::UpnpReflection)
+        );
+        assert_eq!(
+            classify_response(
+                Protocol::Upnp,
+                "HTTP/1.1 200 OK\r\nST: urn:schemas-upnp-org:service:ConnectionManager:1\r\n"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn classes_map_to_their_protocol() {
+        // A classified response must yield a class of the probed protocol.
+        let cases = [
+            (Protocol::Telnet, "root@x:~$ "),
+            (Protocol::Mqtt, "MQTT Connection Code:0"),
+            (Protocol::Amqp, "Version: 2.7.1"),
+            (Protocol::Xmpp, "<mechanism>ANONYMOUS</mechanism>"),
+            (Protocol::Coap, "220 </x>"),
+            (Protocol::Upnp, "upnp:rootdevice"),
+        ];
+        for (proto, text) in cases {
+            let m = classify_response(proto, text).unwrap();
+            assert_eq!(m.protocol(), proto);
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! The scanning agent — ZMap's pacing and statelessness plus ZGrab's
+//! application-layer grabs, as one event-driven state machine.
+//!
+//! A [`Scanner`] runs one or more **sweeps**. Each sweep iterates a
+//! pseudorandom permutation of the target space (see [`crate::iterator`]),
+//! paced in batches per timer tick, probing every configured port:
+//!
+//! * **TCP protocols** (banner-based, Table 2): SYN → on accept, optionally
+//!   send the protocol's opening probe → collect response bytes for a grab
+//!   window → normalize and record;
+//! * **UDP protocols** (response-based, Table 3): send the probe datagram;
+//!   any response is normalized and recorded.
+//!
+//! Sweeps honour a CIDR blocklist (ZMap default + FireHOL, §3.1.1) and an
+//! optional per-address sampling rate (used by the Sonar/Shodan coverage
+//! models in [`crate::datasets`]).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ofh_net::{
+    Agent, CidrSet, ConnToken, NetCtx, SimDuration, SimTime, SockAddr,
+};
+use ofh_wire::Protocol;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::iterator::AddressPermutation;
+use crate::probe;
+use crate::results::{HostRecord, ScanResults};
+
+/// Configuration of one sweep.
+#[derive(Debug, Clone)]
+pub struct ScannerConfig {
+    pub protocol: Protocol,
+    /// Ports to probe per address (e.g. Telnet: [23, 2323]).
+    pub ports: Vec<u16>,
+    /// First address of the target space.
+    pub base: Ipv4Addr,
+    /// Number of addresses to cover.
+    pub size: u64,
+    /// When the sweep starts (Table 9 schedule).
+    pub start_at: SimTime,
+    /// Probes (address × port) issued per tick.
+    pub batch: u32,
+    /// Tick interval.
+    pub tick: SimDuration,
+    /// How long to collect response bytes per TCP grab.
+    pub grab_window: SimDuration,
+    /// Addresses never probed.
+    pub blocklist: CidrSet,
+    /// Probability of probing each address (1.0 = full coverage).
+    pub sample_rate: f64,
+    /// Permutation seed.
+    pub seed: u64,
+}
+
+impl ScannerConfig {
+    /// A full-coverage sweep with paper-faithful ports for `protocol`.
+    pub fn full(protocol: Protocol, base: Ipv4Addr, size: u64, start_at: SimTime, seed: u64) -> Self {
+        let mut ports = vec![protocol.port()];
+        ports.extend_from_slice(protocol.extra_ports());
+        ScannerConfig {
+            protocol,
+            ports,
+            base,
+            size,
+            start_at,
+            batch: 2_048,
+            tick: SimDuration::from_millis(100),
+            grab_window: SimDuration::from_millis(1_500),
+            blocklist: CidrSet::new(),
+            sample_rate: 1.0,
+            seed,
+        }
+    }
+}
+
+struct Sweep {
+    cfg: ScannerConfig,
+    perm: AddressPermutation,
+    /// Pending ports for the current address (probed one per slot).
+    pending_ports: Vec<(Ipv4Addr, u16)>,
+    exhausted: bool,
+    probes_sent: u64,
+}
+
+struct Grab {
+    sweep: usize,
+    addr: Ipv4Addr,
+    port: u16,
+    buf: Vec<u8>,
+    followed_up: bool,
+}
+
+/// The scanning agent. Attach at the scanning host's address, run the
+/// network past the expected completion time, then read [`Scanner::results`].
+pub struct Scanner {
+    pub results: ScanResults,
+    sweeps: Vec<Sweep>,
+    grabs: HashMap<ConnToken, Grab>,
+    udp_pending: HashMap<(Ipv4Addr, u16), usize>,
+    rng: StdRng,
+    message_id: u16,
+    active_sweeps: usize,
+}
+
+const DEADLINE_BIT: u64 = 1 << 63;
+
+impl Scanner {
+    pub fn new(source: impl Into<String>, configs: Vec<ScannerConfig>) -> Scanner {
+        let seed = configs.first().map(|c| c.seed).unwrap_or(0);
+        let active = configs.len();
+        let sweeps = configs
+            .into_iter()
+            .map(|cfg| Sweep {
+                perm: AddressPermutation::new(cfg.size, cfg.seed),
+                cfg,
+                pending_ports: Vec::new(),
+                exhausted: false,
+                probes_sent: 0,
+            })
+            .collect();
+        Scanner {
+            results: ScanResults::new(source),
+            sweeps,
+            grabs: HashMap::new(),
+            udp_pending: HashMap::new(),
+            rng: StdRng::seed_from_u64(ofh_net::rng::derive_seed(seed, "scanner")),
+            message_id: 1,
+            active_sweeps: active,
+        }
+    }
+
+    /// Whether every sweep has issued all its probes. (Responses may still
+    /// be in flight for one grab window.)
+    pub fn all_probes_sent(&self) -> bool {
+        self.active_sweeps == 0
+    }
+
+    /// Total probes issued so far.
+    pub fn probes_sent(&self) -> u64 {
+        self.sweeps.iter().map(|s| s.probes_sent).sum()
+    }
+
+    /// Conservatively estimate when a sweep's probing finishes.
+    pub fn estimated_end(cfg: &ScannerConfig) -> SimTime {
+        let probes = cfg.size * cfg.ports.len() as u64;
+        let ticks = probes / cfg.batch as u64 + 2;
+        cfg.start_at + cfg.tick.mul(ticks) + cfg.grab_window + SimDuration::from_secs(10)
+    }
+
+    fn next_target(&mut self, sweep_idx: usize) -> Option<(Ipv4Addr, u16)> {
+        loop {
+            let sweep = &mut self.sweeps[sweep_idx];
+            if let Some(t) = sweep.pending_ports.pop() {
+                return Some(t);
+            }
+            let offset = sweep.perm.next()?;
+            let addr = Ipv4Addr::from(u32::from(sweep.cfg.base).wrapping_add(offset as u32));
+            if sweep.cfg.blocklist.contains(addr) {
+                continue;
+            }
+            if sweep.cfg.sample_rate < 1.0 && !self.rng.gen_bool(sweep.cfg.sample_rate) {
+                continue;
+            }
+            let sweep = &mut self.sweeps[sweep_idx];
+            for &port in sweep.cfg.ports.iter().rev() {
+                sweep.pending_ports.push((addr, port));
+            }
+        }
+    }
+
+    fn issue_batch(&mut self, ctx: &mut NetCtx<'_>, sweep_idx: usize) {
+        let (protocol, batch, is_udp) = {
+            let cfg = &self.sweeps[sweep_idx].cfg;
+            (cfg.protocol, cfg.batch, cfg.protocol.is_udp())
+        };
+        for _ in 0..batch {
+            let Some((addr, port)) = self.next_target(sweep_idx) else {
+                if !self.sweeps[sweep_idx].exhausted {
+                    self.sweeps[sweep_idx].exhausted = true;
+                    self.active_sweeps -= 1;
+                }
+                return;
+            };
+            self.sweeps[sweep_idx].probes_sent += 1;
+            let dst = SockAddr::new(addr, port);
+            if is_udp {
+                let mid = self.message_id;
+                self.message_id = self.message_id.wrapping_add(1).max(1);
+                if let Some(payload) = probe::udp_probe(protocol, mid) {
+                    self.udp_pending.insert((addr, port), sweep_idx);
+                    ctx.udp_send(40_000, dst, payload);
+                }
+            } else {
+                let conn = ctx.tcp_connect(dst);
+                self.grabs.insert(
+                    conn,
+                    Grab {
+                        sweep: sweep_idx,
+                        addr,
+                        port,
+                        buf: Vec::new(),
+                        followed_up: false,
+                    },
+                );
+            }
+        }
+    }
+
+    fn finalize(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, close: bool) {
+        let Some(grab) = self.grabs.remove(&conn) else {
+            return;
+        };
+        let protocol = self.sweeps[grab.sweep].cfg.protocol;
+        // Empty buffer = responsive host with no banner: still recorded,
+        // with an empty response (the port is provably open).
+        let response = probe::normalize_response(protocol, &grab.buf);
+        self.results.insert(HostRecord {
+            addr: grab.addr,
+            port: grab.port,
+            protocol,
+            response,
+            raw: grab.buf,
+        });
+        if close {
+            ctx.tcp_close(conn);
+        }
+    }
+}
+
+impl Agent for Scanner {
+    fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+        ctx.set_initial_ttl(64);
+        // ZMap's characteristic large SYN window (the telescope's
+        // is_masscan heuristic keys off scanner windows).
+        ctx.set_syn_window(65_535);
+        let now = ctx.now();
+        for (i, sweep) in self.sweeps.iter().enumerate() {
+            let delay = sweep.cfg.start_at.since(now);
+            ctx.set_timer(delay, i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
+        if token & DEADLINE_BIT != 0 {
+            let conn = ConnToken(token & !DEADLINE_BIT);
+            self.finalize(ctx, conn, true);
+            return;
+        }
+        let sweep_idx = token as usize;
+        self.issue_batch(ctx, sweep_idx);
+        if !self.sweeps[sweep_idx].exhausted {
+            let tick = self.sweeps[sweep_idx].cfg.tick;
+            ctx.set_timer(tick, token);
+        }
+    }
+
+    fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        let Some(grab) = self.grabs.get(&conn) else {
+            return;
+        };
+        let cfg = &self.sweeps[grab.sweep].cfg;
+        let (protocol, window) = (cfg.protocol, cfg.grab_window);
+        if let Some(opening) = probe::tcp_opening(protocol) {
+            ctx.tcp_send(conn, opening);
+        }
+        ctx.set_timer(window, DEADLINE_BIT | conn.0);
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        let Some(grab) = self.grabs.get_mut(&conn) else {
+            return;
+        };
+        let first_chunk = grab.buf.is_empty();
+        grab.buf.extend_from_slice(data);
+        let protocol = self.sweeps[grab.sweep].cfg.protocol;
+        if first_chunk && !grab.followed_up {
+            if let Some(followup) = probe::tcp_followup(protocol, data) {
+                grab.followed_up = true;
+                ctx.tcp_send(conn, followup);
+            }
+        }
+    }
+
+    fn on_tcp_refused(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.grabs.remove(&conn);
+    }
+
+    fn on_tcp_timeout(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.grabs.remove(&conn);
+    }
+
+    fn on_tcp_closed(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        // Peer closed first: record what we have.
+        self.finalize(ctx, conn, false);
+    }
+
+    fn on_udp(&mut self, _ctx: &mut NetCtx<'_>, _local_port: u16, peer: SockAddr, payload: &[u8]) {
+        let Some(&sweep_idx) = self.udp_pending.get(&(peer.addr, peer.port)) else {
+            return;
+        };
+        let protocol = self.sweeps[sweep_idx].cfg.protocol;
+        let response = probe::normalize_response(protocol, payload);
+        self.results.insert(HostRecord {
+            addr: peer.addr,
+            port: peer.port,
+            protocol,
+            response,
+            raw: payload.to_vec(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_devices::endpoints::{CoapDevice, MqttDevice, TelnetDevice, UpnpDevice};
+    use ofh_devices::Misconfig;
+    use ofh_net::{ip, SimNet, SimNetConfig};
+    use ofh_wire::ssdp::DeviceDescription;
+
+    fn scan_one(
+        protocol: Protocol,
+        attach: impl FnOnce(&mut SimNet),
+    ) -> ScanResults {
+        let mut net = SimNet::new(SimNetConfig::default());
+        attach(&mut net);
+        let cfg = ScannerConfig {
+            batch: 64,
+            ..ScannerConfig::full(protocol, ip(16, 4, 0, 0), 256, SimTime::ZERO, 1)
+        };
+        let end = Scanner::estimated_end(&cfg);
+        let sid = net.attach(ip(16, 3, 0, 1), Box::new(Scanner::new("ZMap Scan", vec![cfg])));
+        net.run_until(end);
+        net.agent_downcast_mut::<Scanner>(sid).unwrap().results.clone()
+    }
+
+    #[test]
+    fn telnet_sweep_finds_and_classifies() {
+        let results = scan_one(Protocol::Telnet, |net| {
+            net.attach(
+                ip(16, 4, 0, 10),
+                Box::new(TelnetDevice::new("PK5001Z login:", Some(Misconfig::TelnetNoAuthRoot), 23)),
+            );
+            net.attach(
+                ip(16, 4, 0, 20),
+                Box::new(TelnetDevice::new("192.168.0.64 login:", None, 23)),
+            );
+            net.attach(
+                ip(16, 4, 0, 30),
+                Box::new(TelnetDevice::new("BusyBox", Some(Misconfig::TelnetNoAuth), 2323)),
+            );
+        });
+        assert_eq!(results.exposed_hosts(Protocol::Telnet), 3);
+        assert_eq!(
+            results.misconfigured_addrs(Misconfig::TelnetNoAuthRoot).len(),
+            1
+        );
+        // The 2323-only device was found thanks to the extra port.
+        assert!(results
+            .misconfigured_addrs(Misconfig::TelnetNoAuth)
+            .contains(&ip(16, 4, 0, 30)));
+        // Device tagging works on the scan output.
+        let rec = results.records.get(&(ip(16, 4, 0, 20), 23)).unwrap();
+        assert_eq!(rec.device().unwrap().name, "HiKVision Camera");
+    }
+
+    #[test]
+    fn mqtt_sweep_grabs_connack_and_topics() {
+        let results = scan_one(Protocol::Mqtt, |net| {
+            net.attach(
+                ip(16, 4, 0, 40),
+                Box::new(MqttDevice::new(
+                    Some(Misconfig::MqttNoAuth),
+                    vec![("homeassistant/light/k".into(), b"on".to_vec())],
+                )),
+            );
+            net.attach(ip(16, 4, 0, 50), Box::new(MqttDevice::new(None, vec![])));
+        });
+        assert_eq!(results.exposed_hosts(Protocol::Mqtt), 2);
+        let open = results.records.get(&(ip(16, 4, 0, 40), 1883)).unwrap();
+        assert!(open.response.contains("MQTT Connection Code:0"));
+        assert!(open.response.contains("topic: homeassistant/light/k"));
+        assert_eq!(open.misconfig(), Some(Misconfig::MqttNoAuth));
+        let closed = results.records.get(&(ip(16, 4, 0, 50), 1883)).unwrap();
+        assert_eq!(closed.misconfig(), None);
+    }
+
+    #[test]
+    fn coap_sweep_is_response_based() {
+        let results = scan_one(Protocol::Coap, |net| {
+            net.attach(
+                ip(16, 4, 0, 60),
+                Box::new(CoapDevice::new(
+                    Some(Misconfig::CoapReflection),
+                    vec![ofh_wire::coap::LinkEntry {
+                        path: "/ndm/login".into(),
+                        attrs: vec![],
+                    }],
+                )),
+            );
+            net.attach(ip(16, 4, 0, 61), Box::new(CoapDevice::new(None, vec![])));
+        });
+        assert_eq!(results.exposed_hosts(Protocol::Coap), 2);
+        let reflect = results.records.get(&(ip(16, 4, 0, 60), 5683)).unwrap();
+        assert_eq!(reflect.misconfig(), Some(Misconfig::CoapReflection));
+        assert_eq!(reflect.device().unwrap().name, "NDM");
+        let safe = results.records.get(&(ip(16, 4, 0, 61), 5683)).unwrap();
+        assert_eq!(safe.misconfig(), None);
+    }
+
+    #[test]
+    fn upnp_sweep_discovers_rootdevices() {
+        let results = scan_one(Protocol::Upnp, |net| {
+            net.attach(
+                ip(16, 4, 0, 70),
+                Box::new(UpnpDevice::new(
+                    Some(Misconfig::UpnpReflection),
+                    "Linux/2.x UPnP/1.0 Avtech/1.0",
+                    DeviceDescription::default(),
+                )),
+            );
+        });
+        let rec = results.records.get(&(ip(16, 4, 0, 70), 1900)).unwrap();
+        assert_eq!(rec.misconfig(), Some(Misconfig::UpnpReflection));
+        assert_eq!(rec.device().unwrap().name, "Avtech AVN801");
+    }
+
+    #[test]
+    fn blocklist_is_honoured() {
+        let mut net = SimNet::new(SimNetConfig::default());
+        net.attach(
+            ip(16, 4, 0, 10),
+            Box::new(TelnetDevice::new("x", Some(Misconfig::TelnetNoAuth), 23)),
+        );
+        let mut cfg = ScannerConfig::full(Protocol::Telnet, ip(16, 4, 0, 0), 256, SimTime::ZERO, 1);
+        cfg.blocklist.insert("16.4.0.0/24".parse().unwrap());
+        let end = Scanner::estimated_end(&cfg);
+        let sid = net.attach(ip(16, 3, 0, 1), Box::new(Scanner::new("ZMap Scan", vec![cfg])));
+        net.run_until(end);
+        let s = net.agent_downcast::<Scanner>(sid).unwrap();
+        assert!(s.results.is_empty());
+        assert!(s.all_probes_sent());
+        assert_eq!(s.probes_sent(), 0);
+    }
+
+    #[test]
+    fn sampling_reduces_coverage_deterministically() {
+        let run = || {
+            let mut net = SimNet::new(SimNetConfig::default());
+            for i in 0..64u32 {
+                net.attach(
+                    Ipv4Addr::from(u32::from(ip(16, 4, 0, 0)) + i),
+                    Box::new(TelnetDevice::new("x", Some(Misconfig::TelnetNoAuth), 23)),
+                );
+            }
+            let cfg = ScannerConfig {
+                sample_rate: 0.5,
+                ports: vec![23],
+                ..ScannerConfig::full(Protocol::Telnet, ip(16, 4, 0, 0), 64, SimTime::ZERO, 9)
+            };
+            let end = Scanner::estimated_end(&cfg);
+            let sid = net.attach(ip(16, 3, 0, 1), Box::new(Scanner::new("Shodan", vec![cfg])));
+            net.run_until(end);
+            net.agent_downcast::<Scanner>(sid).unwrap().results.len()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "sampling must be deterministic");
+        assert!(a > 16 && a < 48, "coverage {a} should be ~half");
+    }
+
+    #[test]
+    fn sweeps_cover_whole_space() {
+        // No devices: just verify probe accounting over the permutation.
+        let mut net = SimNet::new(SimNetConfig::default());
+        let cfg = ScannerConfig {
+            ports: vec![23, 2323],
+            ..ScannerConfig::full(Protocol::Telnet, ip(16, 4, 0, 0), 512, SimTime::ZERO, 3)
+        };
+        let end = Scanner::estimated_end(&cfg);
+        let sid = net.attach(ip(16, 3, 0, 1), Box::new(Scanner::new("ZMap Scan", vec![cfg])));
+        net.run_until(end);
+        let s = net.agent_downcast::<Scanner>(sid).unwrap();
+        assert_eq!(s.probes_sent(), 512 * 2);
+        assert!(s.all_probes_sent());
+    }
+}

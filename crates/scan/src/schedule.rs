@@ -1,0 +1,57 @@
+//! The scan calendar — Appendix Table 9.
+//!
+//! "The scans for all the six protocols were completed in a week between
+//! March 1–5 2021." Each protocol's sweep starts at midnight UTC of its
+//! Table 9 date (the simulation epoch is 2021-03-01).
+
+use ofh_net::{SimDate, SimTime};
+use ofh_wire::Protocol;
+
+/// The Table 9 scan date for a protocol.
+pub fn scan_date(protocol: Protocol) -> SimDate {
+    match protocol {
+        Protocol::Coap => SimDate::new(2021, 3, 1),
+        Protocol::Upnp => SimDate::new(2021, 3, 2),
+        Protocol::Telnet => SimDate::new(2021, 3, 2),
+        Protocol::Mqtt => SimDate::new(2021, 3, 4),
+        Protocol::Amqp => SimDate::new(2021, 3, 4),
+        Protocol::Xmpp => SimDate::new(2021, 3, 5),
+        // Non-scanned protocols default to the campaign start.
+        _ => SimDate::new(2021, 3, 1),
+    }
+}
+
+/// The simulation instant a protocol's sweep begins.
+pub fn scan_start(protocol: Protocol) -> SimTime {
+    SimTime::from_date(scan_date(protocol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dates_match_table9() {
+        assert_eq!(scan_date(Protocol::Coap), SimDate::new(2021, 3, 1));
+        assert_eq!(scan_date(Protocol::Upnp), SimDate::new(2021, 3, 2));
+        assert_eq!(scan_date(Protocol::Telnet), SimDate::new(2021, 3, 2));
+        assert_eq!(scan_date(Protocol::Mqtt), SimDate::new(2021, 3, 4));
+        assert_eq!(scan_date(Protocol::Amqp), SimDate::new(2021, 3, 4));
+        assert_eq!(scan_date(Protocol::Xmpp), SimDate::new(2021, 3, 5));
+    }
+
+    #[test]
+    fn all_within_one_week() {
+        let start = scan_start(Protocol::Coap);
+        for p in Protocol::SCANNED {
+            let d = scan_start(p).since(start);
+            assert!(d.as_secs() <= 7 * 86_400);
+        }
+    }
+
+    #[test]
+    fn coap_is_day_zero() {
+        assert_eq!(scan_start(Protocol::Coap), SimTime::ZERO);
+        assert_eq!(scan_start(Protocol::Xmpp).day_index(), 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! Telescope aggregation — the computations behind Table 8.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use ofh_wire::Protocol;
+use serde::Serialize;
+
+use crate::telescope::Telescope;
+
+/// Per-protocol aggregate over a day range.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DailyProtocolStats {
+    pub protocol: Protocol,
+    /// Average records per day towards this protocol.
+    pub daily_avg_count: f64,
+    /// Unique source IPs over the whole range.
+    pub unique_sources: usize,
+    /// Sources in the known-scanning-service set.
+    pub scanning_service_sources: usize,
+    /// Remaining (unknown/suspicious) sources.
+    pub unknown_sources: usize,
+}
+
+/// The Table 8 summary.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TelescopeSummary {
+    pub rows: Vec<DailyProtocolStats>,
+    pub total_daily_avg: f64,
+    pub total_unique_sources: usize,
+}
+
+impl TelescopeSummary {
+    /// Aggregate `telescope` traffic for the six studied protocols over
+    /// days `[from_day, to_day)`, splitting sources against the known
+    /// scanning-service address set.
+    pub fn compute(
+        telescope: &Telescope,
+        from_day: u64,
+        to_day: u64,
+        known_scanners: &BTreeSet<Ipv4Addr>,
+    ) -> TelescopeSummary {
+        let days = (to_day - from_day).max(1) as f64;
+        let mut counts: BTreeMap<Protocol, u64> = BTreeMap::new();
+        let mut sources: BTreeMap<Protocol, BTreeSet<Ipv4Addr>> = BTreeMap::new();
+        for rec in telescope.records_in_days(from_day, to_day) {
+            let Some(proto) = rec.target_protocol() else {
+                continue;
+            };
+            if !Protocol::SCANNED.contains(&proto) {
+                continue;
+            }
+            *counts.entry(proto).or_insert(0) += rec.packet_cnt as u64;
+            sources.entry(proto).or_default().insert(rec.src_ip);
+        }
+        let mut rows: Vec<DailyProtocolStats> = Protocol::SCANNED
+            .iter()
+            .map(|&p| {
+                let srcs = sources.remove(&p).unwrap_or_default();
+                let scanning = srcs.iter().filter(|s| known_scanners.contains(s)).count();
+                DailyProtocolStats {
+                    protocol: p,
+                    daily_avg_count: *counts.get(&p).unwrap_or(&0) as f64 / days,
+                    unique_sources: srcs.len(),
+                    scanning_service_sources: scanning,
+                    unknown_sources: srcs.len() - scanning,
+                }
+            })
+            .collect();
+        // Table 8 is ordered by daily count, descending (Telnet first).
+        rows.sort_by(|a, b| b.daily_avg_count.total_cmp(&a.daily_avg_count));
+        let total_daily_avg = rows.iter().map(|r| r.daily_avg_count).sum();
+        let all_sources: BTreeSet<Ipv4Addr> = telescope
+            .records_in_days(from_day, to_day)
+            .filter(|r| {
+                r.target_protocol()
+                    .is_some_and(|p| Protocol::SCANNED.contains(&p))
+            })
+            .map(|r| r.src_ip)
+            .collect();
+        TelescopeSummary {
+            rows,
+            total_daily_avg,
+            total_unique_sources: all_sources.len(),
+        }
+    }
+
+    /// All unique sources towards the studied protocols (for the §5.3 join).
+    pub fn row(&self, protocol: Protocol) -> Option<&DailyProtocolStats> {
+        self.rows.iter().find(|r| r.protocol == protocol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofh_intel::GeoDb;
+    use ofh_net::sim::FlowTap;
+    use ofh_net::{ip, FlowKind, FlowObservation, SimTime, Transport};
+
+    fn observe(t: &mut Telescope, src: Ipv4Addr, dst_port: u16, time_ms: u64) {
+        t.observe(&FlowObservation {
+            time: SimTime(time_ms),
+            src,
+            dst: ip(16, 0, 0, 1),
+            src_port: 55_555,
+            dst_port,
+            transport: Transport::Tcp,
+            kind: FlowKind::TcpSyn,
+            ttl: 40,
+            tcp_flags: FlowObservation::SYN,
+            tcp_window: 65_535,
+            ip_len: 60,
+            payload: vec![],
+            spoofed: false,
+        });
+    }
+
+    #[test]
+    fn summary_counts_and_classifies() {
+        let mut t = Telescope::new(GeoDb::new());
+        // 3 Telnet flows from 2 sources (one a known scanner), 1 MQTT flow.
+        observe(&mut t, ip(9, 0, 0, 1), 23, 1_000);
+        observe(&mut t, ip(9, 0, 0, 1), 23, 2_000);
+        observe(&mut t, ip(9, 0, 0, 2), 23, 3_000);
+        observe(&mut t, ip(9, 0, 0, 3), 1883, 4_000);
+        // Non-studied port is ignored.
+        observe(&mut t, ip(9, 0, 0, 4), 8080, 5_000);
+
+        let mut scanners = BTreeSet::new();
+        scanners.insert(ip(9, 0, 0, 2));
+        let summary = TelescopeSummary::compute(&t, 0, 1, &scanners);
+
+        let telnet = summary.row(Protocol::Telnet).unwrap();
+        assert_eq!(telnet.daily_avg_count, 3.0);
+        assert_eq!(telnet.unique_sources, 2);
+        assert_eq!(telnet.scanning_service_sources, 1);
+        assert_eq!(telnet.unknown_sources, 1);
+        assert_eq!(summary.row(Protocol::Mqtt).unwrap().unique_sources, 1);
+        assert_eq!(summary.total_unique_sources, 3);
+        // Ordering: Telnet (3/day) before MQTT (1/day).
+        assert_eq!(summary.rows[0].protocol, Protocol::Telnet);
+    }
+
+    #[test]
+    fn daily_average_over_multiple_days() {
+        let mut t = Telescope::new(GeoDb::new());
+        for day in 0..4u64 {
+            observe(&mut t, ip(9, 0, 0, 1), 23, day * 86_400_000 + 10);
+        }
+        let summary = TelescopeSummary::compute(&t, 0, 4, &BTreeSet::new());
+        assert_eq!(summary.row(Protocol::Telnet).unwrap().daily_avg_count, 1.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! AMQP 0-9-1 — protocol header and Connection.Start codec.
+//!
+//! The paper's AMQP scan (port 5672) sends the protocol header and reads the
+//! broker's `Connection.Start` method frame, whose server-properties reveal
+//! product and version (e.g. RabbitMQ 2.7.1/2.8.4 — the known-vulnerable
+//! versions of Table 2) and whose `mechanisms` field reveals whether
+//! unauthenticated (`ANONYMOUS`) access is offered. We implement the general
+//! frame wrapper plus the Connection.Start method with a flat
+//! product/version/platform property table — the subset a banner grab needs.
+
+use crate::error::WireError;
+
+/// The 8-byte AMQP protocol header: `AMQP\0\0\x09\x01` for 0-9-1.
+pub const PROTOCOL_HEADER: [u8; 8] = *b"AMQP\x00\x00\x09\x01";
+
+/// Frame type octets.
+pub mod frame_type {
+    pub const METHOD: u8 = 1;
+    pub const HEADER: u8 = 2;
+    pub const BODY: u8 = 3;
+    pub const HEARTBEAT: u8 = 8;
+}
+
+/// Frame-end sentinel octet.
+pub const FRAME_END: u8 = 0xCE;
+
+/// A raw AMQP frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub frame_type: u8,
+    pub channel: u16,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.payload.len());
+        out.push(self.frame_type);
+        out.extend_from_slice(&self.channel.to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out.push(FRAME_END);
+        out
+    }
+
+    /// Decode one frame; returns (frame, bytes consumed).
+    pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), WireError> {
+        if bytes.len() < 7 {
+            return Err(WireError::truncated("amqp frame header", 7 - bytes.len()));
+        }
+        let frame_type = bytes[0];
+        let channel = u16::from_be_bytes([bytes[1], bytes[2]]);
+        let size = u32::from_be_bytes([bytes[3], bytes[4], bytes[5], bytes[6]]) as usize;
+        if size > 1 << 20 {
+            return Err(WireError::TooLarge {
+                what: "amqp frame",
+                len: size,
+            });
+        }
+        let total = 7 + size + 1;
+        if bytes.len() < total {
+            return Err(WireError::truncated("amqp frame body", total - bytes.len()));
+        }
+        if bytes[total - 1] != FRAME_END {
+            return Err(WireError::invalid("amqp frame end", format!("{:#04x}", bytes[total - 1])));
+        }
+        Ok((
+            Frame {
+                frame_type,
+                channel,
+                payload: bytes[7..7 + size].to_vec(),
+            },
+            total,
+        ))
+    }
+}
+
+/// The `Connection.Start` method (class 10, method 10) — the broker's banner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionStart {
+    pub version_major: u8,
+    pub version_minor: u8,
+    /// Server properties, e.g. `product = "RabbitMQ"`, `version = "2.7.1"`.
+    /// Flat string table (full AMQP field tables are overkill for banners).
+    pub server_properties: Vec<(String, String)>,
+    /// Space-separated SASL mechanisms, e.g. `"PLAIN AMQPLAIN"` or `"ANONYMOUS"`.
+    pub mechanisms: String,
+    /// Space-separated locales.
+    pub locales: String,
+}
+
+fn put_short_str(out: &mut Vec<u8>, s: &str) {
+    let len = s.len().min(255);
+    out.push(len as u8);
+    out.extend_from_slice(&s.as_bytes()[..len]);
+}
+
+fn put_long_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_short_str(bytes: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    let len = *bytes
+        .get(*pos)
+        .ok_or(WireError::truncated("amqp short string", 1))? as usize;
+    *pos += 1;
+    if bytes.len() < *pos + len {
+        return Err(WireError::truncated("amqp short string", *pos + len - bytes.len()));
+    }
+    let s = String::from_utf8_lossy(&bytes[*pos..*pos + len]).into_owned();
+    *pos += len;
+    Ok(s)
+}
+
+fn get_long_str(bytes: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    if bytes.len() < *pos + 4 {
+        return Err(WireError::truncated("amqp long string", *pos + 4 - bytes.len()));
+    }
+    let len = u32::from_be_bytes([bytes[*pos], bytes[*pos + 1], bytes[*pos + 2], bytes[*pos + 3]])
+        as usize;
+    *pos += 4;
+    if len > 1 << 20 {
+        return Err(WireError::TooLarge {
+            what: "amqp long string",
+            len,
+        });
+    }
+    if bytes.len() < *pos + len {
+        return Err(WireError::truncated("amqp long string", *pos + len - bytes.len()));
+    }
+    let s = String::from_utf8_lossy(&bytes[*pos..*pos + len]).into_owned();
+    *pos += len;
+    Ok(s)
+}
+
+impl ConnectionStart {
+    pub const CLASS_ID: u16 = 10;
+    pub const METHOD_ID: u16 = 10;
+
+    /// Encode as a method-frame payload (to wrap in a [`Frame`] on channel 0).
+    pub fn encode_method(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&Self::CLASS_ID.to_be_bytes());
+        out.extend_from_slice(&Self::METHOD_ID.to_be_bytes());
+        out.push(self.version_major);
+        out.push(self.version_minor);
+        // Property table: length-prefixed sequence of shortstr key + 'S' longstr value.
+        let mut table = Vec::new();
+        for (k, v) in &self.server_properties {
+            put_short_str(&mut table, k);
+            table.push(b'S');
+            put_long_str(&mut table, v);
+        }
+        out.extend_from_slice(&(table.len() as u32).to_be_bytes());
+        out.extend_from_slice(&table);
+        put_long_str(&mut out, &self.mechanisms);
+        put_long_str(&mut out, &self.locales);
+        out
+    }
+
+    /// Decode from a method-frame payload.
+    pub fn decode_method(bytes: &[u8]) -> Result<ConnectionStart, WireError> {
+        let mut pos = 0usize;
+        if bytes.len() < 4 {
+            return Err(WireError::truncated("amqp method header", 4));
+        }
+        let class = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let method = u16::from_be_bytes([bytes[2], bytes[3]]);
+        if class != Self::CLASS_ID || method != Self::METHOD_ID {
+            return Err(WireError::invalid(
+                "amqp method",
+                format!("expected connection.start, got {class}.{method}"),
+            ));
+        }
+        pos += 4;
+        if bytes.len() < pos + 2 {
+            return Err(WireError::truncated("amqp version", 2));
+        }
+        let version_major = bytes[pos];
+        let version_minor = bytes[pos + 1];
+        pos += 2;
+        if bytes.len() < pos + 4 {
+            return Err(WireError::truncated("amqp property table length", 4));
+        }
+        let table_len = u32::from_be_bytes([
+            bytes[pos],
+            bytes[pos + 1],
+            bytes[pos + 2],
+            bytes[pos + 3],
+        ]) as usize;
+        pos += 4;
+        if table_len > 1 << 20 {
+            return Err(WireError::TooLarge {
+                what: "amqp property table",
+                len: table_len,
+            });
+        }
+        if bytes.len() < pos + table_len {
+            return Err(WireError::truncated("amqp property table", pos + table_len - bytes.len()));
+        }
+        let table_end = pos + table_len;
+        let mut server_properties = Vec::new();
+        while pos < table_end {
+            let k = get_short_str(bytes, &mut pos)?;
+            let tag = *bytes
+                .get(pos)
+                .ok_or(WireError::truncated("amqp field tag", 1))?;
+            pos += 1;
+            if tag != b'S' {
+                return Err(WireError::invalid("amqp field tag", format!("{:#04x}", tag)));
+            }
+            let v = get_long_str(bytes, &mut pos)?;
+            server_properties.push((k, v));
+        }
+        let mechanisms = get_long_str(bytes, &mut pos)?;
+        let locales = get_long_str(bytes, &mut pos)?;
+        Ok(ConnectionStart {
+            version_major,
+            version_minor,
+            server_properties,
+            mechanisms,
+            locales,
+        })
+    }
+
+    /// Convenience accessor for a server property.
+    pub fn property(&self, key: &str) -> Option<&str> {
+        self.server_properties
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rabbit(version: &str, mechanisms: &str) -> ConnectionStart {
+        ConnectionStart {
+            version_major: 0,
+            version_minor: 9,
+            server_properties: vec![
+                ("product".into(), "RabbitMQ".into()),
+                ("version".into(), version.into()),
+                ("platform".into(), "Erlang/OTP".into()),
+            ],
+            mechanisms: mechanisms.into(),
+            locales: "en_US".into(),
+        }
+    }
+
+    #[test]
+    fn protocol_header_literal() {
+        assert_eq!(&PROTOCOL_HEADER, b"AMQP\x00\x00\x09\x01");
+    }
+
+    #[test]
+    fn connection_start_roundtrip() {
+        let start = rabbit("2.7.1", "PLAIN AMQPLAIN");
+        let back = ConnectionStart::decode_method(&start.encode_method()).unwrap();
+        assert_eq!(back, start);
+        assert_eq!(back.property("version"), Some("2.7.1"));
+        assert_eq!(back.property("missing"), None);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let start = rabbit("2.8.4", "ANONYMOUS PLAIN");
+        let frame = Frame {
+            frame_type: frame_type::METHOD,
+            channel: 0,
+            payload: start.encode_method(),
+        };
+        let wire = frame.encode();
+        assert_eq!(*wire.last().unwrap(), FRAME_END);
+        let (back, used) = Frame::decode(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(back, frame);
+        let method = ConnectionStart::decode_method(&back.payload).unwrap();
+        assert!(method.mechanisms.contains("ANONYMOUS"));
+    }
+
+    #[test]
+    fn frame_end_enforced() {
+        let frame = Frame {
+            frame_type: frame_type::HEARTBEAT,
+            channel: 0,
+            payload: vec![],
+        };
+        let mut wire = frame.encode();
+        *wire.last_mut().unwrap() = 0x00;
+        assert!(matches!(
+            Frame::decode(&wire),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_method() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&20u16.to_be_bytes()); // channel class
+        payload.extend_from_slice(&10u16.to_be_bytes());
+        assert!(ConnectionStart::decode_method(&payload).is_err());
+    }
+
+    #[test]
+    fn rejects_truncations() {
+        let start = rabbit("3.8.0", "PLAIN");
+        let wire = start.encode_method();
+        for cut in [0, 3, 5, 8, wire.len() - 1] {
+            assert!(
+                ConnectionStart::decode_method(&wire[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! CoAP (RFC 7252) — message codec and CoRE link format.
+//!
+//! The paper's UDP scan sends a CoAP GET for `/.well-known/core` to port 5683
+//! and classifies hosts by their response (Table 3): a resource listing means
+//! "Resource Disclosure", and *any* response at all makes the host usable as
+//! a DoS amplification reflector — the largest misconfiguration class in
+//! Table 5 (543,341 devices). Implements the 4-byte header, token, option
+//! delta encoding, and payload marker.
+
+use crate::error::WireError;
+
+/// CoAP message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgType {
+    Confirmable,
+    NonConfirmable,
+    Acknowledgement,
+    Reset,
+}
+
+impl MsgType {
+    const fn bits(self) -> u8 {
+        match self {
+            MsgType::Confirmable => 0,
+            MsgType::NonConfirmable => 1,
+            MsgType::Acknowledgement => 2,
+            MsgType::Reset => 3,
+        }
+    }
+    const fn from_bits(b: u8) -> MsgType {
+        match b & 0x03 {
+            0 => MsgType::Confirmable,
+            1 => MsgType::NonConfirmable,
+            2 => MsgType::Acknowledgement,
+            _ => MsgType::Reset,
+        }
+    }
+}
+
+/// A CoAP code, shown in `class.detail` form (e.g. `0.01` = GET, `2.05` =
+/// Content, `4.01` = Unauthorized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Code(pub u8);
+
+impl Code {
+    pub const EMPTY: Code = Code(0x00);
+    pub const GET: Code = Code(0x01);
+    pub const POST: Code = Code(0x02);
+    pub const PUT: Code = Code(0x03);
+    pub const DELETE: Code = Code(0x04);
+    pub const CONTENT: Code = Code(0x45); // 2.05
+    pub const CHANGED: Code = Code(0x44); // 2.04
+    pub const CREATED: Code = Code(0x41); // 2.01
+    pub const BAD_REQUEST: Code = Code(0x80); // 4.00
+    pub const UNAUTHORIZED: Code = Code(0x81); // 4.01
+    pub const FORBIDDEN: Code = Code(0x83); // 4.03
+    pub const NOT_FOUND: Code = Code(0x84); // 4.04
+
+    pub const fn new(class: u8, detail: u8) -> Code {
+        Code((class << 5) | (detail & 0x1F))
+    }
+    pub const fn class(self) -> u8 {
+        self.0 >> 5
+    }
+    pub const fn detail(self) -> u8 {
+        self.0 & 0x1F
+    }
+    pub const fn is_request(self) -> bool {
+        self.class() == 0 && self.detail() != 0
+    }
+    pub const fn is_response(self) -> bool {
+        self.class() >= 2
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{:02}", self.class(), self.detail())
+    }
+}
+
+/// CoAP option numbers (subset).
+pub mod option_num {
+    pub const URI_PATH: u16 = 11;
+    pub const CONTENT_FORMAT: u16 = 12;
+    pub const URI_QUERY: u16 = 15;
+    pub const ACCEPT: u16 = 17;
+}
+
+/// Content-Format 40: application/link-format (CoRE resource listings).
+pub const CONTENT_FORMAT_LINK: u16 = 40;
+
+/// One CoAP option (number + raw value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoapOption {
+    pub number: u16,
+    pub value: Vec<u8>,
+}
+
+/// A CoAP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    pub msg_type: MsgType,
+    pub code: Code,
+    pub message_id: u16,
+    pub token: Vec<u8>,
+    /// Options, sorted by number (encoding requires non-decreasing order).
+    pub options: Vec<CoapOption>,
+    pub payload: Vec<u8>,
+}
+
+impl Message {
+    /// The scan probe the paper sends: a confirmable GET for
+    /// `/.well-known/core`.
+    pub fn well_known_core_request(message_id: u16) -> Message {
+        Message {
+            msg_type: MsgType::Confirmable,
+            code: Code::GET,
+            message_id,
+            token: vec![0x71],
+            options: vec![
+                CoapOption {
+                    number: option_num::URI_PATH,
+                    value: b".well-known".to_vec(),
+                },
+                CoapOption {
+                    number: option_num::URI_PATH,
+                    value: b"core".to_vec(),
+                },
+            ],
+            payload: Vec::new(),
+        }
+    }
+
+    /// A 2.05 Content response carrying a link-format resource listing.
+    pub fn content_response(request: &Message, link_format: &str) -> Message {
+        Message {
+            msg_type: MsgType::Acknowledgement,
+            code: Code::CONTENT,
+            message_id: request.message_id,
+            token: request.token.clone(),
+            options: vec![CoapOption {
+                number: option_num::CONTENT_FORMAT,
+                value: vec![CONTENT_FORMAT_LINK as u8],
+            }],
+            payload: link_format.as_bytes().to_vec(),
+        }
+    }
+
+    /// The Uri-Path of a request, joined with `/` (e.g. `.well-known/core`).
+    pub fn uri_path(&self) -> String {
+        let segs: Vec<&str> = self
+            .options
+            .iter()
+            .filter(|o| o.number == option_num::URI_PATH)
+            .map(|o| std::str::from_utf8(&o.value).unwrap_or("\u{fffd}"))
+            .collect();
+        segs.join("/")
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.token.len() <= 8, "CoAP token is at most 8 bytes");
+        let mut out = Vec::with_capacity(8 + self.payload.len());
+        out.push(0x40 | (self.msg_type.bits() << 4) | self.token.len() as u8);
+        out.push(self.code.0);
+        out.extend_from_slice(&self.message_id.to_be_bytes());
+        out.extend_from_slice(&self.token);
+        let mut prev = 0u16;
+        let mut opts = self.options.clone();
+        opts.sort_by_key(|o| o.number);
+        for opt in &opts {
+            let delta = opt.number - prev;
+            prev = opt.number;
+            let (dn, dext) = nibble_ext(delta);
+            let (ln, lext) = nibble_ext(opt.value.len() as u16);
+            out.push((dn << 4) | ln);
+            out.extend_from_slice(&dext);
+            out.extend_from_slice(&lext);
+            out.extend_from_slice(&opt.value);
+        }
+        if !self.payload.is_empty() {
+            out.push(0xFF);
+            out.extend_from_slice(&self.payload);
+        }
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+        if bytes.len() < 4 {
+            return Err(WireError::truncated("coap header", 4 - bytes.len()));
+        }
+        let ver = bytes[0] >> 6;
+        if ver != 1 {
+            return Err(WireError::invalid("coap version", ver.to_string()));
+        }
+        let msg_type = MsgType::from_bits(bytes[0] >> 4);
+        let tkl = (bytes[0] & 0x0F) as usize;
+        if tkl > 8 {
+            return Err(WireError::invalid("coap token length", tkl.to_string()));
+        }
+        let code = Code(bytes[1]);
+        let message_id = u16::from_be_bytes([bytes[2], bytes[3]]);
+        if bytes.len() < 4 + tkl {
+            return Err(WireError::truncated("coap token", 4 + tkl - bytes.len()));
+        }
+        let token = bytes[4..4 + tkl].to_vec();
+        let mut pos = 4 + tkl;
+        let mut options = Vec::new();
+        let mut number = 0u16;
+        let mut payload = Vec::new();
+        while pos < bytes.len() {
+            if bytes[pos] == 0xFF {
+                if pos + 1 >= bytes.len() {
+                    return Err(WireError::invalid("coap payload", "empty after marker"));
+                }
+                payload = bytes[pos + 1..].to_vec();
+                break;
+            }
+            let dn = bytes[pos] >> 4;
+            let ln = bytes[pos] & 0x0F;
+            pos += 1;
+            let (delta, used) = read_ext(bytes, pos, dn, "coap option delta")?;
+            pos += used;
+            let (len, used) = read_ext(bytes, pos, ln, "coap option length")?;
+            pos += used;
+            number = number
+                .checked_add(delta)
+                .ok_or_else(|| WireError::invalid("coap option number", "overflow"))?;
+            let len = len as usize;
+            if bytes.len() < pos + len {
+                return Err(WireError::truncated("coap option value", pos + len - bytes.len()));
+            }
+            options.push(CoapOption {
+                number,
+                value: bytes[pos..pos + len].to_vec(),
+            });
+            pos += len;
+        }
+        Ok(Message {
+            msg_type,
+            code,
+            message_id,
+            token,
+            options,
+            payload,
+        })
+    }
+}
+
+/// Split a value into the 4-bit nibble + extension bytes per RFC 7252 §3.1.
+fn nibble_ext(v: u16) -> (u8, Vec<u8>) {
+    if v < 13 {
+        (v as u8, Vec::new())
+    } else if v < 269 {
+        (13, vec![(v - 13) as u8])
+    } else {
+        (14, (v - 269).to_be_bytes().to_vec())
+    }
+}
+
+fn read_ext(bytes: &[u8], pos: usize, nibble: u8, what: &'static str) -> Result<(u16, usize), WireError> {
+    match nibble {
+        0..=12 => Ok((nibble as u16, 0)),
+        13 => {
+            let b = *bytes.get(pos).ok_or(WireError::truncated(what, 1))?;
+            Ok((b as u16 + 13, 1))
+        }
+        14 => {
+            if bytes.len() < pos + 2 {
+                return Err(WireError::truncated(what, pos + 2 - bytes.len()));
+            }
+            let v = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]);
+            Ok((v.saturating_add(269), 2))
+        }
+        _ => Err(WireError::invalid(what, "nibble 15 is reserved")),
+    }
+}
+
+/// A parsed CoRE link-format entry: `</path>;attr=value;...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkEntry {
+    pub path: String,
+    pub attrs: Vec<(String, String)>,
+}
+
+/// Render resources as an `application/link-format` document.
+pub fn render_link_format(entries: &[LinkEntry]) -> String {
+    entries
+        .iter()
+        .map(|e| {
+            let mut s = format!("<{}>", e.path);
+            for (k, v) in &e.attrs {
+                if v.is_empty() {
+                    s.push_str(&format!(";{k}"));
+                } else {
+                    s.push_str(&format!(";{k}=\"{v}\""));
+                }
+            }
+            s
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parse an `application/link-format` document (tolerant).
+pub fn parse_link_format(doc: &str) -> Vec<LinkEntry> {
+    doc.split(',')
+        .filter_map(|item| {
+            let item = item.trim();
+            let end = item.find('>')?;
+            if !item.starts_with('<') {
+                return None;
+            }
+            let path = item[1..end].to_string();
+            let attrs = item[end + 1..]
+                .split(';')
+                .filter(|a| !a.is_empty())
+                .map(|a| match a.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.trim_matches('"').to_string()),
+                    None => (a.to_string(), String::new()),
+                })
+                .collect();
+            Some(LinkEntry { path, attrs })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_display() {
+        assert_eq!(Code::GET.to_string(), "0.01");
+        assert_eq!(Code::CONTENT.to_string(), "2.05");
+        assert_eq!(Code::UNAUTHORIZED.to_string(), "4.01");
+        assert!(Code::GET.is_request());
+        assert!(Code::CONTENT.is_response());
+    }
+
+    #[test]
+    fn golden_well_known_core() {
+        let m = Message::well_known_core_request(0x1234);
+        let wire = m.encode();
+        // ver=1 type=CON tkl=1 -> 0x41; code GET=0.01 -> 0x01; mid 0x1234.
+        assert_eq!(&wire[..4], &[0x41, 0x01, 0x12, 0x34]);
+        assert_eq!(wire[4], 0x71); // token
+        // First option: delta 11 (Uri-Path), length 11 (".well-known") -> 0xBB.
+        assert_eq!(wire[5], 0xBB);
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.uri_path(), ".well-known/core");
+    }
+
+    #[test]
+    fn content_response_roundtrip() {
+        let req = Message::well_known_core_request(7);
+        let resp = Message::content_response(&req, "</sensors/temp>;rt=\"temperature\"");
+        let back = Message::decode(&resp.encode()).unwrap();
+        assert_eq!(back.code, Code::CONTENT);
+        assert_eq!(back.message_id, 7);
+        assert_eq!(back.payload, b"</sensors/temp>;rt=\"temperature\"");
+    }
+
+    #[test]
+    fn large_option_deltas() {
+        // Uri-Query is number 15; a custom large option exercises the
+        // 13/14-nibble extension paths.
+        let m = Message {
+            msg_type: MsgType::NonConfirmable,
+            code: Code::POST,
+            message_id: 9,
+            token: vec![],
+            options: vec![
+                CoapOption {
+                    number: option_num::URI_PATH,
+                    value: b"x".to_vec(),
+                },
+                CoapOption {
+                    number: 300,
+                    value: vec![1, 2, 3],
+                },
+                CoapOption {
+                    number: 2000,
+                    value: vec![0; 300],
+                },
+            ],
+            payload: b"p".to_vec(),
+        };
+        let back = Message::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[0x81, 0, 0, 0]).is_err()); // version 2
+        assert!(Message::decode(&[0x4F, 0, 0, 0]).is_err()); // tkl 15
+        assert!(Message::decode(&[0x41, 0x01, 0, 0]).is_err()); // missing token
+        // Payload marker with nothing after it.
+        assert!(Message::decode(&[0x40, 0x01, 0, 0, 0xFF]).is_err());
+    }
+
+    #[test]
+    fn link_format_roundtrip() {
+        let entries = vec![
+            LinkEntry {
+                path: "/sensors/smoke".into(),
+                attrs: vec![("rt".into(), "smoke-sensor".into()), ("obs".into(), String::new())],
+            },
+            LinkEntry {
+                path: "/ndm/login".into(),
+                attrs: vec![],
+            },
+        ];
+        let doc = render_link_format(&entries);
+        assert_eq!(
+            doc,
+            "</sensors/smoke>;rt=\"smoke-sensor\";obs,</ndm/login>"
+        );
+        assert_eq!(parse_link_format(&doc), entries);
+    }
+
+    #[test]
+    fn link_format_tolerates_garbage() {
+        assert!(parse_link_format("not a link format").is_empty());
+        assert_eq!(parse_link_format("<ok>,garbage,<also>").len(), 2);
+    }
+}

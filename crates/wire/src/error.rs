@@ -1,0 +1,78 @@
+//! Error type shared by all codecs.
+
+use std::fmt;
+
+/// A parse or encode failure. Decoders return precise errors and never panic
+/// on arbitrary input — the fuzz-style proptests in each module rely on this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Bytes needed (best effort; 0 when unknown).
+        needed: usize,
+    },
+    /// A field held a value the protocol does not allow.
+    Invalid {
+        what: &'static str,
+        detail: String,
+    },
+    /// The payload does not start with the protocol's magic/signature.
+    BadMagic { what: &'static str },
+    /// A length field exceeds this implementation's sanity limit.
+    TooLarge { what: &'static str, len: usize },
+}
+
+impl WireError {
+    pub fn truncated(what: &'static str, needed: usize) -> Self {
+        WireError::Truncated { what, needed }
+    }
+
+    pub fn invalid(what: &'static str, detail: impl Into<String>) -> Self {
+        WireError::Invalid {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what, needed } => {
+                write!(f, "truncated {what} (need {needed} more bytes)")
+            }
+            WireError::Invalid { what, detail } => write!(f, "invalid {what}: {detail}"),
+            WireError::BadMagic { what } => write!(f, "bad magic for {what}"),
+            WireError::TooLarge { what, len } => write!(f, "{what} length {len} exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            WireError::truncated("mqtt header", 2).to_string(),
+            "truncated mqtt header (need 2 more bytes)"
+        );
+        assert_eq!(
+            WireError::invalid("coap code", "9.99").to_string(),
+            "invalid coap code: 9.99"
+        );
+        assert_eq!(
+            WireError::BadMagic { what: "smb" }.to_string(),
+            "bad magic for smb"
+        );
+        assert_eq!(
+            WireError::TooLarge { what: "mqtt remaining length", len: 1 << 30 }.to_string(),
+            format!("mqtt remaining length length {} exceeds limit", 1 << 30)
+        );
+    }
+}

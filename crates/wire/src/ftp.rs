@@ -1,0 +1,135 @@
+//! FTP (RFC 959 subset) — command/reply codec.
+//!
+//! Dionaea simulates FTP; the paper records brute-force logins followed by
+//! `STOR` uploads of Mozi and Lokibot droppers (§5.1.5). Replies like
+//! `220`/`230`/`530` are all the state machine needs. FTP is also the
+//! protocol of the closest prior work (Springall et al.'s anonymous-FTP
+//! study), which the paper's methodology section builds on.
+
+use crate::error::WireError;
+
+/// An FTP command line, e.g. `USER admin`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    pub verb: String,
+    pub arg: Option<String>,
+}
+
+impl Command {
+    pub fn new(verb: &str, arg: Option<&str>) -> Command {
+        Command {
+            verb: verb.to_ascii_uppercase(),
+            arg: arg.map(str::to_string),
+        }
+    }
+
+    pub fn render(&self) -> String {
+        match &self.arg {
+            Some(a) => format!("{} {}\r\n", self.verb, a),
+            None => format!("{}\r\n", self.verb),
+        }
+    }
+
+    pub fn parse(line: &str) -> Result<Command, WireError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            return Err(WireError::invalid("ftp command", "empty line"));
+        }
+        let (verb, arg) = match line.split_once(' ') {
+            Some((v, a)) => (v, Some(a.to_string())),
+            None => (line, None),
+        };
+        if verb.is_empty() || !verb.chars().all(|c| c.is_ascii_alphabetic()) {
+            return Err(WireError::invalid("ftp command verb", verb.to_string()));
+        }
+        Ok(Command {
+            verb: verb.to_ascii_uppercase(),
+            arg,
+        })
+    }
+}
+
+/// An FTP reply: 3-digit code plus text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    pub code: u16,
+    pub text: String,
+}
+
+impl Reply {
+    pub const SERVICE_READY: u16 = 220;
+    pub const LOGGED_IN: u16 = 230;
+    pub const NEED_PASSWORD: u16 = 331;
+    pub const LOGIN_FAILED: u16 = 530;
+    pub const FILE_OK: u16 = 150;
+    pub const TRANSFER_COMPLETE: u16 = 226;
+
+    pub fn new(code: u16, text: &str) -> Reply {
+        Reply {
+            code,
+            text: text.into(),
+        }
+    }
+
+    pub fn render(&self) -> String {
+        format!("{} {}\r\n", self.code, self.text)
+    }
+
+    pub fn parse(line: &str) -> Result<Reply, WireError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        // Take the first three bytes only if they are ASCII digits — `line`
+        // may be arbitrary attacker text, including multi-byte UTF-8 whose
+        // char boundaries don't fall at index 3.
+        let code_str = line
+            .get(..3)
+            .ok_or(WireError::truncated("ftp reply", 3_usize.saturating_sub(line.len())))?;
+        let code: u16 = code_str
+            .parse()
+            .map_err(|_| WireError::invalid("ftp reply code", code_str.to_string()))?;
+        if !(100..600).contains(&code) {
+            return Err(WireError::invalid("ftp reply code", code.to_string()));
+        }
+        let text = line[3..].trim_start_matches([' ', '-']).to_string();
+        Ok(Reply { code, text })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_roundtrip() {
+        for (verb, arg) in [("USER", Some("admin")), ("PASS", Some("admin")), ("QUIT", None)] {
+            let c = Command::new(verb, arg);
+            assert_eq!(Command::parse(&c.render()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn lowercase_verbs_normalized() {
+        assert_eq!(Command::parse("user anonymous").unwrap().verb, "USER");
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let r = Reply::new(Reply::SERVICE_READY, "FTP server ready");
+        assert_eq!(r.render(), "220 FTP server ready\r\n");
+        assert_eq!(Reply::parse(&r.render()).unwrap(), r);
+    }
+
+    #[test]
+    fn reply_code_classes() {
+        assert_eq!(Reply::parse("230 Login successful.").unwrap().code, 230);
+        assert_eq!(Reply::parse("530 Login incorrect.").unwrap().code, 530);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Command::parse("").is_err());
+        assert!(Command::parse("123 nope").is_err());
+        assert!(Reply::parse("xx").is_err());
+        assert!(Reply::parse("999 out of range").is_err());
+        assert!(Reply::parse("ab3 nope").is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Minimal HTTP/1.1 — requests and responses with headers and body.
+//!
+//! HTTP is simulated by HosTaGe, Conpot, and Dionaea; the paper observes
+//! web-scraping, login brute force, HTTP floods, and crypto-miner injection
+//! on it (§5.1.6). Banner grabs read the `Server` header; Telnet droppers
+//! fetch payloads from infected URLs over HTTP (§5.3).
+
+use crate::error::WireError;
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: vec![("Host".into(), "device".into())],
+            body: Vec::new(),
+        }
+    }
+
+    pub fn post(path: &str, body: impl Into<Vec<u8>>) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![("Host".into(), "device".into())],
+            body: body.into(),
+        }
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    pub fn render(&self) -> Vec<u8> {
+        render_message(
+            &format!("{} {} HTTP/1.1", self.method, self.path),
+            &self.headers,
+            &self.body,
+        )
+    }
+
+    pub fn parse(bytes: &[u8]) -> Result<Request, WireError> {
+        let (start, headers, body) = parse_message(bytes, "http request")?;
+        let mut parts = start.split(' ');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| WireError::invalid("http request line", start.clone()))?;
+        let path = parts
+            .next()
+            .ok_or_else(|| WireError::invalid("http request line", start.clone()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| WireError::invalid("http request line", start.clone()))?;
+        if !version.starts_with("HTTP/") {
+            return Err(WireError::BadMagic { what: "http request" });
+        }
+        Ok(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body,
+        })
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub reason: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn ok(body: impl Into<Vec<u8>>) -> Response {
+        let body = body.into();
+        Response {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![("Content-Type".into(), "text/html".into())],
+            body,
+        }
+    }
+
+    pub fn with_server(mut self, server: &str) -> Response {
+        self.headers.push(("Server".into(), server.into()));
+        self
+    }
+
+    pub fn status_only(status: u16, reason: &str) -> Response {
+        Response {
+            status,
+            reason: reason.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    pub fn render(&self) -> Vec<u8> {
+        render_message(
+            &format!("HTTP/1.1 {} {}", self.status, self.reason),
+            &self.headers,
+            &self.body,
+        )
+    }
+
+    pub fn parse(bytes: &[u8]) -> Result<Response, WireError> {
+        let (start, headers, body) = parse_message(bytes, "http response")?;
+        let rest = start
+            .strip_prefix("HTTP/1.1 ")
+            .or_else(|| start.strip_prefix("HTTP/1.0 "))
+            .ok_or(WireError::BadMagic { what: "http response" })?;
+        let (code, reason) = rest.split_once(' ').unwrap_or((rest, ""));
+        let status: u16 = code
+            .parse()
+            .map_err(|_| WireError::invalid("http status", code.to_string()))?;
+        Ok(Response {
+            status,
+            reason: reason.to_string(),
+            headers,
+            body,
+        })
+    }
+}
+
+fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+fn render_message(start: &str, headers: &[(String, String)], body: &[u8]) -> Vec<u8> {
+    let mut out = format!("{start}\r\n").into_bytes();
+    let mut has_len = false;
+    for (k, v) in headers {
+        if k.eq_ignore_ascii_case("content-length") {
+            has_len = true;
+        }
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    if !has_len && !body.is_empty() {
+        out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+type ParsedMessage = (String, Vec<(String, String)>, Vec<u8>);
+
+fn parse_message(bytes: &[u8], what: &'static str) -> Result<ParsedMessage, WireError> {
+    let split = find_header_end(bytes)
+        .ok_or(WireError::Truncated { what, needed: 4 })?;
+    let head = std::str::from_utf8(&bytes[..split])
+        .map_err(|_| WireError::invalid(what, "non-UTF-8 header block"))?;
+    let body = bytes[split + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let start = lines
+        .next()
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| WireError::invalid(what, "empty start line"))?
+        .to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| WireError::invalid(what, format!("bad header line {line:?}")))?;
+        headers.push((k.trim().to_string(), v.trim().to_string()));
+    }
+    Ok((start, headers, body))
+}
+
+fn find_header_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request::get("/login.html");
+        let back = Request::parse(&r.render()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.header("host"), Some("device"));
+    }
+
+    #[test]
+    fn post_with_body() {
+        let r = Request::post("/api/login", b"user=admin&pass=admin".to_vec());
+        let wire = r.render();
+        assert!(String::from_utf8_lossy(&wire).contains("Content-Length: 21"));
+        let back = Request::parse(&wire).unwrap();
+        assert_eq!(back.body, b"user=admin&pass=admin");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = Response::ok(b"<html>Hue Bridge</html>".to_vec()).with_server("nginx/1.14.0");
+        let back = Response::parse(&r.render()).unwrap();
+        assert_eq!(back.status, 200);
+        assert_eq!(back.header("Server"), Some("nginx/1.14.0"));
+        assert_eq!(back.body, b"<html>Hue Bridge</html>");
+    }
+
+    #[test]
+    fn status_only_response() {
+        let r = Response::status_only(401, "Unauthorized");
+        let back = Response::parse(&r.render()).unwrap();
+        assert_eq!(back.status, 401);
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Request::parse(b"").is_err());
+        assert!(Request::parse(b"nonsense\r\n\r\n").is_err());
+        assert!(Response::parse(b"SSH-2.0-x\r\n\r\n").is_err());
+        // Header block never terminates.
+        assert!(matches!(
+            Request::parse(b"GET / HTTP/1.1\r\nHost: x\r\n"),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

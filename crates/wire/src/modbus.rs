@@ -1,0 +1,158 @@
+//! Modbus/TCP — MBAP header + PDU codec.
+//!
+//! Conpot simulates a Siemens PLC whose Modbus registers the paper saw
+//! poisoned: "adversaries tried to access and change the values stored in the
+//! registers", targeting three of the nineteen function codes — read device
+//! identification, the holding register, and report server id — with only
+//! 10% of traffic using valid function codes (§5.1.4).
+
+use crate::error::WireError;
+
+/// Function codes observed in the study.
+pub mod function {
+    pub const READ_HOLDING_REGISTERS: u8 = 0x03;
+    pub const WRITE_SINGLE_REGISTER: u8 = 0x06;
+    pub const REPORT_SERVER_ID: u8 = 0x11;
+    pub const READ_DEVICE_IDENTIFICATION: u8 = 0x2B;
+}
+
+/// Exception code for an unsupported function (returned with the function
+/// code's high bit set).
+pub const EXCEPTION_ILLEGAL_FUNCTION: u8 = 0x01;
+pub const EXCEPTION_ILLEGAL_ADDRESS: u8 = 0x02;
+
+/// A Modbus/TCP frame: MBAP header + function + data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Transaction id, echoed by the server.
+    pub transaction_id: u16,
+    /// Unit (slave) id.
+    pub unit_id: u8,
+    /// Function code. High bit set = exception response.
+    pub function: u8,
+    /// Function-specific data.
+    pub data: Vec<u8>,
+}
+
+impl Frame {
+    pub fn read_holding_registers(transaction_id: u16, start: u16, count: u16) -> Frame {
+        let mut data = Vec::with_capacity(4);
+        data.extend_from_slice(&start.to_be_bytes());
+        data.extend_from_slice(&count.to_be_bytes());
+        Frame {
+            transaction_id,
+            unit_id: 1,
+            function: function::READ_HOLDING_REGISTERS,
+            data,
+        }
+    }
+
+    pub fn write_single_register(transaction_id: u16, addr: u16, value: u16) -> Frame {
+        let mut data = Vec::with_capacity(4);
+        data.extend_from_slice(&addr.to_be_bytes());
+        data.extend_from_slice(&value.to_be_bytes());
+        Frame {
+            transaction_id,
+            unit_id: 1,
+            function: function::WRITE_SINGLE_REGISTER,
+            data,
+        }
+    }
+
+    /// Exception response to `request`.
+    pub fn exception(request: &Frame, code: u8) -> Frame {
+        Frame {
+            transaction_id: request.transaction_id,
+            unit_id: request.unit_id,
+            function: request.function | 0x80,
+            data: vec![code],
+        }
+    }
+
+    pub fn is_exception(&self) -> bool {
+        self.function & 0x80 != 0
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.data.len());
+        out.extend_from_slice(&self.transaction_id.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // protocol id = 0 (Modbus)
+        let len = 2 + self.data.len() as u16; // unit + function + data
+        out.extend_from_slice(&len.to_be_bytes());
+        out.push(self.unit_id);
+        out.push(self.function);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        if bytes.len() < 8 {
+            return Err(WireError::truncated("modbus mbap", 8 - bytes.len()));
+        }
+        let transaction_id = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let protocol = u16::from_be_bytes([bytes[2], bytes[3]]);
+        if protocol != 0 {
+            return Err(WireError::invalid("modbus protocol id", protocol.to_string()));
+        }
+        let len = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
+        if len < 2 {
+            return Err(WireError::invalid("modbus length", len.to_string()));
+        }
+        if bytes.len() < 6 + len {
+            return Err(WireError::truncated("modbus pdu", 6 + len - bytes.len()));
+        }
+        Ok(Frame {
+            transaction_id,
+            unit_id: bytes[6],
+            function: bytes[7],
+            data: bytes[8..6 + len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_roundtrip() {
+        let f = Frame::read_holding_registers(7, 0x0000, 10);
+        let wire = f.encode();
+        assert_eq!(&wire[..2], &[0, 7]); // transaction id
+        assert_eq!(&wire[2..4], &[0, 0]); // protocol id
+        assert_eq!(wire[7], function::READ_HOLDING_REGISTERS);
+        assert_eq!(Frame::decode(&wire).unwrap(), f);
+    }
+
+    #[test]
+    fn write_poisoning_frame() {
+        let f = Frame::write_single_register(9, 0x0010, 0xDEAD);
+        let back = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(back.function, function::WRITE_SINGLE_REGISTER);
+        assert_eq!(&back.data, &[0x00, 0x10, 0xDE, 0xAD]);
+    }
+
+    #[test]
+    fn exception_response() {
+        let req = Frame {
+            transaction_id: 3,
+            unit_id: 1,
+            function: 0x63, // invalid function, like 90% of observed traffic
+            data: vec![],
+        };
+        let resp = Frame::exception(&req, EXCEPTION_ILLEGAL_FUNCTION);
+        assert!(resp.is_exception());
+        assert_eq!(resp.function, 0xE3);
+        let back = Frame::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Frame::decode(&[]).is_err());
+        assert!(Frame::decode(&[0, 1, 0, 5, 0, 2, 1, 3]).is_err()); // protocol id 5
+        let f = Frame::read_holding_registers(1, 0, 1);
+        let wire = f.encode();
+        assert!(Frame::decode(&wire[..7]).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! OPC UA binary transport — Hello/Acknowledge (future-work scope, §6).
+//!
+//! The industrial-IoT protocol the paper names for its extended scanning
+//! scope. OPC UA's TCP transport opens with a `HEL` message (protocol
+//! version, buffer sizes, endpoint URL) answered by `ACK`; a scan of port
+//! 4840 that receives an ACK has found an OPC UA server, and the endpoint
+//! URL in the exchange identifies the product. We implement the Hello and
+//! Acknowledge chunks of the binary framing (OPC 10000-6 §7.1).
+
+use crate::error::WireError;
+
+/// The well-known OPC UA port.
+pub const PORT: u16 = 4_840;
+
+/// A HEL (Hello) message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    pub protocol_version: u32,
+    pub receive_buffer_size: u32,
+    pub send_buffer_size: u32,
+    pub max_message_size: u32,
+    pub max_chunk_count: u32,
+    /// The endpoint the client wants, e.g. `opc.tcp://host:4840/`.
+    pub endpoint_url: String,
+}
+
+impl Hello {
+    /// A scanner's default Hello.
+    pub fn probe(endpoint_url: &str) -> Hello {
+        Hello {
+            protocol_version: 0,
+            receive_buffer_size: 65_536,
+            send_buffer_size: 65_536,
+            max_message_size: 0,
+            max_chunk_count: 0,
+            endpoint_url: endpoint_url.into(),
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let url = self.endpoint_url.as_bytes();
+        let size = 8 + 20 + 4 + url.len();
+        let mut out = Vec::with_capacity(size);
+        out.extend_from_slice(b"HEL");
+        out.push(b'F'); // final chunk
+        out.extend_from_slice(&(size as u32).to_le_bytes());
+        out.extend_from_slice(&self.protocol_version.to_le_bytes());
+        out.extend_from_slice(&self.receive_buffer_size.to_le_bytes());
+        out.extend_from_slice(&self.send_buffer_size.to_le_bytes());
+        out.extend_from_slice(&self.max_message_size.to_le_bytes());
+        out.extend_from_slice(&self.max_chunk_count.to_le_bytes());
+        out.extend_from_slice(&(url.len() as u32).to_le_bytes());
+        out.extend_from_slice(url);
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Hello, WireError> {
+        if bytes.len() < 8 {
+            return Err(WireError::truncated("opcua header", 8 - bytes.len()));
+        }
+        if &bytes[..3] != b"HEL" {
+            return Err(WireError::BadMagic { what: "opcua hello" });
+        }
+        let size = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+        if bytes.len() < size || size < 32 {
+            return Err(WireError::truncated("opcua hello body", size.saturating_sub(bytes.len())));
+        }
+        let u32_at = |o: usize| u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        let url_len = u32_at(28) as usize;
+        if url_len > size - 32 {
+            return Err(WireError::invalid("opcua url length", url_len.to_string()));
+        }
+        let endpoint_url = String::from_utf8_lossy(&bytes[32..32 + url_len]).into_owned();
+        Ok(Hello {
+            protocol_version: u32_at(8),
+            receive_buffer_size: u32_at(12),
+            send_buffer_size: u32_at(16),
+            max_message_size: u32_at(20),
+            max_chunk_count: u32_at(24),
+            endpoint_url,
+        })
+    }
+}
+
+/// An ACK (Acknowledge) message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Acknowledge {
+    pub protocol_version: u32,
+    pub receive_buffer_size: u32,
+    pub send_buffer_size: u32,
+    pub max_message_size: u32,
+    pub max_chunk_count: u32,
+}
+
+impl Acknowledge {
+    /// A server's standard acknowledge.
+    pub fn standard() -> Acknowledge {
+        Acknowledge {
+            protocol_version: 0,
+            receive_buffer_size: 65_536,
+            send_buffer_size: 65_536,
+            max_message_size: 16 * 1024 * 1024,
+            max_chunk_count: 4_096,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28);
+        out.extend_from_slice(b"ACK");
+        out.push(b'F');
+        out.extend_from_slice(&28u32.to_le_bytes());
+        out.extend_from_slice(&self.protocol_version.to_le_bytes());
+        out.extend_from_slice(&self.receive_buffer_size.to_le_bytes());
+        out.extend_from_slice(&self.send_buffer_size.to_le_bytes());
+        out.extend_from_slice(&self.max_message_size.to_le_bytes());
+        out.extend_from_slice(&self.max_chunk_count.to_le_bytes());
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Acknowledge, WireError> {
+        if bytes.len() < 28 {
+            return Err(WireError::truncated("opcua ack", 28usize.saturating_sub(bytes.len())));
+        }
+        if &bytes[..3] != b"ACK" {
+            return Err(WireError::BadMagic { what: "opcua ack" });
+        }
+        let u32_at = |o: usize| u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        Ok(Acknowledge {
+            protocol_version: u32_at(8),
+            receive_buffer_size: u32_at(12),
+            send_buffer_size: u32_at(16),
+            max_message_size: u32_at(20),
+            max_chunk_count: u32_at(24),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let h = Hello::probe("opc.tcp://16.0.9.9:4840/");
+        let wire = h.encode();
+        assert_eq!(&wire[..4], b"HELF");
+        assert_eq!(Hello::decode(&wire).unwrap(), h);
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let a = Acknowledge::standard();
+        let wire = a.encode();
+        assert_eq!(&wire[..4], b"ACKF");
+        assert_eq!(wire.len(), 28);
+        assert_eq!(Acknowledge::decode(&wire).unwrap(), a);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Hello::decode(b"").is_err());
+        assert!(Hello::decode(b"MSGF\x20\x00\x00\x00").is_err());
+        assert!(Acknowledge::decode(b"HELF").is_err());
+        // URL length larger than the message.
+        let mut wire = Hello::probe("x").encode();
+        wire[28] = 0xFF;
+        assert!(Hello::decode(&wire).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The protocol taxonomy of the study.
+//!
+//! Six protocols are Internet-scanned (Table 4/5/9); six more appear on the
+//! honeypots (Table 7) and in the attack analysis (§5.1). A single enum keeps
+//! every crate speaking the same names and ports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ports;
+
+/// Every protocol the study touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    Telnet,
+    Mqtt,
+    Coap,
+    Amqp,
+    Xmpp,
+    Upnp,
+    Ssh,
+    Http,
+    Ftp,
+    Smb,
+    Modbus,
+    S7,
+}
+
+impl Protocol {
+    /// The six protocols of the Internet-wide scan, in Table 9 scan order.
+    pub const SCANNED: [Protocol; 6] = [
+        Protocol::Coap,
+        Protocol::Upnp,
+        Protocol::Telnet,
+        Protocol::Mqtt,
+        Protocol::Amqp,
+        Protocol::Xmpp,
+    ];
+
+    /// All protocols.
+    pub const ALL: [Protocol; 12] = [
+        Protocol::Telnet,
+        Protocol::Mqtt,
+        Protocol::Coap,
+        Protocol::Amqp,
+        Protocol::Xmpp,
+        Protocol::Upnp,
+        Protocol::Ssh,
+        Protocol::Http,
+        Protocol::Ftp,
+        Protocol::Smb,
+        Protocol::Modbus,
+        Protocol::S7,
+    ];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            Protocol::Telnet => "Telnet",
+            Protocol::Mqtt => "MQTT",
+            Protocol::Coap => "CoAP",
+            Protocol::Amqp => "AMQP",
+            Protocol::Xmpp => "XMPP",
+            Protocol::Upnp => "UPnP",
+            Protocol::Ssh => "SSH",
+            Protocol::Http => "HTTP",
+            Protocol::Ftp => "FTP",
+            Protocol::Smb => "SMB",
+            Protocol::Modbus => "Modbus",
+            Protocol::S7 => "S7",
+        }
+    }
+
+    /// Primary well-known port.
+    pub const fn port(self) -> u16 {
+        match self {
+            Protocol::Telnet => ports::TELNET,
+            Protocol::Mqtt => ports::MQTT,
+            Protocol::Coap => ports::COAP,
+            Protocol::Amqp => ports::AMQP,
+            Protocol::Xmpp => ports::XMPP_CLIENT,
+            Protocol::Upnp => ports::SSDP,
+            Protocol::Ssh => ports::SSH,
+            Protocol::Http => ports::HTTP,
+            Protocol::Ftp => ports::FTP,
+            Protocol::Smb => ports::SMB,
+            Protocol::Modbus => ports::MODBUS,
+            Protocol::S7 => ports::S7,
+        }
+    }
+
+    /// Additional ports the paper scans for this protocol (Telnet is scanned
+    /// on both 23 and 2323; XMPP on the client and server ports) — the reason
+    /// the ZMap column of Table 4 exceeds Project Sonar's.
+    pub fn extra_ports(self) -> &'static [u16] {
+        match self {
+            Protocol::Telnet => &[ports::TELNET_ALT],
+            Protocol::Xmpp => &[ports::XMPP_SERVER],
+            _ => &[],
+        }
+    }
+
+    /// Whether the protocol rides UDP (response-based probing, Table 3)
+    /// rather than TCP (banner-based probing, Table 2).
+    pub const fn is_udp(self) -> bool {
+        matches!(self, Protocol::Coap | Protocol::Upnp)
+    }
+
+    /// Protocol from a well-known port.
+    pub fn from_port(port: u16) -> Option<Protocol> {
+        match port {
+            ports::TELNET | ports::TELNET_ALT => Some(Protocol::Telnet),
+            ports::MQTT => Some(Protocol::Mqtt),
+            ports::COAP => Some(Protocol::Coap),
+            ports::AMQP => Some(Protocol::Amqp),
+            ports::XMPP_CLIENT | ports::XMPP_SERVER => Some(Protocol::Xmpp),
+            ports::SSDP => Some(Protocol::Upnp),
+            ports::SSH => Some(Protocol::Ssh),
+            ports::HTTP => Some(Protocol::Http),
+            ports::FTP => Some(Protocol::Ftp),
+            ports::SMB => Some(Protocol::Smb),
+            ports::MODBUS => Some(Protocol::Modbus),
+            ports::S7 => Some(Protocol::S7),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_roundtrip() {
+        for p in Protocol::ALL {
+            assert_eq!(Protocol::from_port(p.port()), Some(p), "{p}");
+        }
+        assert_eq!(Protocol::from_port(2323), Some(Protocol::Telnet));
+        assert_eq!(Protocol::from_port(5269), Some(Protocol::Xmpp));
+        assert_eq!(Protocol::from_port(59999), None);
+    }
+
+    #[test]
+    fn scanned_set_is_the_papers() {
+        assert_eq!(Protocol::SCANNED.len(), 6);
+        assert!(Protocol::SCANNED.contains(&Protocol::Telnet));
+        assert!(Protocol::SCANNED.iter().all(|p| Protocol::ALL.contains(p)));
+    }
+
+    #[test]
+    fn udp_protocols() {
+        assert!(Protocol::Coap.is_udp());
+        assert!(Protocol::Upnp.is_udp());
+        assert!(!Protocol::Telnet.is_udp());
+    }
+}

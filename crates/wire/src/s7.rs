@@ -1,0 +1,166 @@
+//! S7comm over TPKT/COTP — Siemens PLC protocol codec.
+//!
+//! Conpot emulates a Siemens S7 PLC on port 102. The paper observed DoS
+//! attacks "possibly targeting the ICSA-16-299-01 vulnerability … performed
+//! by flooding the requests with PDU type 1, that results in spawning of a
+//! job request in the device" (§5.1.4). S7 is also the dominant third stage
+//! of the multistage attacks in Fig. 9. We implement the TPKT + COTP framing
+//! and the S7 header with its Job (1) / Ack-Data (3) PDU types and the
+//! function codes the traffic exercised.
+
+use crate::error::WireError;
+
+/// S7 PDU types.
+pub mod pdu_type {
+    /// Job request — the ICSA-16-299-01 flood uses these.
+    pub const JOB: u8 = 0x01;
+    pub const ACK: u8 = 0x02;
+    pub const ACK_DATA: u8 = 0x03;
+    pub const USERDATA: u8 = 0x07;
+}
+
+/// S7 function codes.
+pub mod function {
+    pub const SETUP_COMMUNICATION: u8 = 0xF0;
+    pub const READ_VAR: u8 = 0x04;
+    pub const WRITE_VAR: u8 = 0x05;
+}
+
+/// An S7comm message (already unwrapped from TPKT/COTP).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct S7Message {
+    pub pdu_type: u8,
+    pub pdu_ref: u16,
+    /// Parameter bytes; first byte is conventionally the function code.
+    pub parameters: Vec<u8>,
+    pub data: Vec<u8>,
+}
+
+impl S7Message {
+    /// A Job request for the given function.
+    pub fn job(pdu_ref: u16, function: u8, args: &[u8]) -> S7Message {
+        let mut parameters = vec![function];
+        parameters.extend_from_slice(args);
+        S7Message {
+            pdu_type: pdu_type::JOB,
+            pdu_ref,
+            parameters,
+            data: Vec::new(),
+        }
+    }
+
+    pub fn function(&self) -> Option<u8> {
+        self.parameters.first().copied()
+    }
+
+    /// Encode with full TPKT (RFC 1006) + COTP DT framing.
+    pub fn encode(&self) -> Vec<u8> {
+        // S7 header: protocol id 0x32, pdu type, reserved, pdu ref,
+        // parameter length, data length.
+        let mut s7 = vec![0x32, self.pdu_type, 0, 0];
+        s7.extend_from_slice(&self.pdu_ref.to_be_bytes());
+        s7.extend_from_slice(&(self.parameters.len() as u16).to_be_bytes());
+        s7.extend_from_slice(&(self.data.len() as u16).to_be_bytes());
+        s7.extend_from_slice(&self.parameters);
+        s7.extend_from_slice(&self.data);
+        // COTP DT header: length 2, DT code 0xF0, EOT bit set.
+        let cotp = [0x02, 0xF0, 0x80];
+        // TPKT: version 3, reserved, total length.
+        let total = 4 + cotp.len() + s7.len();
+        let mut out = vec![0x03, 0x00];
+        out.extend_from_slice(&(total as u16).to_be_bytes());
+        out.extend_from_slice(&cotp);
+        out.extend_from_slice(&s7);
+        out
+    }
+
+    /// Decode from TPKT framing.
+    pub fn decode(bytes: &[u8]) -> Result<S7Message, WireError> {
+        if bytes.len() < 4 {
+            return Err(WireError::truncated("tpkt header", 4 - bytes.len()));
+        }
+        if bytes[0] != 0x03 {
+            return Err(WireError::BadMagic { what: "tpkt" });
+        }
+        let total = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        if bytes.len() < total {
+            return Err(WireError::truncated("tpkt body", total - bytes.len()));
+        }
+        // COTP: first byte is header length (excluding itself).
+        let cotp_len = bytes[4] as usize + 1;
+        let s7_start = 4 + cotp_len;
+        if total < s7_start + 10 {
+            return Err(WireError::truncated("s7 header", s7_start + 10 - total));
+        }
+        let s7 = &bytes[s7_start..total];
+        if s7[0] != 0x32 {
+            return Err(WireError::BadMagic { what: "s7comm" });
+        }
+        let pdu_type = s7[1];
+        let pdu_ref = u16::from_be_bytes([s7[4], s7[5]]);
+        let param_len = u16::from_be_bytes([s7[6], s7[7]]) as usize;
+        let data_len = u16::from_be_bytes([s7[8], s7[9]]) as usize;
+        if s7.len() < 10 + param_len + data_len {
+            return Err(WireError::truncated(
+                "s7 body",
+                10 + param_len + data_len - s7.len(),
+            ));
+        }
+        Ok(S7Message {
+            pdu_type,
+            pdu_ref,
+            parameters: s7[10..10 + param_len].to_vec(),
+            data: s7[10 + param_len..10 + param_len + data_len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_communication_roundtrip() {
+        let m = S7Message::job(1, function::SETUP_COMMUNICATION, &[0, 1, 0, 1, 0x03, 0xC0]);
+        let wire = m.encode();
+        assert_eq!(wire[0], 0x03); // TPKT version
+        let back = S7Message::decode(&wire).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.function(), Some(function::SETUP_COMMUNICATION));
+        assert_eq!(back.pdu_type, pdu_type::JOB);
+    }
+
+    #[test]
+    fn write_var_poisoning() {
+        let m = S7Message {
+            pdu_type: pdu_type::JOB,
+            pdu_ref: 42,
+            parameters: vec![function::WRITE_VAR, 0x01],
+            data: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        };
+        let back = S7Message::decode(&m.encode()).unwrap();
+        assert_eq!(back.data, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn icsa_flood_pdu_is_a_job() {
+        // The DoS flood consists of bare Job requests.
+        let m = S7Message::job(9999, function::READ_VAR, &[]);
+        assert_eq!(S7Message::decode(&m.encode()).unwrap().pdu_type, pdu_type::JOB);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(S7Message::decode(&[]).is_err());
+        assert!(S7Message::decode(&[0x05, 0, 0, 4]).is_err()); // bad TPKT version
+        let wire = S7Message::job(1, function::READ_VAR, &[]).encode();
+        assert!(S7Message::decode(&wire[..wire.len() - 1]).is_err());
+        // Valid TPKT/COTP but wrong S7 protocol id.
+        let mut wire2 = wire.clone();
+        wire2[7] = 0x99;
+        assert!(matches!(
+            S7Message::decode(&wire2),
+            Err(WireError::BadMagic { what: "s7comm" })
+        ));
+    }
+}

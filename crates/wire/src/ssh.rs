@@ -1,0 +1,97 @@
+//! SSH identification strings (RFC 4253 §4.2).
+//!
+//! SSH banner grabbing only needs the identification exchange: both sides
+//! send `SSH-protoversion-softwareversion[ SP comments]\r\n` before any
+//! binary packet. The Kippo honeypot betrays itself with the frozen string
+//! `SSH-2.0-OpenSSH_5.1p1 Debian-5` (Table 6); Cowrie and HosTaGe simulate
+//! SSH servers whose brute-force traffic dominates §5.1.1.
+
+use crate::error::WireError;
+
+/// A parsed SSH identification line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Identification {
+    /// Protocol version, normally `2.0` (or `1.99` for compat servers).
+    pub proto_version: String,
+    /// Software version, e.g. `OpenSSH_5.1p1`.
+    pub software: String,
+    /// Optional comment after the first space, e.g. `Debian-5`.
+    pub comments: Option<String>,
+}
+
+impl Identification {
+    pub fn new(software: &str) -> Identification {
+        Identification {
+            proto_version: "2.0".into(),
+            software: software.into(),
+            comments: None,
+        }
+    }
+
+    pub fn with_comments(software: &str, comments: &str) -> Identification {
+        Identification {
+            proto_version: "2.0".into(),
+            software: software.into(),
+            comments: Some(comments.into()),
+        }
+    }
+
+    /// Render the wire form including CRLF.
+    pub fn render(&self) -> String {
+        match &self.comments {
+            Some(c) => format!("SSH-{}-{} {}\r\n", self.proto_version, self.software, c),
+            None => format!("SSH-{}-{}\r\n", self.proto_version, self.software),
+        }
+    }
+
+    /// Parse an identification line (with or without trailing CRLF).
+    pub fn parse(line: &str) -> Result<Identification, WireError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let rest = line
+            .strip_prefix("SSH-")
+            .ok_or(WireError::BadMagic { what: "ssh identification" })?;
+        let (proto, rest) = rest
+            .split_once('-')
+            .ok_or_else(|| WireError::invalid("ssh identification", "missing software version"))?;
+        if rest.is_empty() {
+            return Err(WireError::invalid("ssh identification", "empty software version"));
+        }
+        let (software, comments) = match rest.split_once(' ') {
+            Some((s, c)) => (s.to_string(), Some(c.to_string())),
+            None => (rest.to_string(), None),
+        };
+        Ok(Identification {
+            proto_version: proto.to_string(),
+            software,
+            comments,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kippo_banner_roundtrip() {
+        // Table 6: Kippo's static banner.
+        let id = Identification::with_comments("OpenSSH_5.1p1", "Debian-5");
+        assert_eq!(id.render(), "SSH-2.0-OpenSSH_5.1p1 Debian-5\r\n");
+        assert_eq!(Identification::parse(&id.render()).unwrap(), id);
+    }
+
+    #[test]
+    fn plain_banner() {
+        let id = Identification::parse("SSH-2.0-dropbear_2019.78").unwrap();
+        assert_eq!(id.software, "dropbear_2019.78");
+        assert_eq!(id.proto_version, "2.0");
+        assert!(id.comments.is_none());
+    }
+
+    #[test]
+    fn rejects_non_ssh() {
+        assert!(Identification::parse("HTTP/1.1 200 OK").is_err());
+        assert!(Identification::parse("SSH-2.0").is_err());
+        assert!(Identification::parse("SSH-2.0-").is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Telnet (RFC 854) — IAC command stream codec.
+//!
+//! Telnet is the paper's most-attacked protocol: it is scanned on ports 23 and
+//! 2323, the misconfiguration indicators are shell prompts in the banner
+//! (`$`, `root@xxx:~$`, Table 2), and honeypots betray themselves through
+//! characteristic IAC negotiation prefixes in their banners (Table 6 — e.g.
+//! Cowrie's `\xff\xfd\x1flogin:`). This module parses a raw Telnet byte
+//! stream into negotiation commands and visible text, and encodes both.
+
+use crate::error::WireError;
+
+/// IAC — "interpret as command" escape byte.
+pub const IAC: u8 = 255;
+
+/// Telnet option-negotiation verbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verb {
+    Will,
+    Wont,
+    Do,
+    Dont,
+}
+
+impl Verb {
+    pub const fn code(self) -> u8 {
+        match self {
+            Verb::Will => 251,
+            Verb::Wont => 252,
+            Verb::Do => 253,
+            Verb::Dont => 254,
+        }
+    }
+
+    pub const fn from_code(b: u8) -> Option<Verb> {
+        match b {
+            251 => Some(Verb::Will),
+            252 => Some(Verb::Wont),
+            253 => Some(Verb::Do),
+            254 => Some(Verb::Dont),
+            _ => None,
+        }
+    }
+}
+
+/// Common negotiated options (subset relevant to IoT honeypot banners).
+pub mod option {
+    pub const ECHO: u8 = 1;
+    pub const SUPPRESS_GO_AHEAD: u8 = 3;
+    pub const TERMINAL_TYPE: u8 = 24;
+    pub const NAWS: u8 = 31;
+    pub const LINEMODE: u8 = 34;
+}
+
+/// One element of a parsed Telnet stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelnetItem {
+    /// Plain visible bytes (prompt text, login banners…).
+    Text(Vec<u8>),
+    /// An IAC negotiation: WILL/WONT/DO/DONT + option.
+    Negotiation(Verb, u8),
+    /// An IAC command without an option byte (e.g. NOP=241, GA=249).
+    Command(u8),
+}
+
+/// Parse a complete Telnet byte stream into items.
+///
+/// A trailing incomplete IAC sequence yields `Truncated`, matching what a
+/// stream decoder would wait on.
+pub fn parse_stream(bytes: &[u8]) -> Result<Vec<TelnetItem>, WireError> {
+    let mut items = Vec::new();
+    let mut text = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b != IAC {
+            text.push(b);
+            i += 1;
+            continue;
+        }
+        // IAC sequence begins.
+        if i + 1 >= bytes.len() {
+            return Err(WireError::truncated("telnet IAC", 1));
+        }
+        let cmd = bytes[i + 1];
+        if cmd == IAC {
+            // Escaped 0xFF data byte.
+            text.push(IAC);
+            i += 2;
+            continue;
+        }
+        if !text.is_empty() {
+            items.push(TelnetItem::Text(std::mem::take(&mut text)));
+        }
+        if let Some(verb) = Verb::from_code(cmd) {
+            if i + 2 >= bytes.len() {
+                return Err(WireError::truncated("telnet negotiation option", 1));
+            }
+            items.push(TelnetItem::Negotiation(verb, bytes[i + 2]));
+            i += 3;
+        } else {
+            items.push(TelnetItem::Command(cmd));
+            i += 2;
+        }
+    }
+    if !text.is_empty() {
+        items.push(TelnetItem::Text(text));
+    }
+    Ok(items)
+}
+
+/// Encode items back to wire bytes (0xFF in text is IAC-escaped).
+pub fn encode_stream(items: &[TelnetItem]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            TelnetItem::Text(t) => {
+                for &b in t {
+                    if b == IAC {
+                        out.push(IAC);
+                    }
+                    out.push(b);
+                }
+            }
+            TelnetItem::Negotiation(verb, opt) => {
+                out.extend_from_slice(&[IAC, verb.code(), *opt]);
+            }
+            TelnetItem::Command(c) => out.extend_from_slice(&[IAC, *c]),
+        }
+    }
+    out
+}
+
+/// Build an IAC negotiation sequence — handy for banner construction:
+/// `negotiate(Verb::Do, option::NAWS)` is Cowrie's `\xff\xfd\x1f` prefix.
+pub fn negotiate(verb: Verb, opt: u8) -> [u8; 3] {
+    [IAC, verb.code(), opt]
+}
+
+/// The visible text of a banner with all IAC sequences stripped. Used by the
+/// misconfiguration classifier, which looks for prompt substrings; lossy on
+/// malformed trailing IACs (returns what was visible so far) because real
+/// scan pipelines do the same.
+pub fn visible_text(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b != IAC {
+            out.push(b);
+            i += 1;
+        } else if i + 1 < bytes.len() && bytes[i + 1] == IAC {
+            out.push(IAC);
+            i += 2;
+        } else if i + 1 < bytes.len() && Verb::from_code(bytes[i + 1]).is_some() {
+            i += 3; // may overshoot a truncated tail; that's fine
+        } else {
+            i += 2;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_cowrie_banner() {
+        // Cowrie's Table 6 signature: IAC DO NAWS followed by "login:".
+        let banner = b"\xff\xfd\x1flogin: ";
+        let items = parse_stream(banner).unwrap();
+        assert_eq!(
+            items,
+            vec![
+                TelnetItem::Negotiation(Verb::Do, option::NAWS),
+                TelnetItem::Text(b"login: ".to_vec()),
+            ]
+        );
+        assert_eq!(visible_text(banner), b"login: ");
+    }
+
+    #[test]
+    fn parses_mtpot_banner() {
+        // MTPot negotiates several options before the prompt.
+        let banner = b"\xff\xfd\x01\xff\xfd\x1f\xff\xfb\x01\xff\xfb\x03login: ";
+        let items = parse_stream(banner).unwrap();
+        assert_eq!(items.len(), 5);
+        assert_eq!(
+            items[0],
+            TelnetItem::Negotiation(Verb::Do, option::ECHO)
+        );
+        assert_eq!(visible_text(banner), b"login: ");
+    }
+
+    #[test]
+    fn roundtrip_with_escaped_iac() {
+        let items = vec![
+            TelnetItem::Negotiation(Verb::Will, option::ECHO),
+            TelnetItem::Text(vec![b'a', IAC, b'b']),
+            TelnetItem::Command(241), // NOP
+        ];
+        let wire = encode_stream(&items);
+        assert_eq!(parse_stream(&wire).unwrap(), items);
+    }
+
+    #[test]
+    fn truncated_iac_reported() {
+        assert!(matches!(
+            parse_stream(b"abc\xff"),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_stream(b"\xff\xfd"),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn plain_text_passthrough() {
+        let items = parse_stream(b"PK5001Z login:").unwrap();
+        assert_eq!(items, vec![TelnetItem::Text(b"PK5001Z login:".to_vec())]);
+    }
+
+    #[test]
+    fn visible_text_tolerates_garbage() {
+        // Must never panic, even on malformed input.
+        assert_eq!(visible_text(b"\xff"), b"");
+        assert_eq!(visible_text(b"\xff\xfd"), b"");
+        assert_eq!(visible_text(b"x\xff\xf1y"), b"xy");
+    }
+}

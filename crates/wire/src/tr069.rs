@@ -1,0 +1,114 @@
+//! TR-069 / CWMP (future-work scope, paper §6).
+//!
+//! "With regard to future work, we plan to extend the scanning scope of
+//! protocols to include TR069, SMB, and industrial IoT protocols like DDS
+//! and OPC UA." TR-069 is the ISP CPE-management protocol: the ACS speaks
+//! SOAP-over-HTTP to a connection-request endpoint on TCP 7547. A scan of
+//! 7547 reads the connection-request response; misconfigured CPEs answer
+//! without authentication and leak manufacturer/OUI/product-class via the
+//! Inform they fire at whoever connected (the Mirai-era TR-064/TR-069 attack
+//! surface). We implement the minimal envelope that exchange needs.
+
+use crate::error::WireError;
+
+/// The well-known TR-069 connection-request port.
+pub const PORT: u16 = 7_547;
+
+/// A CWMP Inform — the device-identity message a CPE emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inform {
+    pub manufacturer: String,
+    /// IEEE OUI of the vendor, six hex digits.
+    pub oui: String,
+    pub product_class: String,
+    pub serial_number: String,
+    /// Inform event code, e.g. `6 CONNECTION REQUEST`.
+    pub event: String,
+}
+
+impl Inform {
+    /// Render the SOAP envelope (minimal subset of the CWMP schema).
+    pub fn render(&self) -> String {
+        format!(
+            "<soap:Envelope xmlns:cwmp=\"urn:dslforum-org:cwmp-1-0\"><soap:Body><cwmp:Inform>\
+             <DeviceId><Manufacturer>{}</Manufacturer><OUI>{}</OUI>\
+             <ProductClass>{}</ProductClass><SerialNumber>{}</SerialNumber></DeviceId>\
+             <Event><EventStruct><EventCode>{}</EventCode></EventStruct></Event>\
+             </cwmp:Inform></soap:Body></soap:Envelope>",
+            self.manufacturer, self.oui, self.product_class, self.serial_number, self.event
+        )
+    }
+
+    /// Extract an Inform from received text (tolerant tag scraping, the way
+    /// a banner-grab pipeline treats SOAP).
+    pub fn parse(text: &str) -> Result<Inform, WireError> {
+        if !text.contains("cwmp:Inform") {
+            return Err(WireError::BadMagic { what: "cwmp inform" });
+        }
+        let tag = |name: &str| -> String {
+            let open = format!("<{name}>");
+            let close = format!("</{name}>");
+            match (text.find(&open), text.find(&close)) {
+                (Some(a), Some(b)) if a + open.len() <= b => {
+                    text[a + open.len()..b].to_string()
+                }
+                _ => String::new(),
+            }
+        };
+        Ok(Inform {
+            manufacturer: tag("Manufacturer"),
+            oui: tag("OUI"),
+            product_class: tag("ProductClass"),
+            serial_number: tag("SerialNumber"),
+            event: tag("EventCode"),
+        })
+    }
+}
+
+/// The connection-request probe an ACS (or a scanner) sends.
+pub fn connection_request() -> crate::http::Request {
+    crate::http::Request::get("/tr069/connectionrequest")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inform() -> Inform {
+        Inform {
+            manufacturer: "Huawei".into(),
+            oui: "00259E".into(),
+            product_class: "HG532e".into(),
+            serial_number: "48575443".into(),
+            event: "6 CONNECTION REQUEST".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let i = inform();
+        let text = i.render();
+        assert!(text.contains("urn:dslforum-org:cwmp-1-0"));
+        assert_eq!(Inform::parse(&text).unwrap(), i);
+    }
+
+    #[test]
+    fn rejects_non_cwmp() {
+        assert!(Inform::parse("<html>nope</html>").is_err());
+    }
+
+    #[test]
+    fn tolerates_missing_fields() {
+        let partial = "<cwmp:Inform><Manufacturer>ZTE</Manufacturer></cwmp:Inform>";
+        let i = Inform::parse(partial).unwrap();
+        assert_eq!(i.manufacturer, "ZTE");
+        assert!(i.oui.is_empty());
+    }
+
+    #[test]
+    fn probe_targets_connection_request_path() {
+        let req = connection_request();
+        assert_eq!(req.method, "GET");
+        assert!(req.path.contains("connectionrequest"));
+    }
+}

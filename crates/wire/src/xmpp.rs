@@ -1,0 +1,228 @@
+//! XMPP (RFC 6120 subset) — stream headers and SASL feature advertisement.
+//!
+//! The paper scans client port 5222 and server port 5269 for servers that
+//! allow non-TLS connections, and inspects the advertised SASL mechanisms:
+//! `<mechanism>PLAIN</mechanism>` means credentials travel unencrypted and
+//! `<mechanism>ANONYMOUS</mechanism>` means login without credentials —
+//! the two Table 2 indicators (143,986 anonymous-login devices in Table 5).
+//!
+//! XMPP is XML; a full parser is out of scope, but banner grabbing only needs
+//! the stream open tag and the `<stream:features>` block, so this module
+//! implements exactly that with a small, strict renderer and a tolerant
+//! extractor.
+
+use crate::error::WireError;
+
+/// SASL mechanisms relevant to the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    Plain,
+    Anonymous,
+    ScramSha1,
+    External,
+}
+
+impl Mechanism {
+    pub const fn name(self) -> &'static str {
+        match self {
+            Mechanism::Plain => "PLAIN",
+            Mechanism::Anonymous => "ANONYMOUS",
+            Mechanism::ScramSha1 => "SCRAM-SHA-1",
+            Mechanism::External => "EXTERNAL",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Mechanism> {
+        match s {
+            "PLAIN" => Some(Mechanism::Plain),
+            "ANONYMOUS" => Some(Mechanism::Anonymous),
+            "SCRAM-SHA-1" => Some(Mechanism::ScramSha1),
+            "EXTERNAL" => Some(Mechanism::External),
+            _ => None,
+        }
+    }
+}
+
+/// What an XMPP server advertises when a client opens a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamFeatures {
+    /// The server's JID domain (e.g. `hue-bridge.local`).
+    pub from: String,
+    /// Stream id.
+    pub id: String,
+    /// Whether STARTTLS is offered, and whether it is `<required/>`.
+    pub starttls: Option<TlsPolicy>,
+    /// Advertised SASL mechanisms.
+    pub mechanisms: Vec<Mechanism>,
+    /// Server software version string (some servers leak it in stream attrs).
+    pub version: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlsPolicy {
+    Optional,
+    Required,
+}
+
+/// The stream-open a scanner/client sends.
+pub fn client_stream_open(to: &str) -> String {
+    format!(
+        "<?xml version='1.0'?><stream:stream to='{to}' xmlns='jabber:client' \
+         xmlns:stream='http://etherx.jabber.org/streams' version='1.0'>"
+    )
+}
+
+impl StreamFeatures {
+    /// Render the server's stream-open + features block, as a banner grab
+    /// would receive it.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "<?xml version='1.0'?><stream:stream from='{}' id='{}' \
+             xmlns='jabber:client' xmlns:stream='http://etherx.jabber.org/streams' \
+             version='1.0'{}>",
+            self.from,
+            self.id,
+            match &self.version {
+                Some(v) => format!(" server-version='{v}'"),
+                None => String::new(),
+            }
+        );
+        s.push_str("<stream:features>");
+        match self.starttls {
+            Some(TlsPolicy::Required) => s.push_str(
+                "<starttls xmlns='urn:ietf:params:xml:ns:xmpp-tls'><required/></starttls>",
+            ),
+            Some(TlsPolicy::Optional) => {
+                s.push_str("<starttls xmlns='urn:ietf:params:xml:ns:xmpp-tls'/>")
+            }
+            None => {}
+        }
+        if !self.mechanisms.is_empty() {
+            s.push_str("<mechanisms xmlns='urn:ietf:params:xml:ns:xmpp-sasl'>");
+            for m in &self.mechanisms {
+                s.push_str(&format!("<mechanism>{}</mechanism>", m.name()));
+            }
+            s.push_str("</mechanisms>");
+        }
+        s.push_str("</stream:features>");
+        s
+    }
+
+    /// Extract features from a received banner. Tolerant of surrounding
+    /// noise; fails only if no stream header is present at all.
+    pub fn parse(banner: &str) -> Result<StreamFeatures, WireError> {
+        if !banner.contains("<stream:stream") {
+            return Err(WireError::BadMagic { what: "xmpp stream" });
+        }
+        let attr = |name: &str| -> Option<String> {
+            let pat = format!("{name}='");
+            let start = banner.find(&pat)? + pat.len();
+            let end = banner[start..].find('\'')? + start;
+            Some(banner[start..end].to_string())
+        };
+        let mut mechanisms = Vec::new();
+        let mut rest = banner;
+        while let Some(start) = rest.find("<mechanism>") {
+            let after = &rest[start + "<mechanism>".len()..];
+            let Some(end) = after.find("</mechanism>") else {
+                break;
+            };
+            if let Some(m) = Mechanism::from_name(&after[..end]) {
+                mechanisms.push(m);
+            }
+            rest = &after[end..];
+        }
+        let starttls = if banner.contains("<starttls") {
+            if banner.contains("<required/>") {
+                Some(TlsPolicy::Required)
+            } else {
+                Some(TlsPolicy::Optional)
+            }
+        } else {
+            None
+        };
+        Ok(StreamFeatures {
+            from: attr("from").unwrap_or_default(),
+            id: attr("id").unwrap_or_default(),
+            starttls,
+            mechanisms,
+            version: attr("server-version"),
+        })
+    }
+
+    pub fn offers(&self, m: Mechanism) -> bool {
+        self.mechanisms.contains(&m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hue_features() -> StreamFeatures {
+        StreamFeatures {
+            from: "philips-hue".into(),
+            id: "s1".into(),
+            starttls: None,
+            mechanisms: vec![Mechanism::Plain, Mechanism::Anonymous],
+            version: Some("ejabberd-2.1.11".into()),
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let f = hue_features();
+        let banner = f.render();
+        let back = StreamFeatures::parse(&banner).unwrap();
+        assert_eq!(back, f);
+        assert!(back.offers(Mechanism::Plain));
+        assert!(back.offers(Mechanism::Anonymous));
+        assert!(!back.offers(Mechanism::ScramSha1));
+    }
+
+    #[test]
+    fn starttls_policies() {
+        for (policy, needle) in [
+            (TlsPolicy::Required, "<required/>"),
+            (TlsPolicy::Optional, "<starttls"),
+        ] {
+            let f = StreamFeatures {
+                starttls: Some(policy),
+                ..hue_features()
+            };
+            let banner = f.render();
+            assert!(banner.contains(needle));
+            assert_eq!(StreamFeatures::parse(&banner).unwrap().starttls, Some(policy));
+        }
+    }
+
+    #[test]
+    fn client_open_is_wellformed() {
+        let open = client_stream_open("example.org");
+        assert!(open.starts_with("<?xml"));
+        assert!(open.contains("to='example.org'"));
+        assert!(open.contains("jabber:client"));
+    }
+
+    #[test]
+    fn parse_requires_stream_header() {
+        assert!(StreamFeatures::parse("HTTP/1.1 200 OK").is_err());
+    }
+
+    #[test]
+    fn parse_ignores_unknown_mechanisms() {
+        let banner = "<stream:stream from='x' id='1'><stream:features>\
+                      <mechanisms><mechanism>PLAIN</mechanism>\
+                      <mechanism>X-CUSTOM</mechanism></mechanisms></stream:features>";
+        let f = StreamFeatures::parse(banner).unwrap();
+        assert_eq!(f.mechanisms, vec![Mechanism::Plain]);
+    }
+
+    #[test]
+    fn parse_tolerates_truncation() {
+        let banner = "<stream:stream from='x' id='1'><mechanisms><mechanism>PLAIN";
+        let f = StreamFeatures::parse(banner).unwrap();
+        assert!(f.mechanisms.is_empty()); // unterminated mechanism dropped
+        assert_eq!(f.from, "x");
+    }
+}

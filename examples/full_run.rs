@@ -1,0 +1,18 @@
+//! The EXPERIMENTS.md run: the `full` preset (2^22-address universe,
+//! 1:64 scan scale, 1:8 honeypot scale). Prints the complete report.
+//!
+//! ```sh
+//! cargo run --release --example full_run [seed]
+//! ```
+
+use ofh_core::{Study, StudyConfig};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let t0 = std::time::Instant::now();
+    let report = Study::new(StudyConfig::full(seed)).run_with(|phase| {
+        eprintln!("[{:>7.1?}] {phase}", t0.elapsed());
+    });
+    println!("{}", report.render_full());
+    eprintln!("elapsed: {:?}", t0.elapsed());
+}

@@ -1,0 +1,112 @@
+//! Honeypot farm: the paper's §3.3/§4.3/§5 deployment experiment in
+//! isolation — six honeypots face a month of simulated attack traffic.
+//!
+//! Prints Tables 7, 12 and 13 and Figs. 3, 4, 7, 8 and 9.
+//!
+//! ```sh
+//! cargo run --release --example honeypot_farm [seed]
+//! ```
+
+use std::net::Ipv4Addr;
+
+use ofh_core::analysis::events::AttackDataset;
+use ofh_core::analysis::figures::{AttackTypeBreakdown, Fig3, Fig8, Fig9};
+use ofh_core::analysis::table12::Table12;
+use ofh_core::analysis::table13::Table13;
+use ofh_core::analysis::table7::Table7;
+use ofh_core::attack::plan::{AttackPlan, HoneypotSet, PlanConfig};
+use ofh_core::attack::{AttackerAgent, InfectedDevice};
+use ofh_core::devices::population::{PopulationBuilder, PopulationSpec};
+use ofh_core::devices::Universe;
+use ofh_core::honeypots::{
+    ConpotHoneypot, CowrieHoneypot, DionaeaHoneypot, HosTaGeHoneypot, ThingPotHoneypot,
+    UPotHoneypot,
+};
+use ofh_core::net::{SimDuration, SimNet, SimNetConfig, SimTime};
+use ofh_core::oracles::Oracles;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let universe = Universe::new(Ipv4Addr::new(16, 0, 0, 0), 18);
+    let t0 = std::time::Instant::now();
+
+    // A small population to draw infected devices from.
+    let population = PopulationBuilder::new(PopulationSpec {
+        universe,
+        scale: 4_096,
+        seed,
+    })
+    .build();
+
+    let honeypots = HoneypotSet::in_lab(&universe);
+    let month_start = SimTime::from_date(ofh_core::net::SimDate::new(2021, 4, 1));
+    let plan_cfg = PlanConfig {
+        seed,
+        hp_scale: 64,
+        infected_scale: 128,
+        universe,
+        month_start,
+        month_days: 30,
+        honeypots,
+    };
+    let plan = AttackPlan::build(&plan_cfg, &population);
+    let oracles = Oracles::populate(seed, &plan, &population);
+    println!(
+        "attack plan: {} actors, {} infected devices, {} tasks",
+        plan.actors.len(),
+        plan.infected.len() + plan.censys_extra.len(),
+        plan.total_tasks()
+    );
+
+    // ---- Wire the lab -----------------------------------------------------
+    let mut net = SimNet::new(SimNetConfig { seed, ..SimNetConfig::default() });
+    let hostage = net.attach(honeypots.hostage, Box::new(HosTaGeHoneypot::new()));
+    let upot = net.attach(honeypots.upot, Box::new(UPotHoneypot::new()));
+    let conpot = net.attach(honeypots.conpot, Box::new(ConpotHoneypot::new()));
+    let thingpot = net.attach(honeypots.thingpot, Box::new(ThingPotHoneypot::new()));
+    let cowrie = net.attach(honeypots.cowrie, Box::new(CowrieHoneypot::new()));
+    let dionaea = net.attach(honeypots.dionaea, Box::new(DionaeaHoneypot::new()));
+    for actor in &plan.actors {
+        net.attach(actor.addr, Box::new(AttackerAgent::new(actor.tasks.clone())));
+    }
+    for inf in plan.infected.iter().chain(&plan.censys_extra) {
+        let record = &population.records[inf.record_idx];
+        net.attach(
+            record.addr,
+            Box::new(InfectedDevice::new(record.build_agent(), inf.tasks.clone())),
+        );
+    }
+
+    // ---- Run April ---------------------------------------------------------
+    net.run_until(month_start + SimDuration::from_days(31));
+    let logs = vec![
+        std::mem::take(&mut net.agent_downcast_mut::<HosTaGeHoneypot>(hostage).unwrap().log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<UPotHoneypot>(upot).unwrap().log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<ConpotHoneypot>(conpot).unwrap().log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<ThingPotHoneypot>(thingpot).unwrap().log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<CowrieHoneypot>(cowrie).unwrap().log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<DionaeaHoneypot>(dionaea).unwrap().log).events,
+    ];
+    let dataset = AttackDataset::merge(logs);
+    println!("captured {} attack events from {} sources\n", dataset.len(), dataset.sources().len());
+
+    // ---- Reports -------------------------------------------------------------
+    println!("{}", Table7::compute(&dataset, &oracles.rdns).render());
+    println!("{}", Fig3::compute(&dataset, &oracles.rdns).render());
+    let breakdown = AttackTypeBreakdown::compute(&dataset);
+    println!("{}", breakdown.render_fig4());
+    println!("{}", breakdown.render_fig7());
+    println!("{}", Fig8::compute(&dataset, month_start, 30, &plan.listings).render());
+    println!("{}", Fig9::compute(&dataset, &oracles.rdns).render());
+    println!("{}", Table12::compute(&dataset, 11).render());
+    let t13 = Table13::compute(&dataset, &oracles.malware);
+    println!(
+        "Table 13: {} distinct samples captured ({} Mirai variants); first rows:",
+        t13.distinct_samples(),
+        t13.variants_of("Mirai")
+    );
+    for row in t13.rows.iter().take(10) {
+        println!("  {}  {}", row.sha256_hex, row.family);
+    }
+    eprintln!("elapsed: {:?}", t0.elapsed());
+}

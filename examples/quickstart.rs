@@ -1,0 +1,15 @@
+//! Quickstart: run the whole study at the `quick` preset and print every
+//! table and figure. Finishes in about a second in release mode.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ofh_core::{Study, StudyConfig};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let report = Study::new(StudyConfig::quick(7)).run();
+    println!("{}", report.render_full());
+    eprintln!("elapsed: {:?}", t0.elapsed());
+}

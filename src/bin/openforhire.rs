@@ -1,0 +1,179 @@
+//! `openforhire` — the command-line front end of the reproduction suite.
+//!
+//! ```text
+//! openforhire study  [--preset quick|standard|full] [--seed N] [--summary]
+//! openforhire table  <4|5|6|7|8|10|12|13> [--preset ...] [--seed N]
+//! openforhire figure <2|3|4|5|6|7|8|9>    [--preset ...] [--seed N]
+//! openforhire export <scan|events|flowtuples> [--preset ...] [--seed N]
+//! ```
+//!
+//! Everything is deterministic: the same preset and seed always print the
+//! same bytes.
+
+use std::process::ExitCode;
+
+use ofh_core::{Study, StudyConfig, StudyReport};
+
+fn usage() -> &'static str {
+    "openforhire — reproduction suite for 'Open for hire' (IMC '21)\n\
+     \n\
+     USAGE:\n\
+       openforhire study                     run everything, print all tables & figures\n\
+       openforhire study --summary           one-paragraph headline only\n\
+       openforhire table <4|5|6|7|8|10|12|13>  print one table\n\
+       openforhire figure <2|3|4|5|6|7|8|9>    print one figure's data\n\
+       openforhire export <scan|events|flowtuples>  dump a dataset as JSON lines\n\
+     \n\
+     OPTIONS:\n\
+       --preset quick|standard|full   scale preset (default: quick)\n\
+       --seed N                       master seed (default: 7)\n"
+}
+
+struct Args {
+    command: String,
+    target: Option<String>,
+    preset: String,
+    seed: u64,
+    summary: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    let mut out = Args {
+        command,
+        target: None,
+        preset: "quick".into(),
+        seed: 7,
+        summary: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--preset" => {
+                out.preset = args.next().ok_or("--preset needs a value")?;
+            }
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?;
+            }
+            "--summary" => out.summary = true,
+            other if !other.starts_with('-') && out.target.is_none() => {
+                out.target = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn config_for(preset: &str, seed: u64) -> Result<StudyConfig, String> {
+    match preset {
+        "quick" => Ok(StudyConfig::quick(seed)),
+        "standard" => Ok(StudyConfig::standard(seed)),
+        "full" => Ok(StudyConfig::full(seed)),
+        other => Err(format!("unknown preset {other:?} (quick|standard|full)")),
+    }
+}
+
+fn print_table(report: &StudyReport, which: &str) -> Result<(), String> {
+    let text = match which {
+        "4" => report.table4.render(),
+        "5" => report.table5.render(),
+        "6" => report.render_table6(),
+        "7" => report.table7.render(),
+        "8" => report.render_table8(),
+        "10" => report.table10.render(),
+        "12" => report.table12.render(),
+        "13" => report.table13.render(),
+        other => return Err(format!("no table {other} (4|5|6|7|8|10|12|13)")),
+    };
+    println!("{text}");
+    Ok(())
+}
+
+fn print_figure(report: &StudyReport, which: &str) -> Result<(), String> {
+    let text = match which {
+        "2" => report.fig2.render(),
+        "3" => report.fig3.render(),
+        "4" => report.breakdown.render_fig4(),
+        "5" => report.fig5.render(),
+        "6" => report.fig6.render(),
+        "7" => report.breakdown.render_fig7(),
+        "8" => report.fig8.render(),
+        "9" => report.fig9.render(),
+        other => return Err(format!("no figure {other} (2..=9)")),
+    };
+    println!("{text}");
+    Ok(())
+}
+
+fn export(report: &StudyReport, which: &str) -> Result<(), String> {
+    match which {
+        "scan" => print!("{}", report.zmap_results.to_jsonl()),
+        "events" => {
+            for event in &report.dataset.events {
+                println!(
+                    "{}",
+                    serde_json::to_string(event).map_err(|e| e.to_string())?
+                );
+            }
+        }
+        "flowtuples" => {
+            for record in report.telescope.records() {
+                println!(
+                    "{}",
+                    serde_json::to_string(record).map_err(|e| e.to_string())?
+                );
+            }
+        }
+        other => return Err(format!("no dataset {other} (scan|events|flowtuples)")),
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args().map_err(|e| format!("{e}\n\n{}", usage()))?;
+    if args.command == "help" || args.command == "--help" {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let cfg = config_for(&args.preset, args.seed)?;
+    eprintln!(
+        "running {} preset (seed {}) — deterministic, ~{}",
+        args.preset,
+        args.seed,
+        match args.preset.as_str() {
+            "quick" => "1s",
+            "standard" => "10s",
+            _ => "80s",
+        }
+    );
+    let report = Study::new(cfg).run();
+    match args.command.as_str() {
+        "study" => {
+            if args.summary {
+                println!("{}", report.render_summary());
+            } else {
+                println!("{}", report.render_full());
+            }
+            Ok(())
+        }
+        "table" => print_table(&report, args.target.as_deref().ok_or("table: which one?")?),
+        "figure" => print_figure(&report, args.target.as_deref().ok_or("figure: which one?")?),
+        "export" => export(&report, args.target.as_deref().ok_or("export: which dataset?")?),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Adverse network conditions: the pipeline must survive packet loss and
+//! jitter (ZMap tolerates ~2% loss on the real Internet; our scanner is
+//! equally stateless about it).
+
+use ofh_core::wire::Protocol;
+use ofh_core::{Study, StudyConfig};
+use ofh_net::FaultPlan;
+use openforhire_suite as _;
+
+#[test]
+fn lossy_network_degrades_gracefully() {
+    let clean = Study::new(StudyConfig::quick(9)).run();
+    let lossy = Study::new(StudyConfig {
+        fault: FaultPlan::LOSSY,
+        ..StudyConfig::quick(9)
+    })
+    .run();
+
+    // Loss costs some responses but the pipeline completes and every
+    // experiment still produces data.
+    let clean_exposed = clean.table4.total_zmap();
+    let lossy_exposed = lossy.table4.total_zmap();
+    assert!(lossy_exposed > 0);
+    assert!(
+        lossy_exposed <= clean_exposed,
+        "loss cannot create hosts: {lossy_exposed} > {clean_exposed}"
+    );
+    assert!(
+        lossy_exposed as f64 > clean_exposed as f64 * 0.8,
+        "2% loss should cost <20% of coverage, got {lossy_exposed}/{clean_exposed}"
+    );
+
+    // Orderings survive loss.
+    assert!(lossy.table4.row(Protocol::Telnet).zmap > lossy.table4.row(Protocol::Amqp).zmap);
+    assert!(lossy.table5.total > 0);
+    assert!(lossy.table7.total_events > 0);
+    assert!(lossy.telescope.total_records() > 0);
+    assert!(lossy.infected.total > 0);
+}
+
+#[test]
+fn extreme_loss_still_terminates() {
+    // A 30%-loss Internet is nearly unusable, but the simulation must
+    // neither hang nor panic.
+    let report = Study::new(StudyConfig {
+        fault: FaultPlan {
+            drop_chance: 0.3,
+            corrupt_chance: 0.01,
+            jitter_ms: 200,
+        },
+        ..StudyConfig::quick(5)
+    })
+    .run();
+    assert!(report.table4.total_zmap() > 0);
+    assert!(report.counters.conn_timeouts > 0, "loss must cause timeouts");
+}

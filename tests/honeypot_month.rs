@@ -1,0 +1,171 @@
+//! Integration: the honeypot-month experiment in isolation — attackers
+//! against honeypots, with behaviour-level assertions the full-study shape
+//! tests don't cover.
+
+use std::net::Ipv4Addr;
+
+use ofh_core::analysis::events::{AttackDataset, SourceClass};
+use ofh_core::analysis::table13::Table13;
+use ofh_core::attack::plan::{ActorCategory, AttackPlan, HoneypotSet, PlanConfig};
+use ofh_core::attack::AttackerAgent;
+use ofh_core::devices::population::{PopulationBuilder, PopulationSpec};
+use ofh_core::devices::Universe;
+use ofh_core::honeypots::{
+    ConpotHoneypot, CowrieHoneypot, DionaeaHoneypot, EventKind, HosTaGeHoneypot,
+    ThingPotHoneypot, UPotHoneypot,
+};
+use ofh_core::net::{SimDuration, SimNet, SimNetConfig, SimTime};
+use ofh_core::oracles::Oracles;
+use ofh_core::wire::Protocol;
+use openforhire_suite as _;
+
+struct MonthRun {
+    dataset: AttackDataset,
+    oracles: Oracles,
+    plan_actors: Vec<(Ipv4Addr, ActorCategory)>,
+}
+
+fn run_month(seed: u64) -> MonthRun {
+    let universe = Universe::new(Ipv4Addr::new(16, 0, 0, 0), 16);
+    let population = PopulationBuilder::new(PopulationSpec {
+        universe,
+        scale: 16_384,
+        seed,
+    })
+    .build();
+    let honeypots = HoneypotSet::in_lab(&universe);
+    let month_start = SimTime::from_date(ofh_core::net::SimDate::new(2021, 4, 1));
+    let plan = AttackPlan::build(
+        &PlanConfig {
+            seed,
+            hp_scale: 128,
+            infected_scale: 512,
+            universe,
+            month_start,
+            month_days: 30,
+            honeypots,
+        },
+        &population,
+    );
+    let oracles = Oracles::populate(seed, &plan, &population);
+
+    let mut net = SimNet::new(SimNetConfig { seed, ..SimNetConfig::default() });
+    let ids = [
+        net.attach(honeypots.hostage, Box::new(HosTaGeHoneypot::new())),
+        net.attach(honeypots.upot, Box::new(UPotHoneypot::new())),
+        net.attach(honeypots.conpot, Box::new(ConpotHoneypot::new())),
+        net.attach(honeypots.thingpot, Box::new(ThingPotHoneypot::new())),
+        net.attach(honeypots.cowrie, Box::new(CowrieHoneypot::new())),
+        net.attach(honeypots.dionaea, Box::new(DionaeaHoneypot::new())),
+    ];
+    for actor in &plan.actors {
+        net.attach(actor.addr, Box::new(AttackerAgent::new(actor.tasks.clone())));
+    }
+    net.run_until(month_start + SimDuration::from_days(31));
+
+    let logs = vec![
+        std::mem::take(&mut net.agent_downcast_mut::<HosTaGeHoneypot>(ids[0]).unwrap().log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<UPotHoneypot>(ids[1]).unwrap().log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<ConpotHoneypot>(ids[2]).unwrap().log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<ThingPotHoneypot>(ids[3]).unwrap().log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<CowrieHoneypot>(ids[4]).unwrap().log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<DionaeaHoneypot>(ids[5]).unwrap().log).events,
+    ];
+    MonthRun {
+        dataset: AttackDataset::merge(logs),
+        oracles,
+        plan_actors: plan.actors.iter().map(|a| (a.addr, a.category.clone())).collect(),
+    }
+}
+
+#[test]
+fn source_classification_recovers_actor_categories() {
+    let run = run_month(21);
+    let ds = &run.dataset;
+    let sources = ds.sources();
+    let mut service_hits = 0;
+    let mut service_total = 0;
+    for (addr, category) in &run.plan_actors {
+        if !sources.contains(addr) {
+            continue;
+        }
+        let class = ds.classify_source(&run.oracles.rdns, "HosTaGe", *addr);
+        match category {
+            ActorCategory::ScanningService(_) => {
+                service_total += 1;
+                if class == SourceClass::ScanningService {
+                    service_hits += 1;
+                }
+            }
+            // Malicious actors that touched HosTaGe must never be classified
+            // as scanning services.
+            ActorCategory::Malicious | ActorCategory::Multistage => {
+                assert_ne!(class, SourceClass::ScanningService, "{addr}");
+            }
+            _ => {}
+        }
+    }
+    assert!(service_total > 0);
+    assert_eq!(service_hits, service_total, "every service recognized via rDNS");
+}
+
+#[test]
+fn captured_binaries_hash_to_known_families() {
+    let run = run_month(22);
+    let t13 = Table13::compute(&run.dataset, &run.oracles.malware);
+    assert!(t13.distinct_samples() > 0);
+    // Every non-empty captured payload must resolve to a known family —
+    // droppers only ship registry-synthesized binaries.
+    assert!(
+        t13.rows.iter().all(|r| r.family != "unknown binary"),
+        "unexpected unknown binaries: {:?}",
+        t13.rows.iter().filter(|r| r.family == "unknown binary").count()
+    );
+    // And their hashes are VT-flagged (registry samples are catalogued).
+    for row in &t13.rows {
+        assert!(
+            run.oracles.virustotal.hash_is_malicious(&row.sha256_hex),
+            "{} not in VT",
+            row.sha256_hex
+        );
+    }
+}
+
+#[test]
+fn honeypots_log_credentials_and_exploits() {
+    let run = run_month(23);
+    let events = &run.dataset.events;
+    // Brute-force credentials captured on both Telnet and SSH.
+    for proto in [Protocol::Telnet, Protocol::Ssh] {
+        assert!(
+            events.iter().any(|e| e.protocol == proto
+                && matches!(e.kind, EventKind::LoginAttempt { .. })),
+            "{proto}: no credentials logged"
+        );
+    }
+    // SMB exploit signatures and S7 job floods observed.
+    assert!(events.iter().any(
+        |e| matches!(&e.kind, EventKind::ExploitSignature { name } if name.contains("Trans2"))
+    ));
+    assert!(events.iter().any(
+        |e| matches!(&e.kind, EventKind::ExploitSignature { name } if name.contains("PDU-type-1"))
+    ));
+    // MQTT/AMQP poisoning writes observed.
+    assert!(events
+        .iter()
+        .any(|e| e.protocol == Protocol::Amqp && matches!(e.kind, EventKind::DataWrite { .. })));
+    // Tor relays scraped HTTP and are known to ExoneraTor.
+    let tor_srcs: Vec<Ipv4Addr> = run
+        .plan_actors
+        .iter()
+        .filter(|(_, c)| matches!(c, ActorCategory::TorRelay))
+        .map(|&(a, _)| a)
+        .collect();
+    assert!(!tor_srcs.is_empty());
+    for addr in &tor_srcs {
+        assert!(run.oracles.exonerator.was_relay(*addr));
+    }
+    assert!(events
+        .iter()
+        .any(|e| tor_srcs.contains(&e.src) && matches!(e.kind, EventKind::HttpRequest { .. })));
+}

@@ -1,0 +1,90 @@
+//! Appendix A.3 — honeypot sandboxing audit.
+//!
+//! "Our setting focused only on collecting attacks from the Internet and in
+//! principle did not allow for honeypots to attack back a system or entity…
+//! all containers had egress rules to limit any traffic attempting to leave
+//! the network." The simulator accounts every agent's egress; this test
+//! proves the deployed honeypots *never initiate* traffic across a full
+//! attack month — they only answer.
+
+use std::net::Ipv4Addr;
+
+use ofh_core::attack::plan::{AttackPlan, HoneypotSet, PlanConfig};
+use ofh_core::attack::AttackerAgent;
+use ofh_core::devices::population::{PopulationBuilder, PopulationSpec};
+use ofh_core::devices::Universe;
+use ofh_core::honeypots::{
+    ConpotHoneypot, CowrieHoneypot, DionaeaHoneypot, HosTaGeHoneypot, ThingPotHoneypot,
+    UPotHoneypot,
+};
+use ofh_core::net::{SimDuration, SimNet, SimNetConfig, SimTime};
+use openforhire_suite as _;
+
+#[test]
+fn honeypots_never_attack_back() {
+    let seed = 31;
+    let universe = Universe::new(Ipv4Addr::new(16, 0, 0, 0), 16);
+    let population = PopulationBuilder::new(PopulationSpec {
+        universe,
+        scale: 16_384,
+        seed,
+    })
+    .build();
+    let honeypots = HoneypotSet::in_lab(&universe);
+    let month_start = SimTime::from_date(ofh_core::net::SimDate::new(2021, 4, 1));
+    let plan = AttackPlan::build(
+        &PlanConfig {
+            seed,
+            hp_scale: 256,
+            infected_scale: 1_024,
+            universe,
+            month_start,
+            month_days: 30,
+            honeypots,
+        },
+        &population,
+    );
+
+    let mut net = SimNet::new(SimNetConfig { seed, ..SimNetConfig::default() });
+    let honeypot_ids = [
+        ("HosTaGe", net.attach(honeypots.hostage, Box::new(HosTaGeHoneypot::new()))),
+        ("U-Pot", net.attach(honeypots.upot, Box::new(UPotHoneypot::new()))),
+        ("Conpot", net.attach(honeypots.conpot, Box::new(ConpotHoneypot::new()))),
+        ("ThingPot", net.attach(honeypots.thingpot, Box::new(ThingPotHoneypot::new()))),
+        ("Cowrie", net.attach(honeypots.cowrie, Box::new(CowrieHoneypot::new()))),
+        ("Dionaea", net.attach(honeypots.dionaea, Box::new(DionaeaHoneypot::new()))),
+    ];
+    let mut attacker_ids = Vec::new();
+    for actor in &plan.actors {
+        attacker_ids.push(net.attach(actor.addr, Box::new(AttackerAgent::new(actor.tasks.clone()))));
+    }
+    net.run_until(month_start + SimDuration::from_days(31));
+
+    // The honeypots received traffic…
+    let total_events: usize = {
+        let mut n = 0;
+        n += net.agent_downcast::<HosTaGeHoneypot>(honeypot_ids[0].1).unwrap().log.len();
+        n += net.agent_downcast::<UPotHoneypot>(honeypot_ids[1].1).unwrap().log.len();
+        n += net.agent_downcast::<CowrieHoneypot>(honeypot_ids[4].1).unwrap().log.len();
+        n
+    };
+    assert!(total_events > 0, "the month must produce traffic");
+
+    // …but never initiated any. UDP *replies* are fine (discovery answers);
+    // unsolicited sends and TCP connects are not.
+    for (name, id) in honeypot_ids {
+        let egress = net.egress_of(id);
+        assert_eq!(egress.tcp_initiated, 0, "{name} initiated TCP connections");
+        assert_eq!(egress.udp_unsolicited, 0, "{name} sent unsolicited UDP");
+    }
+
+    // Sanity check of the audit itself: attackers *do* register egress.
+    let attacked: u64 = attacker_ids
+        .iter()
+        .map(|&id| {
+            let e = net.egress_of(id);
+            e.tcp_initiated + e.udp_unsolicited
+        })
+        .sum();
+    assert!(attacked > 0, "attackers must register egress");
+}
