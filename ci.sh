@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI entry point: tier-1 build + test, then the parallel-determinism suite
+# twice with different harness thread counts — the golden-report guarantee
+# must hold regardless of how the test harness itself schedules the runs.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q
+
+echo "==> determinism suite, --test-threads=1 (release, includes standard profile)"
+cargo test --release -q --test parallel_determinism --test determinism -- --test-threads=1 --include-ignored
+
+echo "==> determinism suite, --test-threads=4 (release)"
+cargo test --release -q --test parallel_determinism --test determinism -- --test-threads=4 --include-ignored
+
+echo "==> ci.sh: all green"

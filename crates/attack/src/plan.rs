@@ -246,7 +246,7 @@ impl AttackPlan {
                     let at = cfg.month_start
                         + SimDuration::from_days(day)
                         + SimDuration::from_secs(rng.gen_range(0..86_400));
-                    let (dst, script) = surfaces[rng.gen_range(0..2)].clone();
+                    let (dst, script) = surfaces[rng.gen_range(0..2usize)].clone();
                     tasks.push(Task { at, dst, script });
                     // And cross the telescope (every scanner does).
                     tasks.push(Task {

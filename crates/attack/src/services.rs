@@ -14,10 +14,13 @@
 //! post-listing malicious traffic.
 
 use ofh_net::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// A known scanning service (Fig. 3 slice).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: `name` is a `&'static str` into the fixed registry below,
+/// which cannot be deserialized from owned data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ScanningService {
     pub name: &'static str,
     /// Relative traffic weight (drives per-service source-IP counts).

@@ -1,0 +1,51 @@
+//! Sharded-engine benchmarks: the same quick-profile study at different
+//! worker-thread counts. The reports are byte-identical (the determinism
+//! suite proves it); this bench shows what the parallelism buys in wall
+//! clock — workers=8 should land measurably below workers=1 in release.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ofh_core::{Study, StudyConfig};
+
+fn run_quick(seed: u64, workers: usize) -> usize {
+    let mut cfg = StudyConfig::quick(seed);
+    cfg.workers = workers;
+    Study::new(cfg).run().table7.total_events as usize
+}
+
+fn shard_workers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharding/quick_study");
+    g.sample_size(10);
+    for workers in [1usize, 2, 8] {
+        g.bench_function(format!("workers={workers}"), |b| {
+            b.iter(|| black_box(run_quick(5, workers)))
+        });
+    }
+    g.finish();
+
+    // A direct single-shot comparison alongside the sampled numbers, so the
+    // speedup headline survives even in the stand-in harness's test mode.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let t1 = std::time::Instant::now();
+    let a = run_quick(5, 1);
+    let serial = t1.elapsed();
+    let t8 = std::time::Instant::now();
+    let b = run_quick(5, 8);
+    let parallel = t8.elapsed();
+    assert_eq!(a, b, "worker count changed the trace");
+    eprintln!(
+        "[sharding] quick study on {cores} core(s): workers=1 {serial:?} vs \
+         workers=8 {parallel:?} ({:.2}x)",
+        serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9)
+    );
+    if cores == 1 {
+        eprintln!(
+            "[sharding] single-core host: extra workers can only add scheduler \
+             overhead; the speedup needs >=2 cores (reports stay identical either way)"
+        );
+    }
+}
+
+criterion_group!(benches, shard_workers);
+criterion_main!(benches);

@@ -33,6 +33,15 @@ pub struct StudyConfig {
     /// vanishes; oversampling keeps the *structure* measurable while the
     /// proportion is noted in EXPERIMENTS.md. Use 1 for strict proportions.
     pub infected_oversample: u64,
+    /// Number of deterministic shards the address space is split into.
+    /// This is a *simulation parameter*: changing it changes the (equally
+    /// valid) trace. It is fixed per preset and independent of `workers`.
+    pub shards: u32,
+    /// Worker threads executing shards. Pure execution knob: any value
+    /// (including 0 = one thread per available core) produces the identical
+    /// report, so it is excluded from the serialized config.
+    #[serde(skip)]
+    pub workers: usize,
 }
 
 impl StudyConfig {
@@ -48,6 +57,8 @@ impl StudyConfig {
             fault: FaultPlan::NONE,
             run_dataset_providers: true,
             infected_oversample: 32,
+            shards: 16,
+            workers: 1,
         }
     }
 
@@ -63,6 +74,8 @@ impl StudyConfig {
             fault: FaultPlan::NONE,
             run_dataset_providers: true,
             infected_oversample: 8,
+            shards: 16,
+            workers: 1,
         }
     }
 
@@ -78,6 +91,8 @@ impl StudyConfig {
             fault: FaultPlan::NONE,
             run_dataset_providers: true,
             infected_oversample: 1,
+            shards: 16,
+            workers: 1,
         }
     }
 
@@ -91,11 +106,25 @@ impl StudyConfig {
         self.month_start() + SimDuration::from_days(self.month_days) + SimDuration::from_hours(6)
     }
 
+    /// Resolved worker-thread count: `workers` capped at the shard count
+    /// (extra threads would idle), with 0 meaning one per available core.
+    pub fn worker_threads(&self) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.workers
+        };
+        requested.min(self.shards.max(1) as usize).max(1)
+    }
+
     /// Sanity-check the configuration.
     pub fn validate(&self) -> Result<(), String> {
         self.fault.validate()?;
         if self.scan_scale == 0 || self.hp_scale == 0 || self.infected_oversample == 0 {
             return Err("scales must be nonzero".into());
+        }
+        if self.shards == 0 || self.shards > 4_096 {
+            return Err("shards must be in 1..=4096".into());
         }
         if self.month_days == 0 || self.month_days > 30 {
             return Err("month_days must be in 1..=30".into());
@@ -133,6 +162,33 @@ mod tests {
         let cfg = StudyConfig::quick(1);
         assert_eq!(cfg.month_start().day_index(), 31);
         assert!(cfg.study_end() > cfg.month_start());
+    }
+
+    #[test]
+    fn worker_threads_resolution() {
+        let mut cfg = StudyConfig::quick(1);
+        assert_eq!(cfg.worker_threads(), 1);
+        cfg.workers = 64; // capped at the shard count
+        assert_eq!(cfg.worker_threads(), 16);
+        cfg.workers = 0; // auto: at least one, never more than shards
+        let auto = cfg.worker_threads();
+        assert!((1..=16).contains(&auto));
+        cfg.shards = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn workers_not_serialized() {
+        // Byte-identical reports for any worker count requires the
+        // execution knob to stay out of the serialized config.
+        let mut a = StudyConfig::quick(1);
+        let mut b = StudyConfig::quick(1);
+        a.workers = 1;
+        b.workers = 8;
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
     }
 
     #[test]

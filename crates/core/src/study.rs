@@ -1,7 +1,30 @@
 //! The orchestrator.
+//!
+//! A study runs in four stages:
+//!
+//! 1. **Global setup** — population synthesis, attack plan, oracles, geo
+//!    database. Seed-only, computed once, shared read-only by every shard.
+//! 2. **Sharded execution** — the address space is split into
+//!    [`StudyConfig::shards`] deterministic shards ([`ofh_net::shard`]);
+//!    each shard is an independent [`SimNet`] simulating only the devices,
+//!    wild honeypots and attackers its shard owns (plus a replica of the
+//!    deployed honeypots and the telescope tap, which the whole Internet
+//!    talks to). Shards run on [`StudyConfig::workers`] threads.
+//! 3. **Deterministic merge** — per-shard artifacts are folded in shard
+//!    order with order-independent reducers (disjoint map unions, canonical
+//!    sorts), so the merged artifacts depend only on (seed, shards) —
+//!    never on the worker count or thread scheduling.
+//! 4. **Analysis** — every table and figure is computed once from the
+//!    merged artifacts, exactly as before sharding existed.
+//!
+//! Shard-locality is what makes the split sound: honeypot/device agents
+//! keep per-connection state only, attack tasks target only the lab
+//! honeypots and the dark space (both replicated per shard), so no packet
+//! ever needs to cross a shard boundary.
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use ofh_analysis::events::AttackDataset;
 use ofh_analysis::figures::{AttackTypeBreakdown, Fig2, Fig3, Fig5, Fig6, Fig8, Fig9};
@@ -15,15 +38,16 @@ use ofh_analysis::table7::Table7;
 use ofh_attack::plan::{AttackPlan, HoneypotSet, PlanConfig};
 use ofh_attack::{AttackerAgent, InfectedDevice};
 use ofh_devices::population::{Population, PopulationBuilder, PopulationSpec};
-use ofh_fingerprint::{engine, FingerprintProber, SignatureDb};
+use ofh_fingerprint::{engine, FingerprintProber, FingerprintReport, SignatureDb};
 use ofh_honeypots::{
-    ConpotHoneypot, CowrieHoneypot, DionaeaHoneypot, HosTaGeHoneypot, ThingPotHoneypot,
-    UPotHoneypot, WildHoneypot, WildHoneypotAgent,
+    AttackEvent, ConpotHoneypot, CowrieHoneypot, DionaeaHoneypot, HosTaGeHoneypot,
+    ThingPotHoneypot, UPotHoneypot, WildHoneypot, WildHoneypotAgent,
 };
-use ofh_intel::Country;
+use ofh_intel::{Country, GeoDb};
 use ofh_net::rng::rng_for;
-use ofh_net::{AgentId, SimNet, SimNetConfig, SimTime};
-use ofh_scan::{datasets, scan_start, Scanner, ScannerConfig};
+use ofh_net::sim::Counters;
+use ofh_net::{AgentId, ShardSpec, SimNet, SimNetConfig, SimTime};
+use ofh_scan::{datasets, scan_start, ScanResults, Scanner, ScannerConfig};
 use ofh_telescope::{Telescope, TelescopeSummary};
 use rand::Rng;
 
@@ -34,6 +58,30 @@ use crate::report::StudyReport;
 /// A configured study, ready to run.
 pub struct Study {
     cfg: StudyConfig,
+}
+
+/// Read-only inputs shared by every shard worker.
+struct ShardInputs<'a> {
+    cfg: &'a StudyConfig,
+    population: &'a Population,
+    wild: &'a [(Ipv4Addr, WildHoneypot)],
+    plan: &'a AttackPlan,
+    honeypots: HoneypotSet,
+    infected_tasks: &'a BTreeMap<usize, Vec<ofh_attack::Task>>,
+    geo: &'a GeoDb,
+}
+
+/// Everything one shard's simulation produces.
+struct ShardOutput {
+    zmap: ScanResults,
+    sonar: ScanResults,
+    shodan: ScanResults,
+    fingerprint: FingerprintReport,
+    /// Per-honeypot event logs, fixed order (HosTaGe, U-PoT, Conpot,
+    /// ThingPot, Cowrie, Dionaea).
+    logs: Vec<Vec<AttackEvent>>,
+    telescope: Telescope,
+    counters: Counters,
 }
 
 impl Study {
@@ -60,7 +108,7 @@ impl Study {
         let universe = cfg.universe;
         let mut rng = rng_for(cfg.seed, "study");
 
-        // ---- 1. Populations -------------------------------------------
+        // ---- 1. Populations (global) ----------------------------------
         progress("synthesizing population");
         let mut population = PopulationBuilder::new(PopulationSpec {
             universe,
@@ -82,7 +130,7 @@ impl Study {
             }
         }
 
-        // ---- 2. Attack plan and oracles --------------------------------
+        // ---- 2. Attack plan and oracles (global) -----------------------
         progress("building attack plan and oracles");
         let honeypots = HoneypotSet::in_lab(&universe);
         let plan_cfg = PlanConfig {
@@ -105,23 +153,11 @@ impl Study {
         let mut a = u32::from(attacker_space.first()) as u64;
         while a <= u32::from(attacker_space.last()) as u64 {
             let country = ofh_devices::population::sample_country(&mut rng);
-            geo.allocate_block(Ipv4Addr::from(a as u32), country, 64_000 + rng.gen_range(0..400));
+            geo.allocate_block(Ipv4Addr::from(a as u32), country, 64_000 + rng.gen_range(0..400u32));
             a += chunk;
         }
 
-        // ---- 3. Wire up the simulated Internet -------------------------
-        progress("attaching agents");
-        let mut net = SimNet::new(SimNetConfig {
-            seed: cfg.seed,
-            fault: cfg.fault,
-            ..SimNetConfig::default()
-        });
-        let telescope_tap = net.add_tap(
-            universe.dark_space(),
-            Box::new(Telescope::new(geo.clone())),
-        );
-
-        // Devices — infected ones get their bot schedules.
+        // Bot schedules per infected device record index.
         let mut infected_tasks: BTreeMap<usize, Vec<ofh_attack::Task>> = BTreeMap::new();
         for inf in plan.infected.iter().chain(&plan.censys_extra) {
             infected_tasks
@@ -129,146 +165,84 @@ impl Study {
                 .or_default()
                 .extend(inf.tasks.iter().cloned());
         }
-        for (i, record) in population.records.iter().enumerate() {
-            let agent = record.build_agent();
-            match infected_tasks.remove(&i) {
-                Some(tasks) => {
-                    net.attach(record.addr, Box::new(InfectedDevice::new(agent, tasks)));
-                }
-                None => {
-                    net.attach(record.addr, agent);
-                }
-            }
-        }
-        for &(addr, family) in &wild {
-            net.attach(addr, Box::new(WildHoneypotAgent::new(family)));
-        }
 
-        // Deployed honeypots.
-        let hostage_id = net.attach(honeypots.hostage, Box::new(HosTaGeHoneypot::new()));
-        let upot_id = net.attach(honeypots.upot, Box::new(UPotHoneypot::new()));
-        let conpot_id = net.attach(honeypots.conpot, Box::new(ConpotHoneypot::new()));
-        let thingpot_id = net.attach(honeypots.thingpot, Box::new(ThingPotHoneypot::new()));
-        let cowrie_id = net.attach(honeypots.cowrie, Box::new(CowrieHoneypot::new()));
-        let dionaea_id = net.attach(honeypots.dionaea, Box::new(DionaeaHoneypot::new()));
-
-        // Attackers.
-        for actor in &plan.actors {
-            net.attach(actor.addr, Box::new(AttackerAgent::new(actor.tasks.clone())));
-        }
-
-        // Scanners (ours + the dataset providers).
-        let scanner_base = u32::from(universe.scanner_addr());
-        let zmap_cfgs: Vec<ScannerConfig> = ofh_wire::Protocol::SCANNED
-            .iter()
-            .map(|&p| {
-                ScannerConfig::full(
-                    p,
-                    universe.cidr().first(),
-                    universe.size(),
-                    scan_start(p),
-                    cfg.seed ^ 0x5A4D_4150,
-                )
-            })
-            .collect();
-        let scan_end = zmap_cfgs
-            .iter()
-            .map(Scanner::estimated_end)
-            .max()
-            .expect("six sweeps");
-        let zmap_id = net.attach(
-            Ipv4Addr::from(scanner_base),
-            Box::new(Scanner::new("ZMap Scan", zmap_cfgs)),
-        );
-        let (sonar_id, shodan_id) = if cfg.run_dataset_providers {
-            let sonar = Scanner::new(
-                "Project Sonar",
-                datasets::sonar_configs(
-                    universe.cidr().first(),
-                    universe.size(),
-                    SimTime::ZERO,
-                    cfg.seed,
-                ),
-            );
-            let shodan = Scanner::new(
-                "Shodan",
-                datasets::shodan_configs(
-                    universe.cidr().first(),
-                    universe.size(),
-                    SimTime::ZERO,
-                    cfg.seed,
-                ),
-            );
-            (
-                Some(net.attach(Ipv4Addr::from(scanner_base + 1), Box::new(sonar))),
-                Some(net.attach(Ipv4Addr::from(scanner_base + 2), Box::new(shodan))),
-            )
-        } else {
-            (None, None)
+        // ---- 3. Sharded execution --------------------------------------
+        let workers = cfg.worker_threads();
+        progress("simulating shards");
+        let inputs = ShardInputs {
+            cfg,
+            population: &population,
+            wild: &wild,
+            plan: &plan,
+            honeypots,
+            infected_tasks: &infected_tasks,
+            geo: &geo,
         };
+        let mut outputs: Vec<(u32, ShardOutput)> = if workers == 1 {
+            ShardSpec::all(cfg.shards)
+                .map(|spec| (spec.index, run_shard(&inputs, spec)))
+                .collect()
+        } else {
+            // Work-stealing by atomic dispenser: which worker runs which
+            // shard is scheduling-dependent, but each shard's simulation is
+            // a pure function of (inputs, spec) and results are re-ordered
+            // by shard index below, so the merge never sees the difference.
+            let next = AtomicU32::new(0);
+            std::thread::scope(|scope| {
+                let next = &next;
+                let inputs = &inputs;
+                let shards = cfg.shards;
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let index = next.fetch_add(1, Ordering::Relaxed);
+                                if index >= shards {
+                                    break;
+                                }
+                                let spec = ShardSpec { index, count: shards };
+                                done.push((index, run_shard(inputs, spec)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+        outputs.sort_by_key(|(index, _)| *index);
 
-        // ---- 4. Scan phase (March) -------------------------------------
-        progress("running the March scan campaign");
-        net.run_until(scan_end);
-        let zmap_results = net
-            .agent_downcast_mut::<Scanner>(zmap_id)
-            .expect("zmap scanner")
-            .results
-            .clone();
-
-        // ---- 5. Fingerprint phase --------------------------------------
-        progress("fingerprinting honeypot candidates");
-        let signature_db = SignatureDb::new();
-        let candidates = engine::passive_candidates(&signature_db, &zmap_results);
-        let candidate_count = candidates.len();
-        let prober_id = net.attach(
-            Ipv4Addr::from(scanner_base + 3),
-            Box::new(FingerprintProber::new(candidates)),
-        );
-        net.run_until(net.now() + FingerprintProber::estimated_duration(candidate_count));
-
-        // ---- 6. Honeypot month (April) ----------------------------------
-        progress("running the April honeypot month");
-        net.run_until(cfg.study_end());
-
-        // ---- 7. Extraction ----------------------------------------------
-        let fingerprint_report = net
-            .agent_downcast_mut::<FingerprintProber>(prober_id)
-            .expect("prober")
-            .report
-            .clone();
-        let sonar_results = sonar_id
-            .map(|id| extract_results(&mut net, id))
-            .unwrap_or_else(|| ofh_scan::ScanResults::new("Project Sonar"));
-        let shodan_results = shodan_id
-            .map(|id| extract_results(&mut net, id))
-            .unwrap_or_else(|| ofh_scan::ScanResults::new("Shodan"));
-
-        let mut logs = vec![
-            std::mem::take(&mut net.agent_downcast_mut::<HosTaGeHoneypot>(hostage_id).expect("hostage").log).events,
-            std::mem::take(&mut net.agent_downcast_mut::<UPotHoneypot>(upot_id).expect("upot").log).events,
-            std::mem::take(&mut net.agent_downcast_mut::<ConpotHoneypot>(conpot_id).expect("conpot").log).events,
-            std::mem::take(&mut net.agent_downcast_mut::<ThingPotHoneypot>(thingpot_id).expect("thingpot").log).events,
-            std::mem::take(&mut net.agent_downcast_mut::<CowrieHoneypot>(cowrie_id).expect("cowrie").log).events,
-            std::mem::take(&mut net.agent_downcast_mut::<DionaeaHoneypot>(dionaea_id).expect("dionaea").log).events,
-        ];
-        // Exclude our own measurement infrastructure (the scanning host and
-        // the fingerprint prober) from the attack dataset — the paper's
-        // pipeline likewise discounts its own probes.
-        let own_infra: std::collections::BTreeSet<Ipv4Addr> = (0..4u32)
-            .map(|i| Ipv4Addr::from(scanner_base + i))
-            .collect();
-        for log in &mut logs {
-            log.retain(|e| !own_infra.contains(&e.src));
+        // ---- 4. Deterministic merge ------------------------------------
+        progress("merging shard results");
+        let mut zmap_results = ScanResults::new("ZMap Scan");
+        let mut sonar_results = ScanResults::new("Project Sonar");
+        let mut shodan_results = ScanResults::new("Shodan");
+        let mut fingerprint_report = FingerprintReport::default();
+        let mut logs: Vec<Vec<AttackEvent>> = vec![Vec::new(); 6];
+        let mut telescope = Telescope::new(GeoDb::new());
+        let mut counters = Counters::default();
+        for (_, out) in outputs {
+            zmap_results.absorb(out.zmap);
+            sonar_results.absorb(out.sonar);
+            shodan_results.absorb(out.shodan);
+            fingerprint_report.absorb(out.fingerprint);
+            for (merged, shard_log) in logs.iter_mut().zip(out.logs) {
+                merged.extend(shard_log);
+            }
+            telescope.absorb(out.telescope);
+            counters.absorb(&out.counters);
         }
+        fingerprint_report.normalize();
+        // The dataset merge re-sorts all events by (time, src, src_port);
+        // every source address lives in exactly one shard, so the sorted
+        // stream is independent of the shard split.
         let dataset = AttackDataset::merge(logs);
-        let telescope = std::mem::replace(
-            net.tap_downcast_mut::<Telescope>(telescope_tap)
-                .expect("telescope tap"),
-            Telescope::new(ofh_intel::GeoDb::new()),
-        );
 
-        // ---- 8. Analysis -------------------------------------------------
+        // ---- 5. Analysis ------------------------------------------------
         progress("computing tables and figures");
         let honeypot_filter = fingerprint_report.filter_set();
         let table4 = Table4::compute(&zmap_results, &sonar_results, &shodan_results);
@@ -330,12 +304,195 @@ impl Study {
             zmap_results,
             population_size: population.records.len(),
             wild_honeypot_count: wild.len(),
-            counters: net.counters(),
+            counters,
         }
     }
 }
 
-fn extract_results(net: &mut SimNet, id: AgentId) -> ofh_scan::ScanResults {
+/// Simulate one shard: the March scan, fingerprinting, and the April
+/// honeypot month — restricted to the addresses this shard owns.
+fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
+    let cfg = inputs.cfg;
+    let universe = cfg.universe;
+
+    // ---- Wire up this shard's slice of the simulated Internet ----------
+    let mut net = SimNet::new(SimNetConfig {
+        seed: spec.seed(cfg.seed, "shard-net"),
+        fault: cfg.fault,
+        ..SimNetConfig::default()
+    });
+    let telescope_tap = net.add_tap(
+        universe.dark_space(),
+        Box::new(Telescope::new(inputs.geo.clone())),
+    );
+
+    // Devices the shard owns — infected ones get their bot schedules.
+    for (i, record) in inputs.population.records.iter().enumerate() {
+        if !spec.owns(record.addr) {
+            continue;
+        }
+        let agent = record.build_agent();
+        match inputs.infected_tasks.get(&i) {
+            Some(tasks) => {
+                net.attach(record.addr, Box::new(InfectedDevice::new(agent, tasks.clone())));
+            }
+            None => {
+                net.attach(record.addr, agent);
+            }
+        }
+    }
+    for &(addr, family) in inputs.wild {
+        if spec.owns(addr) {
+            net.attach(addr, Box::new(WildHoneypotAgent::new(family)));
+        }
+    }
+
+    // Deployed honeypots are replicated into every shard: each replica
+    // receives exactly the traffic of this shard's actors, and the merge
+    // concatenates the replica logs back into one deployment.
+    let honeypots = inputs.honeypots;
+    let hostage_id = net.attach(honeypots.hostage, Box::new(HosTaGeHoneypot::new()));
+    let upot_id = net.attach(honeypots.upot, Box::new(UPotHoneypot::new()));
+    let conpot_id = net.attach(honeypots.conpot, Box::new(ConpotHoneypot::new()));
+    let thingpot_id = net.attach(honeypots.thingpot, Box::new(ThingPotHoneypot::new()));
+    let cowrie_id = net.attach(honeypots.cowrie, Box::new(CowrieHoneypot::new()));
+    let dionaea_id = net.attach(honeypots.dionaea, Box::new(DionaeaHoneypot::new()));
+
+    // Attackers the shard owns.
+    for actor in &inputs.plan.actors {
+        if spec.owns(actor.addr) {
+            net.attach(actor.addr, Box::new(AttackerAgent::new(actor.tasks.clone())));
+        }
+    }
+
+    // Scanners (ours + the dataset providers): every shard runs a replica
+    // that walks the full permutation but probes only its owned addresses.
+    let scanner_base = u32::from(universe.scanner_addr());
+    let zmap_cfgs: Vec<ScannerConfig> = ofh_wire::Protocol::SCANNED
+        .iter()
+        .map(|&p| {
+            let mut c = ScannerConfig::full(
+                p,
+                universe.cidr().first(),
+                universe.size(),
+                scan_start(p),
+                spec.seed(cfg.seed ^ 0x5A4D_4150, "scan"),
+            );
+            c.shard = spec;
+            c
+        })
+        .collect();
+    let scan_end = zmap_cfgs
+        .iter()
+        .map(Scanner::estimated_end)
+        .max()
+        .expect("six sweeps");
+    let zmap_id = net.attach(
+        Ipv4Addr::from(scanner_base),
+        Box::new(Scanner::new("ZMap Scan", zmap_cfgs)),
+    );
+    let (sonar_id, shodan_id) = if cfg.run_dataset_providers {
+        let shard_cfgs = |mut cfgs: Vec<ScannerConfig>| {
+            for c in &mut cfgs {
+                c.shard = spec;
+            }
+            cfgs
+        };
+        let sonar = Scanner::new(
+            "Project Sonar",
+            shard_cfgs(datasets::sonar_configs(
+                universe.cidr().first(),
+                universe.size(),
+                SimTime::ZERO,
+                spec.seed(cfg.seed, "sonar"),
+            )),
+        );
+        let shodan = Scanner::new(
+            "Shodan",
+            shard_cfgs(datasets::shodan_configs(
+                universe.cidr().first(),
+                universe.size(),
+                SimTime::ZERO,
+                spec.seed(cfg.seed, "shodan"),
+            )),
+        );
+        (
+            Some(net.attach(Ipv4Addr::from(scanner_base + 1), Box::new(sonar))),
+            Some(net.attach(Ipv4Addr::from(scanner_base + 2), Box::new(shodan))),
+        )
+    } else {
+        (None, None)
+    };
+
+    // ---- Scan phase (March) --------------------------------------------
+    net.run_until(scan_end);
+    let zmap = net
+        .agent_downcast_mut::<Scanner>(zmap_id)
+        .expect("zmap scanner")
+        .results
+        .clone();
+
+    // ---- Fingerprint phase ---------------------------------------------
+    let signature_db = SignatureDb::new();
+    let candidates = engine::passive_candidates(&signature_db, &zmap);
+    let candidate_count = candidates.len();
+    let prober_id = net.attach(
+        Ipv4Addr::from(scanner_base + 3),
+        Box::new(FingerprintProber::new(candidates)),
+    );
+    net.run_until(net.now() + FingerprintProber::estimated_duration(candidate_count));
+
+    // ---- Honeypot month (April) ----------------------------------------
+    net.run_until(cfg.study_end());
+
+    // ---- Extraction -----------------------------------------------------
+    let fingerprint = net
+        .agent_downcast_mut::<FingerprintProber>(prober_id)
+        .expect("prober")
+        .report
+        .clone();
+    let sonar = sonar_id
+        .map(|id| extract_results(&mut net, id))
+        .unwrap_or_else(|| ScanResults::new("Project Sonar"));
+    let shodan = shodan_id
+        .map(|id| extract_results(&mut net, id))
+        .unwrap_or_else(|| ScanResults::new("Shodan"));
+
+    let mut logs = vec![
+        std::mem::take(&mut net.agent_downcast_mut::<HosTaGeHoneypot>(hostage_id).expect("hostage").log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<UPotHoneypot>(upot_id).expect("upot").log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<ConpotHoneypot>(conpot_id).expect("conpot").log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<ThingPotHoneypot>(thingpot_id).expect("thingpot").log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<CowrieHoneypot>(cowrie_id).expect("cowrie").log).events,
+        std::mem::take(&mut net.agent_downcast_mut::<DionaeaHoneypot>(dionaea_id).expect("dionaea").log).events,
+    ];
+    // Exclude our own measurement infrastructure (the scanning host and
+    // the fingerprint prober) from the attack dataset — the paper's
+    // pipeline likewise discounts its own probes.
+    let own_infra: std::collections::BTreeSet<Ipv4Addr> = (0..4u32)
+        .map(|i| Ipv4Addr::from(scanner_base + i))
+        .collect();
+    for log in &mut logs {
+        log.retain(|e| !own_infra.contains(&e.src));
+    }
+    let telescope = std::mem::replace(
+        net.tap_downcast_mut::<Telescope>(telescope_tap)
+            .expect("telescope tap"),
+        Telescope::new(GeoDb::new()),
+    );
+
+    ShardOutput {
+        zmap,
+        sonar,
+        shodan,
+        fingerprint,
+        logs,
+        telescope,
+        counters: net.counters(),
+    }
+}
+
+fn extract_results(net: &mut SimNet, id: AgentId) -> ScanResults {
     net.agent_downcast_mut::<Scanner>(id)
         .expect("scanner agent")
         .results

@@ -7,10 +7,13 @@
 //! ordering.
 
 use ofh_wire::Protocol;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// A (username, password) pair with the paper's observed attempt count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the strings are `&'static str` into the paper's verbatim
+/// table, which cannot be deserialized from owned data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct CredentialEntry {
     pub protocol: Protocol,
     pub username: &'static str,

@@ -7,12 +7,15 @@
 //! Table 11 and Fig. 2 are regenerated from that loop.
 
 use ofh_wire::Protocol;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::types::DeviceType;
 
 /// A device profile: make/model plus its identifying network behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the strings are `&'static str` into Table 11's verbatim
+/// entries, which cannot be deserialized from owned data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct DeviceProfile {
     /// Make/model as Table 11 names it.
     pub name: &'static str,

@@ -53,6 +53,20 @@ impl FingerprintReport {
     pub fn total(&self) -> usize {
         self.detections.len()
     }
+
+    /// Fold another prober's report into this one (the sharded engine runs
+    /// one prober per shard over disjoint candidate sets).
+    pub fn absorb(&mut self, other: FingerprintReport) {
+        self.detections.extend(other.detections);
+        self.rejected.extend(other.rejected);
+    }
+
+    /// Sort detections and rejections into a canonical order, so a merged
+    /// report is independent of the order its parts arrived in.
+    pub fn normalize(&mut self) {
+        self.detections.sort_by_key(|d| (d.addr, d.port));
+        self.rejected.sort_unstable();
+    }
 }
 
 /// Passive stage: candidates from scan results whose raw banner matches a

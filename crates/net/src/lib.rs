@@ -65,6 +65,7 @@ pub mod event;
 pub mod fault;
 pub mod packet;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod time;
 
@@ -73,5 +74,6 @@ pub use agent::{Agent, AgentId, ConnToken, NetCtx, TcpDecision};
 pub use cidr::{Cidr, CidrSet};
 pub use fault::FaultPlan;
 pub use packet::{FlowKind, FlowObservation, Transport};
+pub use shard::{shard_of, ShardSpec};
 pub use sim::{EgressStats, LatencyModel, SimNet, SimNetConfig};
 pub use time::{SimDate, SimDuration, SimTime, SIM_EPOCH_DATE};

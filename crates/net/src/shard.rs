@@ -1,0 +1,138 @@
+//! Deterministic address-space sharding.
+//!
+//! The study engine splits the simulated Internet into a **fixed** number of
+//! shards and runs each shard as an independent [`crate::SimNet`]. Shard
+//! ownership is a pure function of the address (a SplitMix64 hash), so the
+//! partition — and therefore every shard's event trace — depends only on the
+//! master seed and the shard *count*, never on how many worker threads
+//! execute the shards. That is what makes the merged study report
+//! byte-identical for any worker count.
+//!
+//! The hash (rather than a contiguous range split) matters: populations are
+//! geographically clustered in address space, and a range split would give
+//! some shards all the devices and others none. SplitMix64 scatters
+//! neighbouring addresses across shards, so load stays balanced.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::{derive_seed_indexed, splitmix64};
+
+/// Salt folded into the ownership hash so shard assignment is unrelated to
+/// any other SplitMix64 use of the raw address (e.g. latency jitter).
+const SHARD_SALT: u64 = 0x5348_4152_4421_6f66; // "SHARD!of"
+
+/// One shard of a fixed-size partition of the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This shard's index in `0..count`.
+    pub index: u32,
+    /// Total number of shards in the partition.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// The degenerate single-shard partition (owns every address).
+    pub const WHOLE: ShardSpec = ShardSpec { index: 0, count: 1 };
+
+    /// All shards of a `count`-way partition.
+    pub fn all(count: u32) -> impl Iterator<Item = ShardSpec> {
+        (0..count.max(1)).map(move |index| ShardSpec { index, count: count.max(1) })
+    }
+
+    /// Whether this shard owns `addr`. Exactly one shard of a partition
+    /// owns any given address.
+    pub fn owns(&self, addr: Ipv4Addr) -> bool {
+        shard_of(addr, self.count) == self.index
+    }
+
+    /// Seed for this shard's event fabric / RNG streams, derived from the
+    /// master seed. Distinct per (label, index); never collides with the
+    /// unsharded `derive_seed` streams because of the label.
+    pub fn seed(&self, master: u64, label: &str) -> u64 {
+        derive_seed_indexed(master, label, self.index as u64)
+    }
+
+    /// How many of the `size` addresses starting at `base` this shard owns.
+    /// O(size) in the general case; the single-shard partition answers
+    /// immediately.
+    pub fn owned_in(&self, base: Ipv4Addr, size: u64) -> u64 {
+        if self.count <= 1 {
+            return size;
+        }
+        let first = u32::from(base) as u64;
+        (0..size)
+            .filter(|off| shard_of(Ipv4Addr::from((first + off) as u32), self.count) == self.index)
+            .count() as u64
+    }
+}
+
+/// The shard (in `0..shards`) that owns `addr`.
+pub fn shard_of(addr: Ipv4Addr, shards: u32) -> u32 {
+    if shards <= 1 {
+        return 0;
+    }
+    (splitmix64(u64::from(u32::from(addr)) ^ SHARD_SALT) % shards as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip;
+
+    #[test]
+    fn ownership_is_a_partition() {
+        for shards in [1u32, 2, 3, 16] {
+            for a in 0..512u32 {
+                let addr = Ipv4Addr::from(0x1000_0000 + a);
+                let owners: Vec<u32> = ShardSpec::all(shards)
+                    .filter(|s| s.owns(addr))
+                    .map(|s| s.index)
+                    .collect();
+                assert_eq!(owners.len(), 1, "addr {addr} owned by {owners:?}");
+                assert_eq!(owners[0], shard_of(addr, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn owned_counts_sum_to_size() {
+        let base = ip(16, 0, 0, 0);
+        let size = 4_096u64;
+        let total: u64 = ShardSpec::all(16).map(|s| s.owned_in(base, size)).sum();
+        assert_eq!(total, size);
+    }
+
+    #[test]
+    fn shards_are_balanced() {
+        // Hash sharding must spread a contiguous range roughly evenly —
+        // the point of hashing instead of range-splitting.
+        let base = ip(16, 0, 0, 0);
+        let size = 16_384u64;
+        for s in ShardSpec::all(16) {
+            let owned = s.owned_in(base, size);
+            let ideal = size / 16;
+            assert!(
+                owned > ideal / 2 && owned < ideal * 2,
+                "shard {} owns {owned} of {size} (ideal {ideal})",
+                s.index
+            );
+        }
+    }
+
+    #[test]
+    fn whole_owns_everything() {
+        assert!(ShardSpec::WHOLE.owns(ip(1, 2, 3, 4)));
+        assert_eq!(ShardSpec::WHOLE.owned_in(ip(16, 0, 0, 0), 1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn seeds_differ_per_shard_and_label() {
+        let a = ShardSpec { index: 0, count: 16 }.seed(7, "net");
+        let b = ShardSpec { index: 1, count: 16 }.seed(7, "net");
+        let c = ShardSpec { index: 0, count: 16 }.seed(7, "scan");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -107,6 +107,22 @@ pub struct Counters {
     pub udp_datagrams_corrupted: u64,
 }
 
+impl Counters {
+    /// Fold another fabric's counters into this one (the sharded engine
+    /// sums per-shard counters into the report's aggregate).
+    pub fn absorb(&mut self, other: &Counters) {
+        self.events_processed += other.events_processed;
+        self.syns_sent += other.syns_sent;
+        self.conns_established += other.conns_established;
+        self.conns_refused += other.conns_refused;
+        self.conn_timeouts += other.conn_timeouts;
+        self.tcp_payload_bytes += other.tcp_payload_bytes;
+        self.udp_datagrams_sent += other.udp_datagrams_sent;
+        self.udp_datagrams_dropped += other.udp_datagrams_dropped;
+        self.udp_datagrams_corrupted += other.udp_datagrams_corrupted;
+    }
+}
+
 /// A passive packet observer attached to a CIDR range. Implemented by the
 /// network telescope; `Any` lets experiments recover the concrete tap after a
 /// run.

@@ -1,0 +1,91 @@
+//! Property-based tests for the sharding layer: shard-derived RNG streams
+//! must be pairwise independent (no positional collisions), and shard
+//! ownership must be a true partition of any address range the scanners'
+//! CIDR iterator can walk.
+
+use std::net::Ipv4Addr;
+
+use ofh_net::rng::rng_for_indexed;
+use ofh_net::{shard_of, ShardSpec};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Sibling shard RNG streams never collide position-wise: for any master
+/// seed and pair of distinct shards, the first 10k u64 draws differ at
+/// every position. A collision would mean two shards replay each other's
+/// randomness and their merged traces lose independence.
+#[test]
+fn sibling_shard_streams_never_collide() {
+    for master in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+        let specs: Vec<ShardSpec> = ShardSpec::all(4).collect();
+        let streams: Vec<Vec<u64>> = specs
+            .iter()
+            .map(|s| {
+                let mut rng = rng_for_indexed(s.seed(master, "shard-net"), "stream", 0);
+                (0..10_000).map(|_| rng.gen::<u64>()).collect()
+            })
+            .collect();
+        for a in 0..streams.len() {
+            for b in (a + 1)..streams.len() {
+                let collisions = streams[a]
+                    .iter()
+                    .zip(&streams[b])
+                    .filter(|(x, y)| x == y)
+                    .count();
+                assert_eq!(
+                    collisions, 0,
+                    "shards {a} and {b} collided under master {master:#x}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Every address in an arbitrary CIDR-aligned range is owned by exactly
+    /// one shard, and per-shard owned counts sum to the range size — shard
+    /// ownership is a true partition of the iterator's address space.
+    #[test]
+    fn shard_ownership_partitions_cidr_range(
+        base in any::<u32>(),
+        bits in 0u32..=12,
+        count in 1u32..=9,
+    ) {
+        let size = 1u64 << bits;
+        let base = Ipv4Addr::from(base & !((size - 1) as u32)); // CIDR-align
+        let specs: Vec<ShardSpec> = ShardSpec::all(count).collect();
+        let mut owned = vec![0u64; count as usize];
+        for off in 0..size {
+            let addr = Ipv4Addr::from(u32::from(base).wrapping_add(off as u32));
+            let owners: Vec<u32> = specs
+                .iter()
+                .filter(|s| s.owns(addr))
+                .map(|s| s.index)
+                .collect();
+            prop_assert_eq!(owners.len(), 1, "addr {} owners {:?}", addr, owners);
+            prop_assert_eq!(owners[0], shard_of(addr, count));
+            owned[owners[0] as usize] += 1;
+        }
+        // owned_in agrees with the direct walk, and counts sum to the size.
+        for s in &specs {
+            prop_assert_eq!(s.owned_in(base, size), owned[s.index as usize]);
+        }
+        prop_assert_eq!(owned.iter().sum::<u64>(), size);
+    }
+
+    /// Shard seeds are injective over (shard, label) for a fixed master:
+    /// distinct shards or distinct stream labels never share a seed.
+    #[test]
+    fn shard_seeds_unique(master in any::<u64>()) {
+        let labels = ["shard-net", "scan", "sonar", "shodan"];
+        let mut seen = std::collections::BTreeSet::new();
+        for spec in ShardSpec::all(16) {
+            for label in labels {
+                prop_assert!(
+                    seen.insert(spec.seed(master, label)),
+                    "seed collision at shard {} label {}", spec.index, label
+                );
+            }
+        }
+    }
+}

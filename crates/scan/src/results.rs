@@ -63,6 +63,13 @@ impl ScanResults {
         self.records.insert((record.addr, record.port), record);
     }
 
+    /// Fold another dataset of the same source into this one (the sharded
+    /// engine unions per-shard sweeps; their key sets are disjoint because
+    /// each shard probes only the addresses it owns).
+    pub fn absorb(&mut self, other: ScanResults) {
+        self.records.extend(other.records);
+    }
+
     pub fn len(&self) -> usize {
         self.records.len()
     }

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use ofh_net::{
-    Agent, CidrSet, ConnToken, NetCtx, SimDuration, SimTime, SockAddr,
+    Agent, CidrSet, ConnToken, NetCtx, ShardSpec, SimDuration, SimTime, SockAddr,
 };
 use ofh_wire::Protocol;
 use rand::rngs::StdRng;
@@ -53,6 +53,10 @@ pub struct ScannerConfig {
     pub sample_rate: f64,
     /// Permutation seed.
     pub seed: u64,
+    /// Which slice of the address space this sweep probes. The sweep walks
+    /// the full permutation but only issues probes for addresses the shard
+    /// owns; `ShardSpec::WHOLE` (the default) probes everything.
+    pub shard: ShardSpec,
 }
 
 impl ScannerConfig {
@@ -72,7 +76,15 @@ impl ScannerConfig {
             blocklist: CidrSet::new(),
             sample_rate: 1.0,
             seed,
+            shard: ShardSpec::WHOLE,
         }
+    }
+
+    /// Addresses this sweep will actually consider probing — the shard's
+    /// share of `size`. O(size) when sharded (one hash per address); used
+    /// once per sweep to bound the schedule.
+    pub fn target_count(&self) -> u64 {
+        self.shard.owned_in(self.base, self.size)
     }
 }
 
@@ -143,9 +155,12 @@ impl Scanner {
         self.sweeps.iter().map(|s| s.probes_sent).sum()
     }
 
-    /// Conservatively estimate when a sweep's probing finishes.
+    /// Conservatively estimate when a sweep's probing finishes. Sharded
+    /// sweeps issue probes only for their owned addresses, so the schedule
+    /// shrinks proportionally (the exact owned count is used, keeping the
+    /// bound safe for uneven hash splits).
     pub fn estimated_end(cfg: &ScannerConfig) -> SimTime {
-        let probes = cfg.size * cfg.ports.len() as u64;
+        let probes = cfg.target_count() * cfg.ports.len() as u64;
         let ticks = probes / cfg.batch as u64 + 2;
         cfg.start_at + cfg.tick.mul(ticks) + cfg.grab_window + SimDuration::from_secs(10)
     }
@@ -158,6 +173,12 @@ impl Scanner {
             }
             let offset = sweep.perm.next()?;
             let addr = Ipv4Addr::from(u32::from(sweep.cfg.base).wrapping_add(offset as u32));
+            // Shard filter first: the sampling RNG must only be consulted
+            // for owned addresses, so each shard's draw sequence is a pure
+            // function of its own targets.
+            if !sweep.cfg.shard.owns(addr) {
+                continue;
+            }
             if sweep.cfg.blocklist.contains(addr) {
                 continue;
             }

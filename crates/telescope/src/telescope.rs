@@ -58,6 +58,23 @@ impl Telescope {
             .flat_map(|(_, recs)| recs.iter())
     }
 
+    /// Fold another telescope's capture into this one (the sharded engine
+    /// merges per-shard telescopes). Records land in their minute files and
+    /// each touched minute is re-sorted into a canonical order, so the
+    /// merged capture is independent of how the records were split across
+    /// shards.
+    pub fn absorb(&mut self, other: Telescope) {
+        for (minute, mut recs) in other.minutes {
+            self.total += recs.len() as u64;
+            let file = self.minutes.entry(minute).or_default();
+            file.append(&mut recs);
+            file.sort_by(|a, b| {
+                (a.time, a.src_ip, a.dst_ip, a.src_port, a.dst_port, a.protocol)
+                    .cmp(&(b.time, b.src_ip, b.dst_ip, b.src_port, b.dst_port, b.protocol))
+            });
+        }
+    }
+
     /// Export one minute file as JSON lines (CAIDA's FlowTuple v4 is JSON).
     pub fn minute_file_jsonl(&self, minute: u64) -> String {
         let mut out = String::new();
@@ -125,6 +142,28 @@ mod tests {
         let jsonl = t.minute_file_jsonl(0);
         assert_eq!(jsonl.lines().count(), 1);
         assert!(jsonl.contains("\"dst_port\":23"));
+    }
+
+    #[test]
+    fn absorb_merges_minutes_canonically() {
+        // Split one observation stream across two telescopes, merge both
+        // ways: identical captures.
+        let all = [obs_at(10_000, 23), obs_at(20_000, 1883), obs_at(70_000, 23)];
+        let split = |idx: &[usize]| {
+            let mut t = Telescope::new(GeoDb::new());
+            for &i in idx {
+                t.observe(&all[i]);
+            }
+            t
+        };
+        let mut a = split(&[0, 2]);
+        a.absorb(split(&[1]));
+        let mut b = split(&[1]);
+        b.absorb(split(&[0, 2]));
+        assert_eq!(a.total_records(), 3);
+        assert_eq!(a.minute_file_count(), 2);
+        assert_eq!(a.minute_file_jsonl(0), b.minute_file_jsonl(0));
+        assert_eq!(a.minute_file_jsonl(1), b.minute_file_jsonl(1));
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Encode→decode round-trip tests for every wire codec the study's scanners
+//! and honeypots speak. Each test builds representative frames, encodes them,
+//! decodes the bytes back, and asserts structural equality — guarding the
+//! codecs the sharded simulation depends on for cross-run determinism.
+
+use ofh_wire::{amqp, coap, mqtt, ssdp, telnet, xmpp};
+
+// ---------------------------------------------------------------- MQTT
+
+fn mqtt_roundtrip(packet: mqtt::Packet) {
+    let bytes = packet.encode();
+    let (decoded, used) = mqtt::Packet::decode(&bytes).expect("decode");
+    assert_eq!(used, bytes.len(), "decode must consume the whole frame");
+    assert_eq!(decoded, packet);
+}
+
+#[test]
+fn mqtt_connect_roundtrip() {
+    mqtt_roundtrip(mqtt::Packet::Connect {
+        client_id: "sensor-17".into(),
+        username: None,
+        password: None,
+        keep_alive: 60,
+        clean_session: true,
+    });
+    mqtt_roundtrip(mqtt::Packet::Connect {
+        client_id: "cam".into(),
+        username: Some("admin".into()),
+        password: Some(b"admin".to_vec()),
+        keep_alive: 0,
+        clean_session: false,
+    });
+}
+
+#[test]
+fn mqtt_connack_roundtrip() {
+    mqtt_roundtrip(mqtt::Packet::ConnAck {
+        session_present: false,
+        return_code: mqtt::ConnectReturnCode::Accepted,
+    });
+    mqtt_roundtrip(mqtt::Packet::ConnAck {
+        session_present: true,
+        return_code: mqtt::ConnectReturnCode::BadProtocolVersion,
+    });
+}
+
+#[test]
+fn mqtt_subscribe_roundtrip() {
+    mqtt_roundtrip(mqtt::Packet::Subscribe {
+        packet_id: 7,
+        topics: vec![("#".into(), 0), ("home/+/temp".into(), 1)],
+    });
+    mqtt_roundtrip(mqtt::Packet::SubAck {
+        packet_id: 7,
+        return_codes: vec![0, 1, 0x80],
+    });
+}
+
+#[test]
+fn mqtt_publish_roundtrip() {
+    mqtt_roundtrip(mqtt::Packet::Publish {
+        topic: "owntracks/user/phone".into(),
+        packet_id: None,
+        payload: br#"{"lat":52.5,"lon":13.4}"#.to_vec(),
+        qos: 0,
+        retain: true,
+    });
+    mqtt_roundtrip(mqtt::Packet::Publish {
+        topic: "cmd".into(),
+        packet_id: Some(99),
+        payload: vec![0xFF, 0x00, 0xFF],
+        qos: 1,
+        retain: false,
+    });
+}
+
+#[test]
+fn mqtt_bare_packets_roundtrip() {
+    mqtt_roundtrip(mqtt::Packet::PingReq);
+    mqtt_roundtrip(mqtt::Packet::PingResp);
+    mqtt_roundtrip(mqtt::Packet::Disconnect);
+}
+
+// ---------------------------------------------------------------- CoAP
+
+fn coap_roundtrip(msg: coap::Message) {
+    let bytes = msg.encode();
+    let decoded = coap::Message::decode(&bytes).expect("decode");
+    assert_eq!(decoded, msg);
+}
+
+#[test]
+fn coap_scan_probe_roundtrip() {
+    let probe = coap::Message::well_known_core_request(0x1234);
+    coap_roundtrip(probe.clone());
+    let reply = coap::Message::content_response(&probe, "</sensors/temp>;rt=\"temperature\"");
+    coap_roundtrip(reply);
+}
+
+#[test]
+fn coap_custom_message_roundtrip() {
+    // Options deliberately exercise both small and extended (13+) deltas.
+    coap_roundtrip(coap::Message {
+        msg_type: coap::MsgType::NonConfirmable,
+        code: coap::Code::new(4, 1),
+        message_id: 0xFFFF,
+        token: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        options: vec![
+            coap::CoapOption {
+                number: coap::option_num::URI_PATH,
+                value: b"state".to_vec(),
+            },
+            coap::CoapOption {
+                number: coap::option_num::URI_QUERY,
+                value: b"k=v".to_vec(),
+            },
+            coap::CoapOption {
+                number: coap::option_num::ACCEPT,
+                value: vec![40],
+            },
+        ],
+        payload: b"denied".to_vec(),
+    });
+}
+
+// ---------------------------------------------------------------- SSDP
+
+#[test]
+fn ssdp_discovery_response_roundtrip() {
+    let msg = ssdp::SsdpMessage::discovery_response(
+        "Linux/3.14 UPnP/1.0 IpCam/1.0",
+        "uuid:0a1b2c3d-4e5f-6071-8293-a4b5c6d7e8f9",
+        "http://192.168.1.54:49152/rootDesc.xml",
+    );
+    let text = msg.render();
+    let parsed = ssdp::SsdpMessage::parse(&text).expect("parse");
+    assert_eq!(parsed, msg);
+}
+
+#[test]
+fn ssdp_msearch_roundtrip() {
+    let text = ssdp::msearch_all();
+    let parsed = ssdp::SsdpMessage::parse(&text).expect("parse");
+    assert_eq!(parsed.start_line, "M-SEARCH * HTTP/1.1");
+    // Canonical messages survive a render→parse→render cycle byte-for-byte.
+    assert_eq!(parsed.render(), text);
+}
+
+// ---------------------------------------------------------------- Telnet
+
+#[test]
+fn telnet_stream_roundtrip() {
+    let items = vec![
+        telnet::TelnetItem::Negotiation(telnet::Verb::Will, telnet::option::ECHO),
+        telnet::TelnetItem::Negotiation(telnet::Verb::Do, telnet::option::NAWS),
+        telnet::TelnetItem::Text(b"login: ".to_vec()),
+        telnet::TelnetItem::Command(241), // NOP
+        telnet::TelnetItem::Text(b"root\r\n".to_vec()),
+    ];
+    let bytes = telnet::encode_stream(&items);
+    assert_eq!(telnet::parse_stream(&bytes).expect("parse"), items);
+}
+
+#[test]
+fn telnet_iac_escaping_roundtrip() {
+    // A 0xFF data byte must be IAC-escaped on encode and unescaped on parse.
+    let items = vec![telnet::TelnetItem::Text(vec![0x01, 0xFF, 0x02])];
+    let bytes = telnet::encode_stream(&items);
+    assert_eq!(bytes, vec![0x01, 0xFF, 0xFF, 0x02]);
+    assert_eq!(telnet::parse_stream(&bytes).expect("parse"), items);
+}
+
+#[test]
+fn telnet_negotiate_matches_stream_encoding() {
+    let seq = telnet::negotiate(telnet::Verb::Dont, telnet::option::LINEMODE);
+    let via_stream = telnet::encode_stream(&[telnet::TelnetItem::Negotiation(
+        telnet::Verb::Dont,
+        telnet::option::LINEMODE,
+    )]);
+    assert_eq!(seq.to_vec(), via_stream);
+}
+
+// ---------------------------------------------------------------- AMQP
+
+#[test]
+fn amqp_frame_roundtrip() {
+    let frame = amqp::Frame {
+        frame_type: amqp::frame_type::METHOD,
+        channel: 0,
+        payload: vec![0x00, 0x0A, 0x00, 0x0A, 0xDE, 0xAD],
+    };
+    let bytes = frame.encode();
+    assert_eq!(*bytes.last().unwrap(), amqp::FRAME_END);
+    let (decoded, used) = amqp::Frame::decode(&bytes).expect("decode");
+    assert_eq!(used, bytes.len());
+    assert_eq!(decoded, frame);
+}
+
+#[test]
+fn amqp_connection_start_roundtrip() {
+    let start = amqp::ConnectionStart {
+        version_major: 0,
+        version_minor: 9,
+        server_properties: vec![
+            ("product".into(), "RabbitMQ".into()),
+            ("version".into(), "2.7.1".into()),
+        ],
+        mechanisms: "PLAIN AMQPLAIN".into(),
+        locales: "en_US".into(),
+    };
+    let bytes = start.encode_method();
+    let decoded = amqp::ConnectionStart::decode_method(&bytes).expect("decode");
+    assert_eq!(decoded, start);
+}
+
+// ---------------------------------------------------------------- XMPP
+
+#[test]
+fn xmpp_stream_features_roundtrip() {
+    let features = xmpp::StreamFeatures {
+        from: "hue-bridge.local".into(),
+        id: "c2a1".into(),
+        starttls: Some(xmpp::TlsPolicy::Required),
+        mechanisms: vec![xmpp::Mechanism::Plain, xmpp::Mechanism::ScramSha1],
+        version: Some("ejabberd-2.1.11".into()),
+    };
+    let banner = features.render();
+    let parsed = xmpp::StreamFeatures::parse(&banner).expect("parse");
+    assert_eq!(parsed, features);
+    assert!(parsed.offers(xmpp::Mechanism::Plain));
+}
+
+#[test]
+fn xmpp_anonymous_no_tls_roundtrip() {
+    let features = xmpp::StreamFeatures {
+        from: "iot-gw".into(),
+        id: "1".into(),
+        starttls: None,
+        mechanisms: vec![xmpp::Mechanism::Anonymous],
+        version: None,
+    };
+    let parsed = xmpp::StreamFeatures::parse(&features.render()).expect("parse");
+    assert_eq!(parsed, features);
+}

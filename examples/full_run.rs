@@ -2,15 +2,22 @@
 //! 1:64 scan scale, 1:8 honeypot scale). Prints the complete report.
 //!
 //! ```sh
-//! cargo run --release --example full_run [seed]
+//! cargo run --release --example full_run [seed] [workers]
 //! ```
+//!
+//! `workers` sizes the shard thread pool (0 = one per core). Any value
+//! prints the identical report — only the wall clock changes.
 
 use ofh_core::{Study, StudyConfig};
 
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let workers: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0);
     let t0 = std::time::Instant::now();
-    let report = Study::new(StudyConfig::full(seed)).run_with(|phase| {
+    let mut cfg = StudyConfig::full(seed);
+    cfg.workers = workers;
+    eprintln!("workers: {}", cfg.worker_threads());
+    let report = Study::new(cfg).run_with(|phase| {
         eprintln!("[{:>7.1?}] {phase}", t0.elapsed());
     });
     println!("{}", report.render_full());

@@ -40,11 +40,10 @@ fn main() {
     let t0 = std::time::Instant::now();
 
     // Parallel fan-out: each seed is an independent deterministic universe.
-    let results: Vec<Headline> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..n).map(|seed| scope.spawn(move |_| run_seed(seed))).collect();
+    let results: Vec<Headline> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n).map(|seed| scope.spawn(move || run_seed(seed))).collect();
         handles.into_iter().map(|h| h.join().expect("study run")).collect()
-    })
-    .expect("threads");
+    });
 
     println!("seed | misconf | filtered | events | infected (both) | multistage | post/pre");
     println!("-----+---------+----------+--------+-----------------+------------+---------");

@@ -1,7 +1,7 @@
 //! `openforhire` — the command-line front end of the reproduction suite.
 //!
 //! ```text
-//! openforhire study  [--preset quick|standard|full] [--seed N] [--summary]
+//! openforhire study  [--preset quick|standard|full] [--seed N] [--workers N] [--summary]
 //! openforhire table  <4|5|6|7|8|10|12|13> [--preset ...] [--seed N]
 //! openforhire figure <2|3|4|5|6|7|8|9>    [--preset ...] [--seed N]
 //! openforhire export <scan|events|flowtuples> [--preset ...] [--seed N]
@@ -26,7 +26,9 @@ fn usage() -> &'static str {
      \n\
      OPTIONS:\n\
        --preset quick|standard|full   scale preset (default: quick)\n\
-       --seed N                       master seed (default: 7)\n"
+       --seed N                       master seed (default: 7)\n\
+       --workers N                    shard worker threads; 0 = one per core\n\
+                                      (default: 1 — any value prints identical bytes)\n"
 }
 
 struct Args {
@@ -34,6 +36,7 @@ struct Args {
     target: Option<String>,
     preset: String,
     seed: u64,
+    workers: usize,
     summary: bool,
 }
 
@@ -45,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         target: None,
         preset: "quick".into(),
         seed: 7,
+        workers: 1,
         summary: false,
     };
     while let Some(arg) = args.next() {
@@ -58,6 +62,13 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--seed needs a value")?
                     .parse()
                     .map_err(|_| "--seed must be an integer")?;
+            }
+            "--workers" => {
+                out.workers = args
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer")?;
             }
             "--summary" => out.summary = true,
             other if !other.starts_with('-') && out.target.is_none() => {
@@ -140,7 +151,8 @@ fn run() -> Result<(), String> {
         println!("{}", usage());
         return Ok(());
     }
-    let cfg = config_for(&args.preset, args.seed)?;
+    let mut cfg = config_for(&args.preset, args.seed)?;
+    cfg.workers = args.workers;
     eprintln!(
         "running {} preset (seed {}) — deterministic, ~{}",
         args.preset,

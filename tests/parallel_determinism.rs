@@ -1,0 +1,74 @@
+//! The sharded engine's central promise: the worker-thread count is a pure
+//! execution knob. Any value must produce a byte-identical `StudyReport` —
+//! the shard count (fixed per preset) is the only simulation parameter.
+//!
+//! These tests run the quick profile at several worker counts and diff the
+//! rendered outputs, reporting the first divergent line on failure so a
+//! determinism regression points straight at the table that drifted.
+
+use ofh_core::{Study, StudyConfig, StudyReport};
+
+fn run_quick(seed: u64, workers: usize) -> StudyReport {
+    let mut cfg = StudyConfig::quick(seed);
+    cfg.workers = workers;
+    Study::new(cfg).run()
+}
+
+/// Line-by-line diff that names the first divergent line, so a failure shows
+/// *where* two worker counts disagree instead of two walls of text.
+fn assert_identical_lines(section: &str, wa: usize, wb: usize, a: &str, b: &str) {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        assert_eq!(
+            la,
+            lb,
+            "{section}: first divergent line is {} (workers={wa} vs workers={wb})",
+            i + 1
+        );
+    }
+    assert_eq!(
+        a.lines().count(),
+        b.lines().count(),
+        "{section}: line counts differ (workers={wa} vs workers={wb})"
+    );
+}
+
+/// Quick profile at workers ∈ {1, 2, 8}: Tables 4, 5 and 7 must render to
+/// identical text, diffed line-by-line.
+#[test]
+fn quick_profile_tables_identical_across_worker_counts() {
+    let baseline = run_quick(11, 1);
+    for workers in [2usize, 8] {
+        let report = run_quick(11, workers);
+        assert_identical_lines("table4", 1, workers, &baseline.table4.render(), &report.table4.render());
+        assert_identical_lines("table5", 1, workers, &baseline.table5.render(), &report.table5.render());
+        assert_identical_lines("table7", 1, workers, &baseline.table7.render(), &report.table7.render());
+    }
+}
+
+/// The golden-report guarantee: the FULL rendered report — every table,
+/// figure and the summary header — is byte-identical at workers 1, 4 and 16.
+#[test]
+fn golden_report_workers_1_4_16() {
+    let golden = run_quick(42, 1).render_full();
+    for workers in [4usize, 16] {
+        let report = run_quick(42, workers).render_full();
+        assert_identical_lines("render_full", 1, workers, &golden, &report);
+        assert_eq!(golden, report, "golden report mismatch at workers={workers}");
+    }
+}
+
+/// Same guarantee on the standard profile (2^20 universe). Minutes-long in
+/// debug builds, so it only runs under `--release` (e.g. via ci.sh).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run with --release")]
+fn standard_profile_golden_report() {
+    let run = |workers: usize| {
+        let mut cfg = StudyConfig::standard(99);
+        cfg.workers = workers;
+        Study::new(cfg).run().render_full()
+    };
+    let golden = run(1);
+    let parallel = run(8);
+    assert_identical_lines("standard render_full", 1, 8, &golden, &parallel);
+    assert_eq!(golden, parallel);
+}

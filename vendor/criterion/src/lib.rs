@@ -1,0 +1,223 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`benchmark_group` API
+//! surface, but measures with a simple adaptive wall-clock loop and prints
+//! one line per benchmark. When invoked with `--test` (as `cargo test` does
+//! for `harness = false` bench targets) every benchmark body runs exactly
+//! once, keeping the test suite fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Single-pass smoke run (under `cargo test`).
+    Test,
+    /// Timed measurement.
+    Bench,
+}
+
+pub struct Criterion {
+    mode: Mode,
+    /// Soft time budget per benchmark in bench mode.
+    measure_for: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().collect();
+        let mode = if args.iter().any(|a| a == "--test") {
+            Mode::Test
+        } else {
+            Mode::Bench
+        };
+        // First free (non-flag) argument is a name filter, as in criterion.
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .cloned();
+        Criterion {
+            mode,
+            measure_for: Duration::from_millis(400),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_for = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        self.run_one(&name, None, &mut f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, throughput: Option<Throughput>, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: self.mode,
+            measure_for: self.measure_for,
+            result: None,
+        };
+        f(&mut b);
+        match (self.mode, b.result) {
+            (Mode::Test, _) => println!("test {name} ... ok (single pass)"),
+            (Mode::Bench, Some(per_iter)) => {
+                let rate = throughput.and_then(|t| {
+                    let secs = per_iter.as_secs_f64();
+                    if secs <= 0.0 {
+                        return None;
+                    }
+                    Some(match t {
+                        Throughput::Elements(n) => format!(" ({:.3} Melem/s)", n as f64 / secs / 1e6),
+                        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                            format!(" ({:.3} MiB/s)", n as f64 / secs / (1024.0 * 1024.0))
+                        }
+                    })
+                });
+                println!(
+                    "bench {name:<50} {:>12}/iter{}",
+                    format_duration(per_iter),
+                    rate.unwrap_or_default()
+                );
+            }
+            (Mode::Bench, None) => println!("bench {name} ... no measurement"),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measure_for = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let throughput = self.throughput;
+        self.c.run_one(&full, throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    mode: Mode,
+    measure_for: Duration,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            return;
+        }
+        // Warm-up + calibration pass.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for the time budget, capped to keep heavyweight bodies sane.
+        let iters = (self.measure_for.as_nanos() / first.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.result = Some(total / iters as u32);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

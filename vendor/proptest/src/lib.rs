@@ -1,0 +1,102 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses, without
+//! shrinking: each `proptest!` test runs `cases` deterministic samples (the
+//! RNG is seeded from the test's name, so runs are reproducible and
+//! independent of `--test-threads`). Failures surface as ordinary panics
+//! from `prop_assert*`, which report the concrete failing values.
+//!
+//! Supported strategy surface: `any::<T>()` for primitives and
+//! `sample::Index`, integer ranges, regex-subset string literals,
+//! `Just`, `prop_map`, tuples, `collection::vec`, `option::of`,
+//! `sample::select`, and `prop_oneof!`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod regex;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The conventional `prop::` alias for the crate root.
+    pub use crate as prop;
+}
+
+// ---- macros ----
+
+/// Define property tests. Each function samples its strategies `cases`
+/// times with a name-seeded deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __pt_rng = $crate::test_runner::rng_for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __pt_case in 0..__pt_cfg.cases {
+                let _ = __pt_case;
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __pt_rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform (or weighted — weights are respected) choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let mut __branches: Vec<(u32, Box<dyn $crate::strategy::Strategy<Value = _>>)> = Vec::new();
+        $(__branches.push(($weight as u32, Box::new($strat)));)+
+        $crate::strategy::Union::weighted(__branches)
+    }};
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __branches: Vec<Box<dyn $crate::strategy::Strategy<Value = _>>> = Vec::new();
+        $(__branches.push(Box::new($strat));)+
+        $crate::strategy::Union::new(__branches)
+    }};
+}

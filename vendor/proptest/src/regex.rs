@@ -1,0 +1,265 @@
+//! A generator for the regex subset proptest string strategies use here.
+//!
+//! Supported syntax: literals, `.` (printable ASCII), escapes
+//! (`\n \r \t \\ \. \- \/ \d \w \s` and `\PC` = printable), character
+//! classes `[...]` with ranges and leading-`^` negation, groups `(...)`,
+//! alternation `|`, and the quantifiers `? * + {m} {m,} {m,n}`.
+//! Unbounded quantifiers are capped at 8 repetitions.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+const PRINTABLE: &str =
+    " !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Class(Vec<char>),
+    Seq(Vec<Node>),
+    Alt(Vec<Node>),
+    Rep(Box<Node>, u32, u32),
+}
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_alt(&chars, &mut pos);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex pattern {pattern:?} (stopped at {pos})"
+    );
+    let mut out = String::new();
+    sample(&node, rng, &mut out);
+    out
+}
+
+fn sample(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(chars) => {
+            out.push(chars[rng.gen_range(0..chars.len())]);
+        }
+        Node::Seq(items) => {
+            for item in items {
+                sample(item, rng, out);
+            }
+        }
+        Node::Alt(branches) => {
+            sample(&branches[rng.gen_range(0..branches.len())], rng, out);
+        }
+        Node::Rep(inner, lo, hi) => {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                sample(inner, rng, out);
+            }
+        }
+    }
+}
+
+// ---- parser ----
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+    let mut branches = vec![parse_seq(chars, pos)];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        branches.push(parse_seq(chars, pos));
+    }
+    if branches.len() == 1 {
+        branches.pop().unwrap()
+    } else {
+        Node::Alt(branches)
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Node {
+    let mut items = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == '|' || c == ')' {
+            break;
+        }
+        let atom = parse_atom(chars, pos);
+        let atom = parse_quantifier(chars, pos, atom);
+        items.push(atom);
+    }
+    Node::Seq(items)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        '(' => {
+            let inner = parse_alt(chars, pos);
+            assert_eq!(chars.get(*pos), Some(&')'), "unclosed group");
+            *pos += 1;
+            inner
+        }
+        '[' => parse_class(chars, pos),
+        '\\' => parse_escape(chars, pos),
+        '.' => Node::Class(PRINTABLE.chars().collect()),
+        c => Node::Lit(c),
+    }
+}
+
+fn parse_escape(chars: &[char], pos: &mut usize) -> Node {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        'n' => Node::Lit('\n'),
+        'r' => Node::Lit('\r'),
+        't' => Node::Lit('\t'),
+        'd' => Node::Class(('0'..='9').collect()),
+        'w' => Node::Class(
+            ('a'..='z')
+                .chain('A'..='Z')
+                .chain('0'..='9')
+                .chain(std::iter::once('_'))
+                .collect(),
+        ),
+        's' => Node::Class(vec![' ', '\t']),
+        // \PC (not-a-control-character) and \pC (control); generate
+        // printable ASCII for the former, a tab for the latter.
+        'P' => {
+            let cat = chars[*pos];
+            *pos += 1;
+            assert_eq!(cat, 'C', "unsupported \\P category {cat:?}");
+            Node::Class(PRINTABLE.chars().collect())
+        }
+        'p' => {
+            let cat = chars[*pos];
+            *pos += 1;
+            assert_eq!(cat, 'C', "unsupported \\p category {cat:?}");
+            Node::Lit('\t')
+        }
+        c => Node::Lit(c),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Node {
+    let negate = chars.get(*pos) == Some(&'^');
+    if negate {
+        *pos += 1;
+    }
+    let mut members: Vec<char> = Vec::new();
+    let mut first = true;
+    while let Some(&c) = chars.get(*pos) {
+        if c == ']' && !first {
+            *pos += 1;
+            let set = if negate {
+                PRINTABLE.chars().filter(|c| !members.contains(c)).collect()
+            } else {
+                members
+            };
+            assert!(!set.is_empty(), "empty character class");
+            return Node::Class(set);
+        }
+        first = false;
+        let lo = if c == '\\' {
+            *pos += 1;
+            let e = chars[*pos];
+            *pos += 1;
+            match e {
+                'n' => '\n',
+                'r' => '\r',
+                't' => '\t',
+                other => other,
+            }
+        } else {
+            *pos += 1;
+            c
+        };
+        // Range `a-z` (a trailing '-' is a literal).
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+            *pos += 1;
+            let hi = chars[*pos];
+            *pos += 1;
+            for v in lo..=hi {
+                members.push(v);
+            }
+        } else {
+            members.push(lo);
+        }
+    }
+    panic!("unclosed character class");
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Node::Rep(Box::new(atom), 0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            Node::Rep(Box::new(atom), 0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            Node::Rep(Box::new(atom), 1, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut lo = 0u32;
+            while chars[*pos].is_ascii_digit() {
+                lo = lo * 10 + chars[*pos].to_digit(10).unwrap();
+                *pos += 1;
+            }
+            let hi = if chars[*pos] == ',' {
+                *pos += 1;
+                if chars[*pos] == '}' {
+                    lo + 8
+                } else {
+                    let mut h = 0u32;
+                    while chars[*pos].is_ascii_digit() {
+                        h = h * 10 + chars[*pos].to_digit(10).unwrap();
+                        *pos += 1;
+                    }
+                    h
+                }
+            } else {
+                lo
+            };
+            assert_eq!(chars[*pos], '}', "unclosed quantifier");
+            *pos += 1;
+            Node::Rep(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let mut rng = rng_for_test("regex-smoke");
+        (0..50).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn shapes() {
+        for s in gen_many("[a-z][a-z0-9.-]{0,20}") {
+            assert!(!s.is_empty() && s.len() <= 21, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+        for s in gen_many("(PLAIN|ANONYMOUS|PLAIN AMQPLAIN)") {
+            assert!(["PLAIN", "ANONYMOUS", "PLAIN AMQPLAIN"].contains(&s.as_str()));
+        }
+        for s in gen_many("[0-9]\\.[0-9]\\.[0-9]") {
+            assert_eq!(s.len(), 5);
+            assert_eq!(s.chars().nth(1), Some('.'));
+        }
+        for s in gen_many("\\PC{0,16}") {
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        for s in gen_many("[ -~]{1,20}") {
+            assert!((1..=20).contains(&s.len()));
+        }
+        for s in gen_many("[a-zA-Z0-9./-]([a-zA-Z0-9 ./-]{0,38}[a-zA-Z0-9./-])?") {
+            assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The real serde visitor/data-model machinery is far larger than this
+//! workspace needs, so the vendored version collapses serialization to a
+//! single self-describing [`Value`] tree:
+//!
+//! * [`Serialize`] renders a type into a [`Value`],
+//! * [`Deserialize`] rebuilds a type from a [`Value`],
+//! * the companion `serde_json` crate renders/parses `Value` as JSON,
+//! * `#[derive(Serialize, Deserialize)]` comes from the vendored
+//!   `serde_derive` proc-macro (supports named/tuple/unit structs, enums
+//!   with unit/tuple/struct variants, and the `#[serde(default)]` /
+//!   `#[serde(skip)]` field attributes used in this workspace).
+//!
+//! Representation choices mirror serde's defaults where the workspace can
+//! observe them: externally-tagged enums, newtype structs as their inner
+//! value, `Ipv4Addr` as a dotted-quad string.
+
+mod impls;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Namespace mirroring `serde::de` for error construction in generated code.
+pub mod de {
+    pub use crate::DeError as Error;
+}
+
+/// Namespace mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::DeError as Error;
+}

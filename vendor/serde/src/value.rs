@@ -1,0 +1,94 @@
+//! The self-describing value tree all (de)serialization routes through.
+
+use crate::DeError;
+
+/// A serialized value.
+///
+/// Maps keep insertion order (field order / BTreeMap iteration order) so
+/// rendering is deterministic. Keys are full `Value`s because the workspace
+/// serializes `BTreeMap`s with tuple keys; JSON rendering special-cases
+/// all-string-key maps into objects and renders the rest as pair arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Look up a string key in a map value (generated code helper).
+pub fn get<'a>(map: &'a [(Value, Value)], key: &str) -> Option<&'a Value> {
+    map.iter()
+        .find(|(k, _)| matches!(k, Value::Str(s) if s == key))
+        .map(|(_, v)| v)
+}
+
+/// Error helper for generated code.
+pub fn type_err(expected: &str, got: &Value, ty: &str) -> DeError {
+    DeError(format!("{ty}: expected {expected}, got {}", got.kind()))
+}

@@ -1,0 +1,474 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in.
+//!
+//! The build environment is offline, so `syn`/`quote` are unavailable; the
+//! item is parsed directly from the `proc_macro::TokenStream`. Supported
+//! shapes (everything this workspace derives on):
+//!
+//! * structs with named fields (incl. `#[serde(default)]` / `#[serde(skip)]`),
+//! * tuple structs (newtypes serialize as their inner value),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics are not supported (the workspace has no generic serde types).
+//! Field *types* never need parsing: generated code calls
+//! `serde::Serialize::to_value` / `serde::Deserialize::from_value` and lets
+//! type inference resolve the impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model ----
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---- parsing ----
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    /// Consume one `#[...]` attribute; returns (is_serde_default, is_serde_skip).
+    fn eat_attr(&mut self) -> (bool, bool) {
+        // caller has verified we are at '#'
+        self.next();
+        let Some(TokenTree::Group(g)) = self.next() else {
+            panic!("malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let mut default = false;
+        let mut skip = false;
+        if let Some(TokenTree::Ident(i)) = inner.first() {
+            if i.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(i) = t {
+                            match i.to_string().as_str() {
+                                "default" => default = true,
+                                "skip" => skip = true,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (default, skip)
+    }
+
+    /// Skip attributes (returning accumulated serde flags) and visibility.
+    fn eat_attrs_and_vis(&mut self) -> (bool, bool) {
+        let (mut default, mut skip) = (false, false);
+        loop {
+            if self.at_punct('#') {
+                let (d, s) = self.eat_attr();
+                default |= d;
+                skip |= s;
+            } else if self.at_ident("pub") {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            } else {
+                return (default, skip);
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level comma (tracking `<...>` nesting), and
+    /// consume the comma if present.
+    fn skip_until_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle == 0 {
+                        self.next();
+                        return;
+                    }
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' {
+                        angle -= 1;
+                    }
+                    self.next();
+                }
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (default, skip) = c.eat_attrs_and_vis();
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            panic!("expected field name");
+        };
+        assert!(c.at_punct(':'), "expected `:` after field `{name}`");
+        c.next();
+        c.skip_until_comma();
+        fields.push(Field {
+            name: name.to_string(),
+            default,
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if c.peek().is_some() {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.eat_attrs_and_vis();
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = c.next() else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    if c.at_punct('<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_arity(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(body)) = c.next() else {
+                panic!("expected enum body for {name}");
+            };
+            let mut vc = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                vc.eat_attrs_and_vis();
+                let Some(TokenTree::Ident(vname)) = vc.next() else {
+                    panic!("expected variant name in {name}");
+                };
+                let fields = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream()));
+                        vc.next();
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(parse_tuple_arity(g.stream()));
+                        vc.next();
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                vc.skip_until_comma(); // discriminant (if any) + comma
+                variants.push(Variant {
+                    name: vname.to_string(),
+                    fields,
+                });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+// ---- codegen ----
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Unit => out.push_str("::serde::Value::Null\n"),
+                Fields::Tuple(1) => {
+                    out.push_str("::serde::Serialize::to_value(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    out.push_str("::serde::Value::Seq(vec![");
+                    for i in 0..*n {
+                        out.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+                    }
+                    out.push_str("])\n");
+                }
+                Fields::Named(fs) => {
+                    out.push_str("let mut m: Vec<(::serde::Value, ::serde::Value)> = Vec::new();\n");
+                    for f in fs.iter().filter(|f| !f.skip) {
+                        out.push_str(&format!(
+                            "m.push((::serde::Value::Str(\"{0}\".to_string()), ::serde::Serialize::to_value(&self.{0})));\n",
+                            f.name
+                        ));
+                    }
+                    out.push_str("::serde::Value::Map(m)\n");
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Map(vec![(::serde::Value::Str(\"{vn}\".to_string()), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(::serde::Value::Str(\"{vn}\".to_string()), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(","),
+                            elems.join(",")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                        let mut body = String::from(
+                            "{ let mut m: Vec<(::serde::Value, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fs.iter().filter(|f| !f.skip) {
+                            body.push_str(&format!(
+                                "m.push((::serde::Value::Str(\"{0}\".to_string()), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "::serde::Value::Map(vec![(::serde::Value::Str(\"{vn}\".to_string()), ::serde::Value::Map(m))]) }}"
+                        ));
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {body},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_named_field_init(fs: &[Field], map_expr: &str, ty: &str) -> String {
+    let mut out = String::new();
+    for f in fs {
+        if f.skip {
+            out.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+        } else if f.default {
+            out.push_str(&format!(
+                "{0}: match ::serde::value::get({map_expr}, \"{0}\") {{ Some(x) => ::serde::Deserialize::from_value(x)?, None => ::std::default::Default::default() }},\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{0}: match ::serde::value::get({map_expr}, \"{0}\") {{ Some(x) => ::serde::Deserialize::from_value(x)?, None => return Err(::serde::DeError::custom(\"{ty}: missing field `{0}`\")) }},\n",
+                f.name
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            match fields {
+                Fields::Unit => out.push_str(&format!("let _ = v; Ok({name})\n")),
+                Fields::Tuple(1) => out.push_str(&format!(
+                    "Ok({name}(::serde::Deserialize::from_value(v)?))\n"
+                )),
+                Fields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "let s = v.as_seq().ok_or_else(|| ::serde::value::type_err(\"sequence\", v, \"{name}\"))?;\n\
+                         if s.len() != {n} {{ return Err(::serde::DeError::custom(\"{name}: wrong tuple arity\")); }}\n\
+                         Ok({name}("
+                    ));
+                    for i in 0..*n {
+                        out.push_str(&format!("::serde::Deserialize::from_value(&s[{i}])?,"));
+                    }
+                    out.push_str("))\n");
+                }
+                Fields::Named(fs) => {
+                    out.push_str(&format!(
+                        "let m = v.as_map().ok_or_else(|| ::serde::value::type_err(\"map\", v, \"{name}\"))?;\n"
+                    ));
+                    out.push_str(&format!("Ok({name} {{\n"));
+                    out.push_str(&gen_named_field_init(fs, "m", name));
+                    out.push_str("})\n");
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n match v {{\n"
+            ));
+            // unit variants: bare string
+            out.push_str("::serde::Value::Str(s) => match s.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    out.push_str(&format!("\"{0}\" => Ok({name}::{0}),\n", v.name));
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(::serde::DeError::custom(format!(\"{name}: unknown variant {{other:?}}\"))),\n}},\n"
+            ));
+            // data variants: single-entry map
+            out.push_str(&format!(
+                "::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (k, payload) = &m[0];\n\
+                 let k = k.as_str().ok_or_else(|| ::serde::value::type_err(\"string tag\", k, \"{name}\"))?;\n\
+                 match k {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{ let s = payload.as_seq().ok_or_else(|| ::serde::value::type_err(\"sequence\", payload, \"{name}::{vn}\"))?;\n\
+                             if s.len() != {n} {{ return Err(::serde::DeError::custom(\"{name}::{vn}: wrong arity\")); }}\n\
+                             Ok({name}::{vn}("
+                        ));
+                        for i in 0..*n {
+                            out.push_str(&format!("::serde::Deserialize::from_value(&s[{i}])?,"));
+                        }
+                        out.push_str(")) },\n");
+                    }
+                    Fields::Named(fs) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{ let mm = payload.as_map().ok_or_else(|| ::serde::value::type_err(\"map\", payload, \"{name}::{vn}\"))?;\n\
+                             Ok({name}::{vn} {{\n"
+                        ));
+                        out.push_str(&gen_named_field_init(fs, "mm", &format!("{name}::{vn}")));
+                        out.push_str("}) },\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(::serde::DeError::custom(format!(\"{name}: unknown variant {{other:?}}\"))),\n}}\n}},\n"
+            ));
+            out.push_str(&format!(
+                "other => Err(::serde::value::type_err(\"string or map\", other, \"{name}\")),\n}}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,374 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Renders and parses the vendored serde [`Value`] tree as JSON. Maps whose
+//! keys are all strings render as JSON objects; maps with structured keys
+//! (e.g. `BTreeMap<(Ipv4Addr, u16), _>`) render as arrays of `[key, value]`
+//! pairs, which `serde`'s map deserializer accepts back.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---- serialization ----
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    // Compact output is valid pretty output for our purposes.
+    to_string(value)
+}
+
+fn render(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                // serde_json renders whole floats as "1.0", not "1".
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f:?}"));
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(pairs) => {
+            let all_str = pairs.iter().all(|(k, _)| matches!(k, Value::Str(_)));
+            if all_str {
+                out.push('{');
+                for (i, (k, val)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render(k, out);
+                    out.push(':');
+                    render(val, out);
+                }
+                out.push('}');
+            } else {
+                out.push('[');
+                for (i, (k, val)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    render(k, out);
+                    out.push(',');
+                    render(val, out);
+                    out.push(']');
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- deserialization ----
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+pub fn from_slice<T: Deserialize>(s: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(s).map_err(|e| Error::new(e.to_string()))?;
+    from_str(s)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Value::Null),
+            Some(b't') => self.eat_lit("true", Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    pairs.push((Value::Str(key), val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(pairs));
+                        }
+                        _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::new(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| Error::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            // Surrogate pairs unsupported (never emitted by us).
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| Error::new("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error::new(e.to_string()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !text.contains(['.', 'e', 'E']) {
+            if let Some(stripped) = text.strip_prefix('-') {
+                let _ = stripped;
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::I64(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("bad number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let s = to_string(&42u32).unwrap();
+        assert_eq!(s, "42");
+        let back: u32 = from_str(&s).unwrap();
+        assert_eq!(back, 42);
+        let s = to_string(&-7i32).unwrap();
+        let back: i32 = from_str(&s).unwrap();
+        assert_eq!(back, -7);
+        let s = to_string("he\"llo\n").unwrap();
+        let back: String = from_str(&s).unwrap();
+        assert_eq!(back, "he\"llo\n");
+        let s = to_string(&1.5f64).unwrap();
+        assert_eq!(s, "1.5");
+        let s = to_string(&2.0f64).unwrap();
+        assert_eq!(s, "2.0");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        use std::collections::BTreeMap;
+        let v: Vec<Option<u8>> = vec![Some(1), None, Some(3)];
+        let back: Vec<Option<u8>> = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m: BTreeMap<String, u64> = BTreeMap::new();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, r#"{"a":1,"b":2}"#);
+        let back: BTreeMap<String, u64> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+
+        // Structured keys render as pair arrays and still round-trip.
+        let mut t: BTreeMap<(u8, u8), String> = BTreeMap::new();
+        t.insert((1, 2), "x".into());
+        let json = to_string(&t).unwrap();
+        let back: BTreeMap<(u8, u8), String> = from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}
