@@ -18,4 +18,7 @@ cargo test --release -q --test parallel_determinism --test determinism -- --test
 echo "==> determinism suite, --test-threads=4 (release)"
 cargo test --release -q --test parallel_determinism --test determinism -- --test-threads=4 --include-ignored
 
+echo "==> bench suite, smoke mode (every body runs once, no timing)"
+cargo bench -p ofh-bench -- --test
+
 echo "==> ci.sh: all green"

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use ofh_intel::MalwareSample;
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SimTime, SockAddr};
 use ofh_wire::coap::{Code, Message};
 use ofh_wire::ftp::Command as FtpCommand;
@@ -400,7 +401,7 @@ impl Agent for AttackerAgent {
         }
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let text = String::from_utf8_lossy(data).into_owned();
         enum Act {
             None,
@@ -863,7 +864,7 @@ mod tests {
             hits: u64,
         }
         impl Agent for Victim {
-            fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, _d: &[u8]) {
+            fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, _d: &Payload) {
                 self.hits += 1;
             }
         }

@@ -7,6 +7,7 @@
 //! (so the honeypots and telescope record it as an attack source). The join
 //! in `ofh-analysis` then rediscovers the overlap from measurements alone.
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use std::collections::HashSet;
 
@@ -81,7 +82,7 @@ impl Agent for InfectedDevice {
         }
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         if self.bot_conns.contains(&conn) {
             self.bot.on_tcp_data(ctx, conn, data);
         } else {
@@ -97,7 +98,7 @@ impl Agent for InfectedDevice {
         }
     }
 
-    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &[u8]) {
+    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &Payload) {
         // Bot-side UDP uses high source ports (43xxx); the device serves its
         // protocol port. Replies to bot probes arrive at the bot's ports.
         if (43_000..43_100).contains(&local_port) {
@@ -109,22 +110,14 @@ impl Agent for InfectedDevice {
 
     fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: u64) {
         // All timers belong to the bot (device endpoints are reactive).
-        // Track which connections the bot opens during the callback by
-        // observing the connection-id watermark. Connection ids are global
-        // and monotonic, so everything the bot opened lies in the range.
-        let before = crate::infected::conn_watermark(ctx);
+        // Capture the connections the bot opens during the callback so later
+        // lifecycle events route to the bot side.
+        ctx.begin_conn_capture();
         self.bot.on_timer(ctx, token);
-        let after = conn_watermark(ctx);
-        for id in before..after {
-            self.bot_conns.insert(ConnToken(id));
+        for conn in ctx.end_conn_capture() {
+            self.bot_conns.insert(conn);
         }
     }
-}
-
-/// The fabric's next connection id (used to attribute freshly opened
-/// connections to the bot side).
-pub(crate) fn conn_watermark(ctx: &NetCtx<'_>) -> u64 {
-    ctx.next_conn_id()
 }
 
 #[cfg(test)]
@@ -164,7 +157,7 @@ mod tests {
             fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
                 ctx.tcp_connect(self.dst);
             }
-            fn on_tcp_data(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken, data: &[u8]) {
+            fn on_tcp_data(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken, data: &Payload) {
                 self.banner.extend_from_slice(data);
             }
         }

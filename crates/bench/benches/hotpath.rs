@@ -1,0 +1,194 @@
+//! Hot-path microbenchmarks backing DESIGN.md's "Hot-path memory model":
+//! event-queue throughput, pooled payloads vs `Vec` clones, cached probe
+//! templates vs per-address encodes, and the dense / hashmap / naive banner
+//! matchers.
+//!
+//! Unlike the criterion benches, this harness also *records* its headline
+//! numbers: bench mode rewrites `BENCH_hotpath.json` at the workspace root.
+//! Set `BENCH_FULL=1` to additionally time a full-preset study run (about a
+//! minute) so the JSON carries the end-to-end wall clock next to the pre-PR
+//! baseline. Under `cargo bench ... -- --test` (how ci.sh smokes the bench
+//! suite) every body runs exactly once and nothing is written.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use ofh_core::{Study, StudyConfig};
+use ofh_fingerprint::matcher::naive_find_all;
+use ofh_fingerprint::{AhoCorasick, SparseAhoCorasick};
+use ofh_honeypots::WildHoneypot;
+use ofh_net::event::EventQueue;
+use ofh_net::{Payload, PayloadBuilder, SimTime};
+use ofh_scan::probe;
+use ofh_wire::Protocol;
+
+/// Full-preset `full_run` wall clock at the commit before this PR
+/// (seed 7, 1 worker, this container) — the ≥25% improvement target.
+const FULL_RUN_BASELINE_S: f64 = 64.8;
+
+struct Harness {
+    smoke: bool,
+    results: Vec<(String, f64)>,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        Harness {
+            smoke: std::env::args().any(|a| a == "--test"),
+            results: Vec::new(),
+        }
+    }
+
+    /// Measure `f` with the same adaptive loop the vendored criterion uses;
+    /// record ns/iter under `name`. Smoke mode runs a single pass.
+    fn time<O>(&mut self, name: &str, mut f: impl FnMut() -> O) {
+        if self.smoke {
+            black_box(f());
+            println!("test hotpath/{name} ... ok (single pass)");
+            return;
+        }
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(300).as_nanos() / first.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        println!("bench hotpath/{name:<44} {per_iter:>14.1} ns/iter");
+        self.results.push((name.to_string(), per_iter));
+    }
+}
+
+/// Schedule-then-pop churn at a live queue depth of `depth`, with one
+/// out-of-order event per eight to exercise the heap lane too.
+fn event_queue_churn(depth: u64) -> u64 {
+    let mut q = EventQueue::new();
+    let mut acc = 0u64;
+    for i in 0..depth {
+        q.schedule(SimTime(i * 10), i);
+    }
+    for i in depth..(depth * 4) {
+        let jitter = if i % 8 == 0 { 5 } else { 100 + (i % 7) };
+        let (t, v) = q.pop().expect("queue stays non-empty");
+        acc ^= t.0.wrapping_add(v);
+        q.schedule(SimTime(t.0 + jitter), i);
+    }
+    while let Some((t, v)) = q.pop() {
+        acc ^= t.0.wrapping_add(v);
+    }
+    acc
+}
+
+fn main() {
+    let mut h = Harness::new();
+
+    // ---- Event queue ----------------------------------------------------
+    h.time("event_queue/schedule_pop_4k", || event_queue_churn(4096));
+
+    // ---- Payload pool vs Vec clone --------------------------------------
+    let datagram = vec![0x42u8; 600];
+    h.time("payload/vec_clone_600B", || black_box(&datagram).clone());
+    h.time("payload/pooled_roundtrip_600B", || {
+        let mut b = PayloadBuilder::new();
+        b.extend_from_slice(black_box(&datagram));
+        b.freeze()
+    });
+    let shared: Payload = datagram.clone().into();
+    h.time("payload/shared_clone_600B", || black_box(&shared).clone());
+
+    // ---- Probe templates vs per-address encodes -------------------------
+    let templates = probe::ProbeTemplates::new();
+    let mut mid = 0u16;
+    h.time("probe/coap_encode_fresh", || {
+        mid = mid.wrapping_add(1);
+        probe::udp_probe(Protocol::Coap, mid)
+    });
+    h.time("probe/coap_template_patch", || {
+        mid = mid.wrapping_add(1);
+        templates.udp_probe(Protocol::Coap, mid)
+    });
+    h.time("probe/mqtt_encode_fresh", || {
+        probe::tcp_opening(Protocol::Mqtt)
+    });
+    h.time("probe/mqtt_template_clone", || {
+        templates.tcp_opening(Protocol::Mqtt)
+    });
+
+    // ---- Banner matching: dense vs hashmap-goto vs naive ----------------
+    let patterns: Vec<Vec<u8>> = WildHoneypot::ALL
+        .iter()
+        .map(|f| f.signature().to_vec())
+        .collect();
+    let dense = AhoCorasick::new(&patterns);
+    let sparse = SparseAhoCorasick::new(&patterns);
+    // A realistic corpus: mostly non-matching device banners, a few hits.
+    let mut corpus: Vec<Vec<u8>> = (0..64u32)
+        .map(|i| {
+            format!("\u{ff}\u{fb}\u{1}BusyBox v1.{i}.0 (2020-01-01) built-in shell\r\nlogin: ")
+                .into_bytes()
+        })
+        .collect();
+    for f in WildHoneypot::ALL {
+        let mut banner = b"prefix ".to_vec();
+        banner.extend_from_slice(f.signature());
+        corpus.push(banner);
+    }
+    let bytes: usize = corpus.iter().map(Vec::len).sum();
+    h.time("match/dense_table", || {
+        corpus.iter().map(|b| dense.find_all(b).len()).sum::<usize>()
+    });
+    h.time("match/hashmap_goto", || {
+        corpus.iter().map(|b| sparse.find_all(b).len()).sum::<usize>()
+    });
+    h.time("match/naive", || {
+        corpus
+            .iter()
+            .map(|b| naive_find_all(&patterns, b).len())
+            .sum::<usize>()
+    });
+    if !h.smoke {
+        println!("(match corpus: {} banners, {bytes} bytes)", corpus.len());
+    }
+
+    // ---- Optional end-to-end wall clock ---------------------------------
+    let full_run_s = if !h.smoke && std::env::var_os("BENCH_FULL").is_some() {
+        println!("timing full-preset study run (BENCH_FULL set)...");
+        let t0 = Instant::now();
+        let report = Study::new(StudyConfig::full(7)).run();
+        black_box(report.counters.events_processed);
+        let secs = t0.elapsed().as_secs_f64();
+        println!("full_run: {secs:.1} s (baseline {FULL_RUN_BASELINE_S} s)");
+        Some(secs)
+    } else {
+        None
+    };
+
+    if h.smoke {
+        return;
+    }
+
+    // ---- Emit BENCH_hotpath.json ---------------------------------------
+    let (hits, misses) = Payload::pool_stats();
+    let mut json = String::from("{\n  \"benchmarks_ns_per_iter\": {\n");
+    for (i, (name, per)) in h.results.iter().enumerate() {
+        let comma = if i + 1 == h.results.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {per:.1}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"payload_pool\": {{ \"hits\": {hits}, \"misses\": {misses} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"full_run\": {{ \"baseline_s\": {FULL_RUN_BASELINE_S}, \"current_s\": {} }}\n",
+        full_run_s.map_or("null".into(), |s| format!("{s:.1}"))
+    ));
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

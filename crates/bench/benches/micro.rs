@@ -86,7 +86,7 @@ fn flowtuple_ingest(c: &mut Criterion) {
         tcp_flags: FlowObservation::SYN,
         tcp_window: 65_535,
         ip_len: 60,
-        payload: vec![],
+        payload: Default::default(),
         spoofed: false,
     };
     g.throughput(Throughput::Elements(10_000));

@@ -30,7 +30,7 @@ pub mod report;
 pub mod study;
 
 pub use config::StudyConfig;
-pub use report::StudyReport;
+pub use report::{StageTimings, StudyReport};
 pub use study::Study;
 
 // Re-export the component crates under one roof for downstream users.

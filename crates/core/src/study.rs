@@ -53,7 +53,7 @@ use rand::Rng;
 
 use crate::config::StudyConfig;
 use crate::oracles::Oracles;
-use crate::report::StudyReport;
+use crate::report::{StageTimings, StudyReport};
 
 /// A configured study, ready to run.
 pub struct Study {
@@ -82,6 +82,7 @@ struct ShardOutput {
     logs: Vec<Vec<AttackEvent>>,
     telescope: Telescope,
     counters: Counters,
+    timings: StageTimings,
 }
 
 impl Study {
@@ -225,6 +226,8 @@ impl Study {
         let mut logs: Vec<Vec<AttackEvent>> = vec![Vec::new(); 6];
         let mut telescope = Telescope::new(GeoDb::new());
         let mut counters = Counters::default();
+        let mut timings = StageTimings::default();
+        let merge_start = std::time::Instant::now();
         for (_, out) in outputs {
             zmap_results.absorb(out.zmap);
             sonar_results.absorb(out.sonar);
@@ -235,15 +238,20 @@ impl Study {
             }
             telescope.absorb(out.telescope);
             counters.absorb(&out.counters);
+            timings.scan += out.timings.scan;
+            timings.fingerprint += out.timings.fingerprint;
+            timings.month += out.timings.month;
         }
         fingerprint_report.normalize();
         // The dataset merge re-sorts all events by (time, src, src_port);
         // every source address lives in exactly one shard, so the sorted
         // stream is independent of the shard split.
         let dataset = AttackDataset::merge(logs);
+        timings.merge = merge_start.elapsed();
 
         // ---- 5. Analysis ------------------------------------------------
         progress("computing tables and figures");
+        let analysis_start = std::time::Instant::now();
         let honeypot_filter = fingerprint_report.filter_set();
         let table4 = Table4::compute(&zmap_results, &sonar_results, &shodan_results);
         let table5 = Table5::compute(&zmap_results, &honeypot_filter);
@@ -280,6 +288,7 @@ impl Study {
             &oracles.censys,
             &oracles.rdns,
         );
+        timings.analysis = analysis_start.elapsed();
 
         StudyReport {
             config: cfg.clone(),
@@ -305,6 +314,7 @@ impl Study {
             population_size: population.records.len(),
             wild_honeypot_count: wild.len(),
             counters,
+            timings,
         }
     }
 }
@@ -425,7 +435,11 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
     };
 
     // ---- Scan phase (March) --------------------------------------------
+    let mut timings = StageTimings::default();
+    let stage_start = std::time::Instant::now();
     net.run_until(scan_end);
+    timings.scan = stage_start.elapsed();
+    let stage_start = std::time::Instant::now();
     let zmap = net
         .agent_downcast_mut::<Scanner>(zmap_id)
         .expect("zmap scanner")
@@ -441,9 +455,12 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
         Box::new(FingerprintProber::new(candidates)),
     );
     net.run_until(net.now() + FingerprintProber::estimated_duration(candidate_count));
+    timings.fingerprint = stage_start.elapsed();
 
     // ---- Honeypot month (April) ----------------------------------------
+    let stage_start = std::time::Instant::now();
     net.run_until(cfg.study_end());
+    timings.month = stage_start.elapsed();
 
     // ---- Extraction -----------------------------------------------------
     let fingerprint = net
@@ -489,6 +506,7 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
         logs,
         telescope,
         counters: net.counters(),
+        timings,
     }
 }
 

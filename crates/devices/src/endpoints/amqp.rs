@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::amqp::{frame_type, ConnectionStart, Frame, PROTOCOL_HEADER};
 use ofh_wire::ports;
@@ -86,7 +87,7 @@ impl Agent for AmqpDevice {
         TcpDecision::accept()
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let started = self.started.get(&conn).copied().unwrap_or(false);
         if !started {
             if data.starts_with(&PROTOCOL_HEADER) {
@@ -106,7 +107,7 @@ impl Agent for AmqpDevice {
             return;
         }
         // Post-handshake traffic: count frames (publish floods, poisoning).
-        let mut rest = data;
+        let mut rest = data.as_slice();
         while let Ok((_, used)) = Frame::decode(rest) {
             self.post_handshake_frames += 1;
             rest = &rest[used..];
@@ -145,7 +146,7 @@ mod tests {
                 ctx.tcp_send(conn, PROTOCOL_HEADER.to_vec());
             }
         }
-        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
             if let Ok((frame, _)) = Frame::decode(data) {
                 self.start = ConnectionStart::decode_method(&frame.payload).ok();
                 if self.publish_after {

@@ -10,6 +10,7 @@
 //!   response is far larger than the 21-byte query);
 //! * configured — `4.01 Unauthorized` to everything (exposed but safe).
 
+use ofh_net::Payload;
 use ofh_net::{Agent, NetCtx, SockAddr};
 use ofh_wire::coap::{render_link_format, Code, LinkEntry, Message, MsgType};
 use ofh_wire::ports;
@@ -48,7 +49,7 @@ impl CoapDevice {
 }
 
 impl Agent for CoapDevice {
-    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &[u8]) {
+    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &Payload) {
         if local_port != ports::COAP {
             return;
         }
@@ -140,7 +141,7 @@ mod tests {
         fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
             ctx.udp_send(40_001, self.dst, self.request.encode());
         }
-        fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &[u8]) {
+        fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &Payload) {
             self.reply = Message::decode(payload).ok();
         }
         fn on_tcp_closed(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken) {}

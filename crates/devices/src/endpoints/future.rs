@@ -5,6 +5,7 @@
 //! side of that extension; `examples/future_scope.rs` scans them with a
 //! custom sweep built from the same public APIs the six-protocol study uses.
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::opcua::{Acknowledge, Hello};
 use ofh_wire::tr069::Inform;
@@ -51,7 +52,7 @@ impl Agent for Tr069Device {
         TcpDecision::accept()
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let Ok(req) = http::Request::parse(data) else {
             return;
         };
@@ -105,7 +106,7 @@ impl Agent for OpcUaDevice {
         TcpDecision::accept()
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         if Hello::decode(data).is_ok() {
             self.acks_sent += 1;
             ctx.tcp_send(conn, Acknowledge::standard().encode());
@@ -130,7 +131,7 @@ mod tests {
         fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
             ctx.tcp_send(conn, self.payload.clone());
         }
-        fn on_tcp_data(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken, data: &[u8]) {
+        fn on_tcp_data(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken, data: &Payload) {
             self.replies.push(data.to_vec());
         }
     }

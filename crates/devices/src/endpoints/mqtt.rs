@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::mqtt::{ConnectReturnCode, Packet};
 
@@ -162,7 +163,7 @@ impl Agent for MqttDevice {
         TcpDecision::accept()
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let buf = self.buffers.entry(conn).or_default();
         buf.extend_from_slice(data);
         loop {
@@ -219,7 +220,7 @@ mod tests {
                 .encode(),
             );
         }
-        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
             self.buf.extend_from_slice(data);
             while let Ok((p, used)) = Packet::decode(&self.buf) {
                 self.buf.drain(..used);

@@ -10,6 +10,7 @@
 //!   Devices with Table 12 default credentials are what brute-forcing bots
 //!   actually break into.
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::telnet::{negotiate, option, Verb};
 
@@ -105,7 +106,7 @@ impl Agent for TelnetDevice {
         TcpDecision::accept_with(self.greeting())
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let text = String::from_utf8_lossy(&ofh_wire::telnet::visible_text(data))
             .trim()
             .to_string();
@@ -181,7 +182,7 @@ mod tests {
         fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
             ctx.tcp_connect(self.dst);
         }
-        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
             self.received.extend_from_slice(data);
             if self.next < self.sends.len() {
                 let msg = self.sends[self.next].clone();

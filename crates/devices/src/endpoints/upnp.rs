@@ -13,6 +13,7 @@
 //! to the SSDP response so the single UDP exchange carries the same
 //! information content the paper's pipeline extracted.
 
+use ofh_net::Payload;
 use ofh_net::{Agent, NetCtx, SockAddr};
 use ofh_wire::ports;
 use ofh_wire::ssdp::{DeviceDescription, SsdpMessage};
@@ -49,7 +50,7 @@ impl UpnpDevice {
 }
 
 impl Agent for UpnpDevice {
-    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &[u8]) {
+    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &Payload) {
         if local_port != ports::SSDP {
             return;
         }
@@ -105,7 +106,7 @@ mod tests {
         fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
             ctx.udp_send(40_003, self.dst, msearch_all().into_bytes());
         }
-        fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &[u8]) {
+        fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &Payload) {
             self.reply = Some(String::from_utf8_lossy(payload).into_owned());
         }
     }

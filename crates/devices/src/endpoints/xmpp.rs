@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::ports;
 use ofh_wire::xmpp::{Mechanism, StreamFeatures, TlsPolicy};
@@ -76,7 +77,7 @@ impl Agent for XmppDevice {
         TcpDecision::accept()
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let text = String::from_utf8_lossy(data).into_owned();
         let opened = self.opened.get(&conn).copied().unwrap_or(false);
         if !opened {
@@ -141,7 +142,7 @@ mod tests {
         fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
             ctx.tcp_send(conn, client_stream_open("target").into_bytes());
         }
-        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
             let text = String::from_utf8_lossy(data).into_owned();
             if self.features.is_none() {
                 self.features = StreamFeatures::parse(&text).ok();

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 use ofh_honeypots::WildHoneypot;
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SimDuration, SockAddr};
 use ofh_scan::ScanResults;
 
@@ -206,7 +207,7 @@ impl Agent for FingerprintProber {
         }
     }
 
-    fn on_tcp_data(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         if let Some(st) = self.states.get_mut(&conn) {
             st.rounds.last_mut().expect("round open").extend_from_slice(data);
         }

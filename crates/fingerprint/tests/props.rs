@@ -1,19 +1,40 @@
 //! Property tests for the fingerprint matcher: the Aho-Corasick automaton
 //! must agree with the naive oracle on arbitrary pattern sets and haystacks.
 
-use ofh_fingerprint::matcher::{naive_find_all, AhoCorasick};
+use ofh_fingerprint::matcher::{naive_find_all, AhoCorasick, SparseAhoCorasick};
 use ofh_fingerprint::SignatureDb;
 use proptest::prelude::*;
 
 proptest! {
-    /// Differential test: automaton vs naive search, arbitrary inputs.
+    /// Differential test: dense and hashmap-goto automata vs naive search,
+    /// arbitrary inputs.
     #[test]
     fn automaton_matches_naive(
         patterns in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..12), 1..8),
         haystack in prop::collection::vec(any::<u8>(), 0..400),
     ) {
+        let expected = naive_find_all(&patterns, &haystack);
         let ac = AhoCorasick::new(&patterns);
-        prop_assert_eq!(ac.find_all(&haystack), naive_find_all(&patterns, &haystack));
+        prop_assert_eq!(ac.find_all(&haystack), expected.clone());
+        let sparse = SparseAhoCorasick::new(&patterns);
+        prop_assert_eq!(sparse.find_all(&haystack), expected);
+    }
+
+    /// The production entry point and its ablation oracle agree on
+    /// arbitrary banners, with or without an embedded signature.
+    #[test]
+    fn match_banner_agrees_with_naive(
+        prefix in prop::collection::vec(any::<u8>(), 0..64),
+        suffix in prop::collection::vec(any::<u8>(), 0..64),
+        embed in prop::option::of(0usize..9),
+    ) {
+        let db = SignatureDb::new();
+        let mut banner = prefix;
+        if let Some(which) = embed {
+            banner.extend_from_slice(db.families()[which].signature());
+        }
+        banner.extend_from_slice(&suffix);
+        prop_assert_eq!(db.match_banner(&banner), db.match_banner_naive(&banner));
     }
 
     /// Patterns embedded at arbitrary positions are always found.

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::modbus::{self, Frame as ModbusFrame};
 use ofh_wire::s7::{pdu_type, S7Message};
@@ -78,7 +79,7 @@ impl Agent for ConpotHoneypot {
         }
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let Some((protocol, peer, _)) = self.conns.get(&conn).map(|(p, s, _)| (*p, *s, ())) else {
             return;
         };
@@ -321,7 +322,7 @@ mod tests {
                 ctx.tcp_send(conn, p);
             }
         }
-        fn on_tcp_data(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken, data: &[u8]) {
+        fn on_tcp_data(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken, data: &Payload) {
             self.replies.push(data.to_vec());
         }
     }

@@ -6,6 +6,7 @@
 //! commands and the binaries that follow feed Table 13, and §5.1.1's 113
 //! Mirai variants were all captured this way.
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::telnet::visible_text;
 use ofh_wire::{ports, Protocol};
@@ -79,7 +80,7 @@ impl Agent for CowrieHoneypot {
         TcpDecision::accept_with(banner)
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let Some((protocol, peer, _)) = self.conns.get(&conn).map(|(p, s, _)| (*p, *s, ())) else {
             return;
         };
@@ -218,7 +219,7 @@ mod tests {
         fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
             ctx.tcp_connect(self.dst);
         }
-        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, _data: &[u8]) {
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, _data: &Payload) {
             if self.step < self.script.len() {
                 let msg = self.script[self.step].to_vec();
                 self.step += 1;

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::ftp::{Command, Reply};
 use ofh_wire::mqtt::{ConnectReturnCode, Packet};
@@ -76,7 +77,7 @@ impl Agent for DionaeaHoneypot {
         }
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let Some((protocol, peer, _)) = self.conns.get(&conn).map(|(p, s, _)| (*p, *s, ())) else {
             return;
         };
@@ -287,7 +288,7 @@ mod tests {
         fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
             ctx.tcp_connect(self.dst);
         }
-        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
             let text = String::from_utf8_lossy(data).into_owned();
             match self.stage {
                 0 if text.starts_with("220") => {

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::amqp::{frame_type, ConnectionStart, Frame, PROTOCOL_HEADER};
 use ofh_wire::coap::{render_link_format, Code, LinkEntry, Message, MsgType};
@@ -97,7 +98,7 @@ impl Agent for HosTaGeHoneypot {
         }
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let Some((protocol, peer, _)) = self.conns.get(&conn).map(|(p, s, _)| (*p, *s, ())) else {
             return;
         };
@@ -274,7 +275,7 @@ impl Agent for HosTaGeHoneypot {
                     );
                 } else if started {
                     // Publishes / floods: every frame is a data write.
-                    let mut rest = data;
+                    let mut rest = data.as_slice();
                     while let Ok((_, used)) = Frame::decode(rest) {
                         self.log.log(
                             now,
@@ -342,7 +343,7 @@ impl Agent for HosTaGeHoneypot {
         }
     }
 
-    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &[u8]) {
+    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &Payload) {
         if local_port != ports::COAP {
             return;
         }
@@ -430,14 +431,14 @@ mod tests {
                 ctx.tcp_send(conn, m);
             }
         }
-        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, _d: &[u8]) {
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, _d: &Payload) {
             if self.step < self.tcp_script.len() {
                 let m = self.tcp_script[self.step].clone();
                 self.step += 1;
                 ctx.tcp_send(conn, m);
             }
         }
-        fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &[u8]) {
+        fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &Payload) {
             self.got_udp.push(payload.to_vec());
         }
     }

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::xmpp::{Mechanism, StreamFeatures};
 use ofh_wire::{http, ports, Protocol};
@@ -62,7 +63,7 @@ impl Agent for ThingPotHoneypot {
         TcpDecision::accept()
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let Some(&(peer, stream_opened)) = self.opened.get(&conn) else {
             return;
         };
@@ -169,7 +170,7 @@ mod tests {
         fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
             ctx.tcp_send(conn, client_stream_open("philips-hue").into_bytes());
         }
-        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, _d: &[u8]) {
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, _d: &Payload) {
             if self.step < self.script.len() {
                 let m = self.script[self.step].clone();
                 self.step += 1;
@@ -220,7 +221,7 @@ mod tests {
             fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
                 ctx.tcp_send(conn, http::Request::get("/api/config").render());
             }
-            fn on_tcp_data(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken, data: &[u8]) {
+            fn on_tcp_data(&mut self, _c: &mut NetCtx<'_>, _conn: ConnToken, data: &Payload) {
                 self.body.extend_from_slice(data);
             }
         }

@@ -7,6 +7,7 @@
 //! limited UPnP stack, mirroring the paper's GUPnP-based low-interaction
 //! image) and logs every datagram.
 
+use ofh_net::Payload;
 use ofh_net::{Agent, NetCtx, SockAddr};
 use ofh_wire::ssdp::{DeviceDescription, SsdpMessage};
 use ofh_wire::{ports, Protocol};
@@ -43,7 +44,7 @@ impl UPotHoneypot {
 }
 
 impl Agent for UPotHoneypot {
-    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &[u8]) {
+    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &Payload) {
         if local_port != ports::SSDP {
             return;
         }
@@ -97,7 +98,7 @@ mod tests {
                 ctx.udp_send(42_000, self.dst, vec![i as u8; 64]);
             }
         }
-        fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &[u8]) {
+        fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &Payload) {
             self.reply = Some(String::from_utf8_lossy(payload).into_owned());
         }
     }

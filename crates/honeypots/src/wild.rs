@@ -9,6 +9,7 @@
 //! behaviour (identical output to any input) that multistage fingerprinting
 //! exploits.
 
+use ofh_net::Payload;
 use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::ports;
 use serde::{Deserialize, Serialize};
@@ -164,7 +165,7 @@ impl Agent for WildHoneypotAgent {
         TcpDecision::accept_with(self.greeting())
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, _data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, _data: &Payload) {
         // Static response: identical prompt no matter the input.
         ctx.tcp_send(conn, self.greeting());
     }
@@ -224,7 +225,7 @@ mod tests {
             fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
                 ctx.tcp_connect(self.dst);
             }
-            fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+            fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
                 self.got.push(data.to_vec());
                 if !self.poked {
                     self.poked = true;

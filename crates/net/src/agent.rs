@@ -13,6 +13,7 @@ use std::net::Ipv4Addr;
 use rand::rngs::StdRng;
 
 use crate::addr::SockAddr;
+use crate::packet::Payload;
 use crate::sim::Fabric;
 use crate::time::{SimDuration, SimTime};
 
@@ -30,7 +31,7 @@ pub enum TcpDecision {
     /// Accept the connection, optionally sending a greeting (banner) as the
     /// first bytes on the wire — Telnet prompts, AMQP `Connection.Start`,
     /// SSH identification strings all arrive this way.
-    Accept { greeting: Option<Vec<u8>> },
+    Accept { greeting: Option<Payload> },
     /// Refuse (RST). The initiator sees `on_tcp_refused`.
     Refuse,
 }
@@ -41,8 +42,9 @@ impl TcpDecision {
         TcpDecision::Accept { greeting: None }
     }
 
-    /// Accept and greet with `banner`.
-    pub fn accept_with(banner: impl Into<Vec<u8>>) -> Self {
+    /// Accept and greet with `banner`. Static byte strings (`b"login: "`)
+    /// convert without copying; owned `Vec`s/`String`s without reallocating.
+    pub fn accept_with(banner: impl Into<Payload>) -> Self {
         TcpDecision::Accept {
             greeting: Some(banner.into()),
         }
@@ -89,8 +91,10 @@ pub trait Agent: Any {
         let _ = (ctx, conn);
     }
 
-    /// Bytes arrived on an established connection (either side).
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    /// Bytes arrived on an established connection (either side). The
+    /// [`Payload`] derefs to `&[u8]`; clone it (a refcount bump) to keep the
+    /// bytes beyond the callback without copying.
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let _ = (ctx, conn, data);
     }
 
@@ -100,7 +104,7 @@ pub trait Agent: Any {
     }
 
     /// A UDP datagram arrived at `local_port`.
-    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &[u8]) {
+    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &Payload) {
         let _ = (ctx, local_port, peer, payload);
     }
 
@@ -145,17 +149,40 @@ impl<'a> NetCtx<'a> {
     /// `on_tcp_timeout`.
     pub fn tcp_connect(&mut self, dst: SockAddr) -> ConnToken {
         let sport = self.fabric.next_ephemeral_port();
-        self.fabric.tcp_connect(self.me, self.my_addr, sport, dst)
+        self.fabric.tcp_connect(self.me, self.my_addr, sport, dst, 0)
     }
 
     /// Initiate a TCP connection from a specific source port (scanners use
     /// fixed source ports so responses can be matched statelessly).
     pub fn tcp_connect_from(&mut self, src_port: u16, dst: SockAddr) -> ConnToken {
-        self.fabric.tcp_connect(self.me, self.my_addr, src_port, dst)
+        self.fabric.tcp_connect(self.me, self.my_addr, src_port, dst, 0)
     }
 
-    /// Send bytes on a connection this agent participates in.
-    pub fn tcp_send(&mut self, conn: ConnToken, data: impl Into<Vec<u8>>) {
+    /// Like [`Self::tcp_connect`], attaching an opaque `tag` retrievable via
+    /// [`Self::conn_tag`] for the connection's lifetime. High-volume
+    /// initiators (scanners) use the tag to recover per-probe context on
+    /// `on_tcp_established` instead of maintaining a side table for every
+    /// probe into mostly-empty space.
+    pub fn tcp_connect_tagged(&mut self, dst: SockAddr, tag: u64) -> ConnToken {
+        let sport = self.fabric.next_ephemeral_port();
+        self.fabric.tcp_connect(self.me, self.my_addr, sport, dst, tag)
+    }
+
+    /// The tag attached at connect time (`None` once the connection is gone).
+    pub fn conn_tag(&self, conn: ConnToken) -> Option<u64> {
+        self.fabric.conn_tag(conn)
+    }
+
+    /// The remote (server-side) socket address of a live connection this
+    /// agent initiated.
+    pub fn conn_peer(&self, conn: ConnToken) -> Option<SockAddr> {
+        self.fabric.conn_peer(conn)
+    }
+
+    /// Send bytes on a connection this agent participates in. Accepts
+    /// anything convertible to [`Payload`]: static byte strings travel
+    /// pointer-only, owned buffers are shared, not copied.
+    pub fn tcp_send(&mut self, conn: ConnToken, data: impl Into<Payload>) {
         self.fabric.tcp_send(self.me, conn, data.into());
     }
 
@@ -165,7 +192,7 @@ impl<'a> NetCtx<'a> {
     }
 
     /// Send a UDP datagram from `src_port` to `dst`.
-    pub fn udp_send(&mut self, src_port: u16, dst: SockAddr, payload: impl Into<Vec<u8>>) {
+    pub fn udp_send(&mut self, src_port: u16, dst: SockAddr, payload: impl Into<Payload>) {
         let src = SockAddr::new(self.my_addr, src_port);
         self.fabric.udp_send(self.me, src, dst, payload.into(), false);
     }
@@ -177,7 +204,7 @@ impl<'a> NetCtx<'a> {
         &mut self,
         claimed_src: SockAddr,
         dst: SockAddr,
-        payload: impl Into<Vec<u8>>,
+        payload: impl Into<Payload>,
     ) {
         self.fabric.udp_send(self.me, claimed_src, dst, payload.into(), true);
     }
@@ -187,11 +214,22 @@ impl<'a> NetCtx<'a> {
         self.fabric.set_timer(self.me, delay, token);
     }
 
-    /// The fabric's next connection id. Connection ids are global and
-    /// monotonic; composite agents use the watermark to attribute
-    /// connections opened during a nested callback to the right sub-agent.
-    pub fn next_conn_id(&self) -> u64 {
-        self.fabric.peek_next_conn_id()
+    /// Start recording the ids of connections opened through this context.
+    /// Composite agents (an infected device hosting a bot) wrap a nested
+    /// callback in a capture to attribute the connections it opened to the
+    /// right sub-agent. Captures do not nest.
+    pub fn begin_conn_capture(&mut self) {
+        self.fabric.begin_conn_capture();
+    }
+
+    /// Stop recording and return the connections opened since
+    /// [`Self::begin_conn_capture`].
+    pub fn end_conn_capture(&mut self) -> Vec<ConnToken> {
+        self.fabric
+            .end_conn_capture()
+            .into_iter()
+            .map(ConnToken)
+            .collect()
     }
 
     /// Set the initial IP TTL for packets this agent sends (default 64).

@@ -5,7 +5,7 @@
 //! requiring every producer to pick unique timestamps.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -40,9 +40,27 @@ impl<E> PartialOrd for Scheduled<E> {
 }
 
 /// A deterministic earliest-first event queue.
+///
+/// ## Two-lane design
+///
+/// Most simulator events are scheduled in nondecreasing timestamp order —
+/// the dominant case is the fixed-delay connection-timeout backstop, which
+/// fires `syn_timeout` after a clock that never runs backwards. Keeping
+/// those in a FIFO lane ([`VecDeque`]) instead of the binary heap makes
+/// both ends O(1) and shrinks the heap to the events that genuinely arrive
+/// out of order (variable-latency deliveries), cutting its depth.
+///
+/// Routing is automatic: a scheduled event whose `(at, seq)` is `>=` the
+/// FIFO's tail is appended there, everything else goes to the heap. Each
+/// lane is individually sorted (the FIFO by construction, the heap by
+/// heap order), so popping the smaller of the two heads merges them into
+/// the exact global `(time, seq)` order — the observable pop sequence is
+/// identical to a single-heap queue, which the determinism harness checks.
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
+    /// Monotone lane: `(at, seq)` strictly increasing front-to-back.
+    fifo: VecDeque<Scheduled<E>>,
     next_seq: u64,
     now: SimTime,
 }
@@ -56,7 +74,8 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(1024),
+            fifo: VecDeque::with_capacity(1024),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -80,28 +99,76 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        // seq is strictly increasing, so `at >= tail.at` keeps the FIFO
+        // lane sorted by (at, seq).
+        match self.fifo.back() {
+            Some(tail) if at < tail.at => self.heap.push(Scheduled { at, seq, payload }),
+            _ => self.fifo.push_back(Scheduled { at, seq, payload }),
+        }
+    }
+
+    /// Whether the FIFO lane's head is the global minimum. `None` if both
+    /// lanes are empty.
+    #[inline]
+    fn front_is_fifo(&self) -> Option<bool> {
+        match (self.fifo.front(), self.heap.peek()) {
+            (Some(f), Some(h)) => Some((f.at, f.seq) < (h.at, h.seq)),
+            (Some(_), None) => Some(true),
+            (None, Some(_)) => Some(false),
+            (None, None) => None,
+        }
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let ev = self.heap.pop()?;
+        let ev = if self.front_is_fifo()? {
+            self.fifo.pop_front()?
+        } else {
+            self.heap.pop()?
+        };
         debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Pop the earliest event if its timestamp is `<= deadline`, advancing
+    /// the clock. Fuses [`Self::peek_time`] + [`Self::pop`] into one heap
+    /// access for the simulator's `run_until` loop.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        let from_fifo = self.front_is_fifo()?;
+        let head = if from_fifo {
+            self.fifo.front()?
+        } else {
+            self.heap.peek()?
+        };
+        if head.at > deadline {
+            return None;
+        }
+        let ev = if from_fifo {
+            self.fifo.pop_front()?
+        } else {
+            self.heap.pop()?
+        };
         self.now = ev.at;
         Some((ev.at, ev.payload))
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match (self.fifo.front(), self.heap.peek()) {
+            (Some(f), Some(h)) => Some(f.at.min(h.at)),
+            (Some(f), None) => Some(f.at),
+            (None, Some(h)) => Some(h.at),
+            (None, None) => None,
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.fifo.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.fifo.is_empty()
     }
 }
 

@@ -1,0 +1,121 @@
+//! A fast, deterministic hasher for the fabric's hot maps.
+//!
+//! The simulator's inner loop performs several hash-map operations per
+//! packet event (connection table, address table, in-flight grab tables).
+//! `std`'s default SipHash is DoS-resistant but costs a large fraction of
+//! the per-event budget; the keys here are simulator-internal integers
+//! (connection ids, addresses, ports), not attacker-controlled input, so a
+//! multiply–xor hash is safe and several times faster.
+//!
+//! Determinism note: the hash function is fixed (no per-process random
+//! state, unlike `RandomState`), so map *iteration order* would also be
+//! deterministic — but hot-path code must still never iterate these maps
+//! where ordering is observable; lookups only.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` keyed with [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// Multiply–xor hasher (the fxhash/rustc-hash construction) over native
+/// words. Not HashDoS-resistant; for simulator-internal keys only.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher(u64);
+
+/// Knuth's 64-bit golden-ratio multiplier.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold in the length so "ab" and "ab\0" differ.
+            self.add(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FastHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(12345u64), hash_of(12345u64));
+        assert_eq!(hash_of("banner"), hash_of("banner"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Consecutive connection ids (the hottest key pattern) must spread.
+        let hashes: std::collections::HashSet<u64> = (0u64..10_000).map(hash_of).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn length_matters_for_bytes() {
+        assert_ne!(hash_of(b"ab".as_slice()), hash_of(b"ab\0".as_slice()));
+    }
+
+    #[test]
+    fn map_works_with_std_types() {
+        let mut m: FastMap<(std::net::Ipv4Addr, u16), u32> = FastMap::default();
+        m.insert((crate::ip(1, 2, 3, 4), 23), 9);
+        assert_eq!(m.get(&(crate::ip(1, 2, 3, 4), 23)), Some(&9));
+    }
+}

@@ -30,19 +30,19 @@
 //! addresses, time, packets, sessions, faults, and agents — nothing else.
 //!
 //! ```
-//! use ofh_net::{ip, Agent, ConnToken, NetCtx, SimNet, SimNetConfig, SimTime, SockAddr, TcpDecision};
+//! use ofh_net::{ip, Agent, ConnToken, NetCtx, Payload, SimNet, SimNetConfig, SimTime, SockAddr, TcpDecision};
 //!
 //! struct Greeter;
 //! impl Agent for Greeter {
 //!     fn on_tcp_open(&mut self, _: &mut NetCtx<'_>, _: ConnToken, _: u16, _: SockAddr) -> TcpDecision {
-//!         TcpDecision::accept_with(b"hello, world".as_slice())
+//!         TcpDecision::accept_with(b"hello, world")
 //!     }
 //! }
 //!
 //! struct Caller { dst: SockAddr, got: Vec<u8> }
 //! impl Agent for Caller {
 //!     fn on_boot(&mut self, ctx: &mut NetCtx<'_>) { ctx.tcp_connect(self.dst); }
-//!     fn on_tcp_data(&mut self, _: &mut NetCtx<'_>, _: ConnToken, data: &[u8]) {
+//!     fn on_tcp_data(&mut self, _: &mut NetCtx<'_>, _: ConnToken, data: &Payload) {
 //!         self.got.extend_from_slice(data);
 //!     }
 //! }
@@ -62,18 +62,22 @@ pub mod addr;
 pub mod agent;
 pub mod cidr;
 pub mod event;
+pub mod fasthash;
 pub mod fault;
 pub mod packet;
 pub mod rng;
 pub mod shard;
 pub mod sim;
+pub mod slab;
 pub mod time;
 
 pub use addr::{ip, ipu, SockAddr};
 pub use agent::{Agent, AgentId, ConnToken, NetCtx, TcpDecision};
 pub use cidr::{Cidr, CidrSet};
+pub use fasthash::{FastMap, FastSet};
 pub use fault::FaultPlan;
-pub use packet::{FlowKind, FlowObservation, Transport};
+pub use packet::{FlowKind, FlowObservation, Payload, PayloadBuilder, Transport};
 pub use shard::{shard_of, ShardSpec};
 pub use sim::{EgressStats, LatencyModel, SimNet, SimNetConfig};
+pub use slab::Slab;
 pub use time::{SimDate, SimDuration, SimTime, SIM_EPOCH_DATE};

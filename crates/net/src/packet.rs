@@ -1,15 +1,274 @@
-//! Packet- and flow-level observations.
+//! Packet- and flow-level observations, and the shared [`Payload`] buffer
+//! every packet carries.
 //!
 //! The simulator's transport is session-based, but two consumers need a
 //! packet's-eye view: the network telescope (which records one FlowTuple per
 //! flow it sees) and the per-host pcap-style capture the paper analyses with
 //! `tcpdump`. [`FlowObservation`] is the common record both are fed with.
+//!
+//! ## Payload memory model
+//!
+//! A [`Payload`] is an immutable, cheaply cloneable byte buffer: cloning
+//! bumps a reference count (or copies a pointer for static data), never the
+//! bytes. The fabric moves one `Payload` from sender to event queue to
+//! receiver to capture tap without copying; a probe template encoded once
+//! can back millions of in-flight packets. Mutable construction goes
+//! through [`PayloadBuilder`], whose backing `Vec` comes from a thread-local
+//! free list and returns there when the last clone drops — in steady state
+//! the per-packet path performs no heap growth at all. See DESIGN.md
+//! ("Hot-path memory model") for the pooling rules.
 
 use std::net::Ipv4Addr;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
+
+/// Buffers kept per thread for reuse; beyond this they are simply freed.
+const POOL_MAX_BUFFERS: usize = 64;
+/// Oversized buffers are not pooled (a pathological giant payload must not
+/// pin its allocation forever).
+const POOL_MAX_CAPACITY: usize = 64 * 1024;
+
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static FREE_BUFFERS: std::cell::RefCell<Vec<Vec<u8>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn pool_take() -> Vec<u8> {
+    let reused = FREE_BUFFERS.with(|p| p.borrow_mut().pop());
+    match reused {
+        Some(mut buf) => {
+            POOL_HITS.fetch_add(1, Ordering::Relaxed);
+            buf.clear();
+            buf
+        }
+        None => {
+            POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        }
+    }
+}
+
+fn pool_give(buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > POOL_MAX_CAPACITY {
+        return;
+    }
+    FREE_BUFFERS.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < POOL_MAX_BUFFERS {
+            pool.push(buf);
+        }
+    });
+}
+
+/// A pooled backing buffer; returns its `Vec` to the owning thread's free
+/// list when the last [`Payload`] clone drops.
+#[derive(Debug)]
+struct PoolBuf {
+    data: Vec<u8>,
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        pool_give(std::mem::take(&mut self.data));
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Borrowed static bytes (protocol constants, greetings): zero-cost
+    /// clone, no allocation ever.
+    Static(&'static [u8]),
+    /// Shared ownership of a plain `Vec` (the common conversion path).
+    Shared(Arc<Vec<u8>>),
+    /// Shared ownership of a pooled buffer (the hot-path build path).
+    Pooled(Arc<PoolBuf>),
+}
+
+/// An immutable, cheaply cloneable packet payload. See the module docs for
+/// the memory model.
+#[derive(Debug, Clone)]
+pub struct Payload(Repr);
+
+impl Payload {
+    /// The empty payload (a bare SYN, a zero-length datagram).
+    pub fn empty() -> Payload {
+        Payload(Repr::Static(&[]))
+    }
+
+    /// Wrap static bytes without copying.
+    pub fn from_static(bytes: &'static [u8]) -> Payload {
+        Payload(Repr::Static(bytes))
+    }
+
+    /// The payload bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(v) => v.as_slice(),
+            Repr::Pooled(b) => b.data.as_slice(),
+        }
+    }
+
+    /// Copy the bytes into a fresh `Vec` (for long-term storage outside the
+    /// packet path).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Cumulative (hits, misses) of the thread-local buffer pool across all
+    /// threads since process start. A hit is a `PayloadBuilder` that reused
+    /// a pooled buffer instead of allocating.
+    pub fn pool_stats() -> (u64, u64) {
+        (
+            POOL_HITS.load(Ordering::Relaxed),
+            POOL_MISSES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Payload {}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload(Repr::Shared(Arc::new(v)))
+    }
+}
+
+impl From<String> for Payload {
+    fn from(s: String) -> Payload {
+        Payload::from(s.into_bytes())
+    }
+}
+
+impl From<&str> for Payload {
+    fn from(s: &str) -> Payload {
+        Payload::from(s.as_bytes())
+    }
+}
+
+/// Copies through a pooled buffer — for borrowed slices of unknown origin.
+impl From<&[u8]> for Payload {
+    fn from(s: &[u8]) -> Payload {
+        let mut b = PayloadBuilder::new();
+        b.extend_from_slice(s);
+        b.freeze()
+    }
+}
+
+/// Byte-string literals (`b"login: "`) are static: wrapped without copying.
+impl<const N: usize> From<&'static [u8; N]> for Payload {
+    fn from(s: &'static [u8; N]) -> Payload {
+        Payload::from_static(s)
+    }
+}
+
+impl From<&Payload> for Payload {
+    fn from(p: &Payload) -> Payload {
+        p.clone()
+    }
+}
+
+/// Serializes exactly as `Vec<u8>` does (a JSON array of numbers), so the
+/// payload swap is invisible in exported datasets.
+impl Serialize for Payload {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(self.as_slice().iter().map(|&b| serde::Value::U64(b as u64)).collect())
+    }
+}
+
+impl Deserialize for Payload {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Vec::<u8>::from_value(v).map(Payload::from)
+    }
+}
+
+/// Mutable construction site for a [`Payload`], backed by the thread-local
+/// buffer pool. Deref to `Vec<u8>` for building; [`PayloadBuilder::freeze`]
+/// seals it into an immutable shared payload.
+#[derive(Debug)]
+pub struct PayloadBuilder {
+    buf: Vec<u8>,
+}
+
+impl Default for PayloadBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PayloadBuilder {
+    /// Take a cleared buffer from the pool (or allocate on a pool miss).
+    pub fn new() -> PayloadBuilder {
+        PayloadBuilder { buf: pool_take() }
+    }
+
+    /// Seal into an immutable, cheaply cloneable payload. The buffer returns
+    /// to the pool when the last clone drops.
+    pub fn freeze(self) -> Payload {
+        Payload(Repr::Pooled(Arc::new(PoolBuf { data: self.buf })))
+    }
+}
+
+impl Deref for PayloadBuilder {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PayloadBuilder {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
 
 /// Transport protocol of a simulated packet/flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -66,7 +325,9 @@ pub struct FlowObservation {
     /// Total IP packet length in bytes.
     pub ip_len: u16,
     /// Application payload carried by this packet (empty for a bare SYN).
-    pub payload: Vec<u8>,
+    /// Shared with the in-flight packet — cloning an observation bumps a
+    /// refcount instead of copying bytes.
+    pub payload: Payload,
     /// Whether the sender marked this packet as having a spoofed source
     /// (simulation ground truth used to populate FlowTuple's `is_spoofed`).
     pub spoofed: bool,
@@ -85,6 +346,51 @@ impl FlowObservation {
 mod tests {
     use super::*;
     use crate::addr::ip;
+
+    #[test]
+    fn payload_conversions_preserve_bytes() {
+        let from_static = Payload::from(b"hello");
+        let from_vec = Payload::from(b"hello".to_vec());
+        let from_slice = Payload::from(&b"hello"[..]);
+        assert_eq!(from_static, from_vec);
+        assert_eq!(from_vec, from_slice);
+        assert_eq!(&*from_static, b"hello");
+        assert!(Payload::empty().is_empty());
+    }
+
+    #[test]
+    fn payload_clone_shares_bytes() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        let q = p.clone();
+        assert_eq!(p.as_slice().as_ptr(), q.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn payload_serde_matches_vec_format() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        assert_eq!(
+            serde_json::to_string(&p).unwrap(),
+            serde_json::to_string(&vec![1u8, 2, 3]).unwrap()
+        );
+        let back: Payload = serde_json::from_str("[1,2,3]").unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn pooled_buffers_are_reused() {
+        // Drain this thread's pool so the test owns its state, then check
+        // that freeze → drop → new round-trips the same buffer.
+        for _ in 0..POOL_MAX_BUFFERS {
+            drop(PayloadBuilder::new());
+        }
+        let (h0, _) = Payload::pool_stats();
+        let mut b = PayloadBuilder::new();
+        b.extend_from_slice(b"recycled");
+        drop(b.freeze());
+        drop(PayloadBuilder::new());
+        let (h1, _) = Payload::pool_stats();
+        assert!(h1 > h0, "second builder must hit the pool");
+    }
 
     #[test]
     fn protocol_numbers() {
@@ -106,7 +412,7 @@ mod tests {
             tcp_flags: FlowObservation::SYN,
             tcp_window: 65535,
             ip_len: 40,
-            payload: vec![],
+            payload: Payload::empty(),
             spoofed: false,
         };
         let json = serde_json::to_string(&obs).unwrap();

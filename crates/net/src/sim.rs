@@ -22,7 +22,8 @@
 //! network telescope passively records unsolicited traffic.
 
 use std::any::Any;
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
+use crate::slab::Slab;
 use std::net::Ipv4Addr;
 
 use rand::rngs::StdRng;
@@ -34,7 +35,7 @@ use crate::agent::{Agent, AgentId, ConnToken, NetCtx, TcpDecision};
 use crate::cidr::Cidr;
 use crate::event::EventQueue;
 use crate::fault::FaultPlan;
-use crate::packet::{FlowKind, FlowObservation, Transport};
+use crate::packet::{FlowKind, FlowObservation, Payload, PayloadBuilder, Transport};
 use crate::rng;
 use crate::time::{SimDuration, SimTime};
 
@@ -150,6 +151,10 @@ struct ConnState {
     phase: ConnPhase,
     /// Whether the client has heard the outcome (established/refused).
     client_notified: bool,
+    /// Opaque client-chosen tag (see [`NetCtx::tcp_connect_tagged`]);
+    /// scanners use it to recover the sweep a probe belongs to without a
+    /// per-probe side table.
+    tag: u64,
 }
 
 enum NetEvent {
@@ -166,7 +171,7 @@ enum NetEvent {
     DataArrive {
         conn: u64,
         to_server: bool,
-        data: Vec<u8>,
+        data: Payload,
     },
     CloseArrive {
         conn: u64,
@@ -178,7 +183,7 @@ enum NetEvent {
     UdpArrive {
         src: SockAddr,
         dst: SockAddr,
-        payload: Vec<u8>,
+        payload: Payload,
     },
     Timer {
         agent: AgentId,
@@ -191,10 +196,12 @@ enum NetEvent {
 /// the simulator holds the agent itself mutably.
 pub struct Fabric {
     queue: EventQueue<NetEvent>,
-    conns: HashMap<u64, ConnState>,
-    next_conn: u64,
+    conns: Slab<ConnState>,
+    /// When set, every connection id opened via `tcp_connect` is appended —
+    /// see [`NetCtx::begin_conn_capture`].
+    conn_capture: Option<Vec<u64>>,
     next_port: u16,
-    by_addr: HashMap<Ipv4Addr, AgentId>,
+    by_addr: FastMap<Ipv4Addr, AgentId>,
     ttls: Vec<u8>,
     windows: Vec<u16>,
     /// Outbound-initiation counters per agent: TCP connects + UDP datagrams
@@ -207,6 +214,15 @@ pub struct Fabric {
     pub(crate) rng: StdRng,
     cfg: SimNetConfig,
     taps: Vec<(Cidr, Box<dyn FlowTap>)>,
+    /// Interval index over `taps`: entries `(start, end, tap_idx)` sorted by
+    /// start address, with a running prefix maximum of `end` for early
+    /// termination. Rebuilt on `add_tap`. Lookup collects matching tap
+    /// indices and dispatches them in insertion order, so adding the index
+    /// changes nothing observable.
+    tap_index: Vec<(u32, u32, u32)>,
+    tap_max_end: Vec<u32>,
+    /// Scratch for matching tap indices (avoids a per-packet alloc).
+    tap_hits: Vec<u32>,
     pub counters: Counters,
 }
 
@@ -227,8 +243,12 @@ impl Fabric {
         self.queue.now()
     }
 
-    pub(crate) fn peek_next_conn_id(&self) -> u64 {
-        self.next_conn
+    pub(crate) fn begin_conn_capture(&mut self) {
+        self.conn_capture = Some(Vec::new());
+    }
+
+    pub(crate) fn end_conn_capture(&mut self) -> Vec<u64> {
+        self.conn_capture.take().unwrap_or_default()
     }
 
     pub(crate) fn next_ephemeral_port(&mut self) -> u16 {
@@ -250,6 +270,26 @@ impl Fabric {
         5 + (h % 25) as u8
     }
 
+    /// Rebuild the tap interval index after registration changes.
+    fn rebuild_tap_index(&mut self) {
+        self.tap_index = self
+            .taps
+            .iter()
+            .enumerate()
+            .map(|(i, (range, _))| (u32::from(range.first()), u32::from(range.last()), i as u32))
+            .collect();
+        self.tap_index.sort_unstable();
+        let mut max_end = 0u32;
+        self.tap_max_end = self
+            .tap_index
+            .iter()
+            .map(|&(_, end, _)| {
+                max_end = max_end.max(end);
+                max_end
+            })
+            .collect();
+    }
+
     fn observe(
         &mut self,
         src: SockAddr,
@@ -259,37 +299,59 @@ impl Fabric {
         ttl: u8,
         tcp_flags: u8,
         tcp_window: u16,
-        payload: &[u8],
+        payload: &Payload,
         spoofed: bool,
     ) {
         if self.taps.is_empty() {
             return;
         }
+        // Interval lookup: walk backwards from the last range starting at or
+        // before `dst`; the prefix maximum of range ends bounds how far back
+        // a covering range can sit, so disjoint taps terminate in O(log n).
+        let d = u32::from(dst.addr);
+        let mut i = self.tap_index.partition_point(|&(start, _, _)| start <= d);
+        self.tap_hits.clear();
+        while i > 0 {
+            i -= 1;
+            if self.tap_max_end[i] < d {
+                break;
+            }
+            let (_, end, idx) = self.tap_index[i];
+            if end >= d {
+                self.tap_hits.push(idx);
+            }
+        }
+        if self.tap_hits.is_empty() {
+            return;
+        }
+        // Registration order, exactly as the linear scan dispatched.
+        self.tap_hits.sort_unstable();
         let header = match transport {
             Transport::Tcp => 40,
             Transport::Udp => 28,
         };
         let ip_len = (header + payload.len()).min(u16::MAX as usize) as u16;
         let now = self.queue.now();
-        for (range, tap) in &mut self.taps {
-            if range.contains(dst.addr) {
-                tap.observe(&FlowObservation {
-                    time: now,
-                    src: src.addr,
-                    dst: dst.addr,
-                    src_port: src.port,
-                    dst_port: dst.port,
-                    transport,
-                    kind,
-                    ttl: ttl.saturating_sub(Self::hops(src.addr, dst.addr)),
-                    tcp_flags,
-                    tcp_window,
-                    ip_len,
-                    payload: payload.to_vec(),
-                    spoofed,
-                });
-            }
+        let obs = FlowObservation {
+            time: now,
+            src: src.addr,
+            dst: dst.addr,
+            src_port: src.port,
+            dst_port: dst.port,
+            transport,
+            kind,
+            ttl: ttl.saturating_sub(Self::hops(src.addr, dst.addr)),
+            tcp_flags,
+            tcp_window,
+            ip_len,
+            payload: payload.clone(), // refcount bump, not a byte copy
+            spoofed,
+        };
+        let hits = std::mem::take(&mut self.tap_hits);
+        for &idx in &hits {
+            self.taps[idx as usize].1.observe(&obs);
         }
+        self.tap_hits = hits;
     }
 
     pub(crate) fn tcp_connect(
@@ -298,23 +360,23 @@ impl Fabric {
         client_addr: Ipv4Addr,
         src_port: u16,
         dst: SockAddr,
+        tag: u64,
     ) -> ConnToken {
-        let id = self.next_conn;
-        self.next_conn += 1;
         let latency = self.cfg.latency.one_way(client_addr, dst.addr);
         let client_sock = SockAddr::new(client_addr, src_port);
-        self.conns.insert(
-            id,
-            ConnState {
-                client,
-                client_sock,
-                server: None,
-                server_sock: dst,
-                latency,
-                phase: ConnPhase::Connecting,
-                client_notified: false,
-            },
-        );
+        let id = self.conns.insert(ConnState {
+            client,
+            client_sock,
+            server: None,
+            server_sock: dst,
+            latency,
+            phase: ConnPhase::Connecting,
+            client_notified: false,
+            tag,
+        });
+        if let Some(log) = &mut self.conn_capture {
+            log.push(id);
+        }
         self.counters.syns_sent += 1;
         self.egress[client.0 as usize].tcp_initiated += 1;
         let ttl = self.ttls[client.0 as usize];
@@ -327,7 +389,7 @@ impl Fabric {
             ttl,
             FlowObservation::SYN,
             window,
-            &[],
+            &Payload::empty(),
             false,
         );
         let now = self.queue.now();
@@ -344,8 +406,8 @@ impl Fabric {
         ConnToken(id)
     }
 
-    pub(crate) fn tcp_send(&mut self, sender: AgentId, conn: ConnToken, data: Vec<u8>) {
-        let Some(c) = self.conns.get(&conn.0) else {
+    pub(crate) fn tcp_send(&mut self, sender: AgentId, conn: ConnToken, data: Payload) {
+        let Some(c) = self.conns.get(conn.0) else {
             return; // connection already gone (closed/refused)
         };
         let to_server = c.client == sender;
@@ -379,7 +441,7 @@ impl Fabric {
     }
 
     pub(crate) fn tcp_close(&mut self, closer: AgentId, conn: ConnToken) {
-        let Some(c) = self.conns.remove(&conn.0) else {
+        let Some(c) = self.conns.remove(conn.0) else {
             return;
         };
         let peer = if c.client == closer { c.server } else { Some(c.client) };
@@ -400,7 +462,7 @@ impl Fabric {
         sender: AgentId,
         src: SockAddr,
         dst: SockAddr,
-        mut payload: Vec<u8>,
+        mut payload: Payload,
         spoofed: bool,
     ) {
         self.counters.udp_datagrams_sent += 1;
@@ -440,12 +502,25 @@ impl Fabric {
             self.counters.udp_datagrams_corrupted += 1;
             let idx = self.rng.gen_range(0..payload.len());
             let bit = 1u8 << self.rng.gen_range(0..8);
-            payload[idx] ^= bit;
+            // Copy-on-write: payloads are shared immutably, so the (rare)
+            // corruption fault clones the bytes into a fresh pooled buffer.
+            let mut corrupted = PayloadBuilder::new();
+            corrupted.extend_from_slice(&payload);
+            corrupted[idx] ^= bit;
+            payload = corrupted.freeze();
         }
         let latency = self.cfg.latency.one_way(src.addr, dst.addr) + self.jitter();
         let now = self.queue.now();
         self.queue
             .schedule(now + latency, NetEvent::UdpArrive { src, dst, payload });
+    }
+
+    pub(crate) fn conn_tag(&self, conn: ConnToken) -> Option<u64> {
+        self.conns.get(conn.0).map(|c| c.tag)
+    }
+
+    pub(crate) fn conn_peer(&self, conn: ConnToken) -> Option<SockAddr> {
+        self.conns.get(conn.0).map(|c| c.server_sock)
     }
 
     pub(crate) fn set_timer(&mut self, agent: AgentId, delay: SimDuration, token: u64) {
@@ -481,10 +556,10 @@ impl SimNet {
         SimNet {
             fabric: Fabric {
                 queue: EventQueue::new(),
-                conns: HashMap::new(),
-                next_conn: 0,
+                conns: Slab::new(),
+                conn_capture: None,
                 next_port: 32_768,
-                by_addr: HashMap::new(),
+                by_addr: FastMap::default(),
                 ttls: Vec::new(),
                 windows: Vec::new(),
                 egress: Vec::new(),
@@ -492,6 +567,9 @@ impl SimNet {
                 rng,
                 cfg,
                 taps: Vec::new(),
+                tap_index: Vec::new(),
+                tap_max_end: Vec::new(),
+                tap_hits: Vec::new(),
                 counters: Counters::default(),
             },
             agents: Vec::new(),
@@ -521,6 +599,7 @@ impl SimNet {
     /// Register a passive observation tap over `range`.
     pub fn add_tap(&mut self, range: Cidr, tap: Box<dyn FlowTap>) -> TapId {
         self.fabric.taps.push((range, tap));
+        self.fabric.rebuild_tap_index();
         TapId(self.fabric.taps.len() - 1)
     }
 
@@ -585,11 +664,9 @@ impl SimNet {
     /// Run until the queue is empty or the clock passes `deadline`.
     /// Events scheduled exactly at the deadline are processed.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.fabric.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
+        while let Some((_, ev)) = self.fabric.queue.pop_before(deadline) {
+            self.fabric.counters.events_processed += 1;
+            self.dispatch(ev);
         }
         if self.fabric.queue.now() < deadline {
             self.fabric.queue.advance_to(deadline);
@@ -657,7 +734,7 @@ impl SimNet {
                 self.with_agent(agent, |a, ctx| a.on_boot(ctx));
             }
             NetEvent::SynArrive { conn } => {
-                let Some(c) = self.fabric.conns.get(&conn) else {
+                let Some(c) = self.fabric.conns.get(conn) else {
                     return;
                 };
                 let (dst_sock, client_sock) = (c.server_sock, c.client_sock);
@@ -669,7 +746,7 @@ impl SimNet {
                     decision = a.on_tcp_open(ctx, ConnToken(conn), dst_sock.port, client_sock);
                 });
                 let response_lost = self.fabric.roll(self.fabric.cfg.fault.drop_chance);
-                let Some(c) = self.fabric.conns.get_mut(&conn) else {
+                let Some(c) = self.fabric.conns.get_mut(conn) else {
                     return;
                 };
                 let latency = c.latency;
@@ -708,7 +785,7 @@ impl SimNet {
                 }
             }
             NetEvent::ConnOutcome { conn, accepted } => {
-                let Some(c) = self.fabric.conns.get_mut(&conn) else {
+                let Some(c) = self.fabric.conns.get_mut(conn) else {
                     return;
                 };
                 if c.client_notified {
@@ -721,7 +798,7 @@ impl SimNet {
                     self.with_agent(client, |a, ctx| a.on_tcp_established(ctx, ConnToken(conn)));
                 } else {
                     self.fabric.counters.conns_refused += 1;
-                    self.fabric.conns.remove(&conn);
+                    self.fabric.conns.remove(conn);
                     self.with_agent(client, |a, ctx| a.on_tcp_refused(ctx, ConnToken(conn)));
                 }
             }
@@ -730,7 +807,7 @@ impl SimNet {
                 to_server,
                 data,
             } => {
-                let Some(c) = self.fabric.conns.get(&conn) else {
+                let Some(c) = self.fabric.conns.get(conn) else {
                     return;
                 };
                 if c.phase != ConnPhase::Established {
@@ -745,14 +822,14 @@ impl SimNet {
                 self.with_agent(to_agent, |a, ctx| a.on_tcp_closed(ctx, ConnToken(conn)));
             }
             NetEvent::ConnTimeout { conn } => {
-                let Some(c) = self.fabric.conns.get(&conn) else {
+                let Some(c) = self.fabric.conns.get(conn) else {
                     return;
                 };
                 if c.client_notified {
                     return; // outcome already delivered; backstop is stale
                 }
                 let client = c.client;
-                self.fabric.conns.remove(&conn);
+                self.fabric.conns.remove(conn);
                 self.fabric.counters.conn_timeouts += 1;
                 self.with_agent(client, |a, ctx| a.on_tcp_timeout(ctx, ConnToken(conn)));
             }
@@ -813,7 +890,7 @@ mod tests {
             }
         }
 
-        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
             self.seen.push(data.to_vec());
             ctx.tcp_send(conn, data.to_ascii_uppercase());
         }
@@ -822,7 +899,7 @@ mod tests {
             self.closed += 1;
         }
 
-        fn on_udp(&mut self, ctx: &mut NetCtx<'_>, port: u16, peer: SockAddr, payload: &[u8]) {
+        fn on_udp(&mut self, ctx: &mut NetCtx<'_>, port: u16, peer: SockAddr, payload: &Payload) {
             self.udp_seen.push(payload.to_vec());
             ctx.udp_send(port, peer, payload.to_ascii_uppercase());
         }
@@ -872,14 +949,14 @@ mod tests {
             self.timed_out = true;
         }
 
-        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+        fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
             self.received.push(data.to_vec());
             if self.received.len() == 2 {
                 ctx.tcp_close(conn);
             }
         }
 
-        fn on_udp(&mut self, _ctx: &mut NetCtx<'_>, _port: u16, _peer: SockAddr, payload: &[u8]) {
+        fn on_udp(&mut self, _ctx: &mut NetCtx<'_>, _port: u16, _peer: SockAddr, payload: &Payload) {
             self.udp_received.push(payload.to_vec());
         }
     }
@@ -955,7 +1032,7 @@ mod tests {
             fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
                 ctx.udp_send(40_000, self.dst, b"coap?".to_vec());
             }
-            fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &[u8]) {
+            fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &Payload) {
                 self.got.push(payload.to_vec());
             }
         }
@@ -991,7 +1068,7 @@ mod tests {
             hits: Vec<Vec<u8>>,
         }
         impl Agent for Victim {
-            fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &[u8]) {
+            fn on_udp(&mut self, _c: &mut NetCtx<'_>, _p: u16, _peer: SockAddr, payload: &Payload) {
                 self.hits.push(payload.to_vec());
             }
         }

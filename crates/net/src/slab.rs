@@ -1,0 +1,184 @@
+//! Generational slab backing the fabric's connection table.
+//!
+//! Connection lifecycles are short (a SYN timeout or one grab window), so
+//! the table sees millions of insert/remove cycles per shard while holding
+//! only tens of thousands of live entries. A hash map pays hashing plus
+//! probing on every operation; the slab is a plain `Vec` indexed by slot,
+//! with a free list for reuse — every operation is a bounds check and a
+//! direct index.
+//!
+//! Ids pack `(generation << 32) | slot`. Removing an entry bumps the slot's
+//! generation, so a stale id (a late timeout for a connection that already
+//! completed) misses instead of aliasing the slot's next occupant —
+//! exactly the semantics the old `HashMap<u64, _>` with globally unique
+//! ids provided.
+
+/// A slab of `T` with generationally versioned ids.
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+#[inline]
+fn pack(gen: u32, slot: u32) -> u64 {
+    (gen as u64) << 32 | slot as u64
+}
+
+#[inline]
+fn unpack(id: u64) -> (u32, u32) {
+    ((id >> 32) as u32, id as u32)
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The id the next [`Self::insert`] will return.
+    pub fn peek_next_id(&self) -> u64 {
+        match self.free.last() {
+            Some(&slot) => pack(self.slots[slot as usize].gen, slot),
+            None => pack(0, self.slots.len() as u32),
+        }
+    }
+
+    /// Insert a value, returning its id.
+    pub fn insert(&mut self, val: T) -> u64 {
+        self.len += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.val.is_none());
+                s.val = Some(val);
+                pack(s.gen, slot)
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot { gen: 0, val: Some(val) });
+                pack(0, slot)
+            }
+        }
+    }
+
+    /// Look up a live entry. Stale ids (removed, or a reused slot) miss.
+    #[inline]
+    pub fn get(&self, id: u64) -> Option<&T> {
+        let (gen, slot) = unpack(id);
+        let s = self.slots.get(slot as usize)?;
+        if s.gen != gen {
+            return None;
+        }
+        s.val.as_ref()
+    }
+
+    /// Mutable lookup with the same staleness rules as [`Self::get`].
+    #[inline]
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        let (gen, slot) = unpack(id);
+        let s = self.slots.get_mut(slot as usize)?;
+        if s.gen != gen {
+            return None;
+        }
+        s.val.as_mut()
+    }
+
+    /// Remove and return an entry; bumps the slot generation so the id is
+    /// permanently invalidated.
+    pub fn remove(&mut self, id: u64) -> Option<T> {
+        let (gen, slot) = unpack(id);
+        let s = self.slots.get_mut(slot as usize)?;
+        if s.gen != gen {
+            return None;
+        }
+        let val = s.val.take()?;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.len -= 1;
+        Some(val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stale_id_misses_after_slot_reuse() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        // Same slot, new generation: the old id must not alias.
+        assert_ne!(a, b);
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get(b), Some(&2));
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn peek_next_id_predicts_insert() {
+        let mut s = Slab::new();
+        assert_eq!(s.peek_next_id(), s.insert("x"));
+        let y = s.insert("y");
+        s.remove(y);
+        // Freed slot is reused next, at its bumped generation.
+        assert_eq!(s.peek_next_id(), s.insert("z"));
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut s = Slab::new();
+        let a = s.insert(9);
+        assert_eq!(s.remove(a), Some(9));
+        assert_eq!(s.remove(a), None);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut s = Slab::new();
+        let a = s.insert(vec![1u8]);
+        s.get_mut(a).unwrap().push(2);
+        assert_eq!(s.get(a), Some(&vec![1u8, 2]));
+    }
+}

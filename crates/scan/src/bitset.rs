@@ -1,0 +1,85 @@
+//! A flat bitset over address offsets.
+//!
+//! UDP sweeps need to remember which addresses they probed so that a later
+//! response can be attributed (response-based protocols, Table 3). The
+//! target space is a dense offset range `[0, size)`, so one bit per address
+//! replaces a hash map keyed by `(addr, port)` — setting a bit on the probe
+//! hot path is a shift and an OR, with no hashing, no growth, and 1/128th
+//! of the memory of the map entry it replaces.
+
+/// Fixed-capacity bitset indexed by `u64` offsets.
+#[derive(Debug, Clone)]
+pub struct BitSet {
+    words: Vec<u64>,
+    bits: u64,
+}
+
+impl BitSet {
+    /// All-zeros bitset with capacity for `bits` entries.
+    pub fn new(bits: u64) -> BitSet {
+        BitSet {
+            words: vec![0u64; bits.div_ceil(64) as usize],
+            bits,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> u64 {
+        self.bits
+    }
+
+    /// Set bit `i`. Out-of-range indices are ignored (a probe outside the
+    /// configured space cannot happen, but must not panic the simulator).
+    #[inline]
+    pub fn set(&mut self, i: u64) {
+        if i < self.bits {
+            self.words[(i / 64) as usize] |= 1u64 << (i % 64);
+        }
+    }
+
+    /// Whether bit `i` is set. Out-of-range indices read as unset.
+    #[inline]
+    pub fn get(&self, i: u64) -> bool {
+        i < self.bits && self.words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut b = BitSet::new(200);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(199);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(199));
+        assert!(!b.get(1) && !b.get(65) && !b.get(198));
+        assert_eq!(b.count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_is_inert() {
+        let mut b = BitSet::new(10);
+        b.set(10);
+        b.set(u64::MAX);
+        assert!(!b.get(10));
+        assert!(!b.get(u64::MAX));
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let mut b = BitSet::new(0);
+        b.set(0);
+        assert!(!b.get(0));
+    }
+}

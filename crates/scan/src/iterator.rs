@@ -60,6 +60,16 @@ fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
     ((a as u128 * b as u128) % m as u128) as u64
 }
 
+/// `mod_mul` specialised for moduli below 2^32: the product fits in a
+/// `u64`, so one native multiply + remainder replaces the 128-bit path.
+/// The permutation's inner loop (one modular multiply per visited address,
+/// across every sweep replica of every shard) runs on this.
+#[inline]
+fn mod_mul_small(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m && m <= u32::MAX as u64 + 1);
+    (a * b) % m
+}
+
 fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
     let mut acc = 1u64;
     base %= m;
@@ -190,9 +200,14 @@ impl Iterator for AddressPermutation {
     type Item = u64;
 
     fn next(&mut self) -> Option<u64> {
+        let small = self.p <= u32::MAX as u64 + 1;
         while !self.done {
             let value = self.current - 1; // group element -> offset
-            self.current = mod_mul(self.current, self.g, self.p);
+            self.current = if small {
+                mod_mul_small(self.current, self.g, self.p)
+            } else {
+                mod_mul(self.current, self.g, self.p)
+            };
             if self.current == self.first {
                 self.done = true;
             }

@@ -23,6 +23,7 @@
 //! * [`schedule`] — the scan calendar of Appendix Table 9;
 //! * [`results`] — the scan-result dataset with merge/count/export.
 
+pub mod bitset;
 pub mod classify;
 pub mod datasets;
 pub mod iterator;

@@ -8,6 +8,7 @@
 //! 3. how to normalize the collected bytes into the text the classifier and
 //!    tagger operate on — the "banner" the paper stores in its database.
 
+use ofh_net::{FastMap, Payload, PayloadBuilder};
 use ofh_wire::coap::{parse_link_format, Message};
 use ofh_wire::mqtt::Packet;
 use ofh_wire::ssdp::msearch_all;
@@ -66,6 +67,62 @@ pub fn udp_probe(protocol: Protocol, message_id: u16) -> Option<Vec<u8>> {
         Protocol::Coap => Some(Message::well_known_core_request(message_id).encode()),
         Protocol::Upnp => Some(msearch_all().into_bytes()),
         _ => None,
+    }
+}
+
+/// Pre-encoded probe payloads, built once per scanner.
+///
+/// Probe bytes are identical for every address a sweep touches except the
+/// CoAP message id, so re-encoding them per probe is pure waste — on the
+/// full preset that is millions of MQTT CONNECT and CoAP GET encodes. The
+/// cache encodes each probe once:
+///
+/// * TCP openings and the SSDP discover are address-invariant; handing one
+///   out clones a shared [`Payload`] (a refcount bump, no bytes move);
+/// * the CoAP request varies only in its 16-bit message id, which
+///   [`ProbeTemplates::udp_probe`] patches into a pooled copy of the
+///   template at [`Message::MESSAGE_ID_RANGE`].
+///
+/// An oracle test asserts every cached/patched probe is byte-identical to a
+/// fresh [`tcp_opening`]/[`udp_probe`] encode.
+#[derive(Debug, Default)]
+pub struct ProbeTemplates {
+    tcp: FastMap<Protocol, Payload>,
+    udp: FastMap<Protocol, Payload>,
+}
+
+impl ProbeTemplates {
+    /// Encode every scanned protocol's probes up front.
+    pub fn new() -> ProbeTemplates {
+        let mut t = ProbeTemplates::default();
+        for proto in Protocol::SCANNED {
+            if let Some(bytes) = tcp_opening(proto) {
+                t.tcp.insert(proto, Payload::from(bytes));
+            }
+            if let Some(bytes) = udp_probe(proto, 0) {
+                t.udp.insert(proto, Payload::from(bytes));
+            }
+        }
+        t
+    }
+
+    /// The cached opening payload for a TCP grab (see [`tcp_opening`]).
+    pub fn tcp_opening(&self, protocol: Protocol) -> Option<Payload> {
+        self.tcp.get(&protocol).cloned()
+    }
+
+    /// The UDP probe datagram for `protocol` carrying `message_id`
+    /// (see [`udp_probe`]). CoAP patches the id into a pooled buffer;
+    /// everything else clones the shared template.
+    pub fn udp_probe(&self, protocol: Protocol, message_id: u16) -> Option<Payload> {
+        let template = self.udp.get(&protocol)?;
+        if protocol != Protocol::Coap {
+            return Some(template.clone());
+        }
+        let mut buf = PayloadBuilder::new();
+        buf.extend_from_slice(template);
+        buf[Message::MESSAGE_ID_RANGE].copy_from_slice(&message_id.to_be_bytes());
+        Some(buf.freeze())
     }
 }
 
@@ -192,6 +249,27 @@ mod tests {
         let ssdp = String::from_utf8(udp_probe(Protocol::Upnp, 0).unwrap()).unwrap();
         assert!(ssdp.contains("ssdp:discover"));
         assert!(udp_probe(Protocol::Telnet, 0).is_none());
+    }
+
+    #[test]
+    fn templates_match_fresh_encodes() {
+        let t = ProbeTemplates::new();
+        for proto in Protocol::SCANNED {
+            assert_eq!(
+                t.tcp_opening(proto).map(|p| p.to_vec()),
+                tcp_opening(proto),
+                "cached TCP opening diverges for {proto:?}"
+            );
+            // The patched CoAP id must reproduce a fresh encode for any id,
+            // including the extremes and ids wider than one byte.
+            for mid in [0u16, 1, 0x34, 0x1234, 0x7fff, 0xfffe, u16::MAX] {
+                assert_eq!(
+                    t.udp_probe(proto, mid).map(|p| p.to_vec()),
+                    udp_probe(proto, mid),
+                    "cached UDP probe diverges for {proto:?} mid {mid}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,16 +15,17 @@
 //! optional per-address sampling rate (used by the Sonar/Shodan coverage
 //! models in [`crate::datasets`]).
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use ofh_net::Payload;
 use ofh_net::{
-    Agent, CidrSet, ConnToken, NetCtx, ShardSpec, SimDuration, SimTime, SockAddr,
+    Agent, CidrSet, ConnToken, FastMap, NetCtx, ShardSpec, SimDuration, SimTime, SockAddr,
 };
 use ofh_wire::Protocol;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::bitset::BitSet;
 use crate::iterator::AddressPermutation;
 use crate::probe;
 use crate::results::{HostRecord, ScanResults};
@@ -105,13 +106,38 @@ struct Grab {
     followed_up: bool,
 }
 
+/// Remembers which addresses the scanner's UDP sweeps probed, so a response
+/// can be attributed to its sweep (response-based protocols, Table 3).
+enum UdpTracker {
+    /// Every UDP port belongs to exactly one sweep (the normal case):
+    /// port → (sweep, probed-offset bitset). Marking a probe is a bit set;
+    /// no per-probe allocation or hashing of 1M+ map entries.
+    ByPort(FastMap<u16, PortTracker>),
+    /// Fallback when two sweeps share a UDP port: exact `(addr, port)`
+    /// bookkeeping with latest-probe-wins attribution.
+    Shared(FastMap<(Ipv4Addr, u16), usize>),
+}
+
+struct PortTracker {
+    sweep: usize,
+    base: u32,
+    probed: BitSet,
+}
+
 /// The scanning agent. Attach at the scanning host's address, run the
 /// network past the expected completion time, then read [`Scanner::results`].
 pub struct Scanner {
     pub results: ScanResults,
     sweeps: Vec<Sweep>,
-    grabs: HashMap<ConnToken, Grab>,
-    udp_pending: HashMap<(Ipv4Addr, u16), usize>,
+    /// Grabs in progress — created on `on_tcp_established`, so the table
+    /// only ever holds responsive hosts, not the millions of probes into
+    /// empty space.
+    grabs: FastMap<ConnToken, Grab>,
+    udp_track: UdpTracker,
+    /// Probe payloads encoded once at construction; the per-address CoAP
+    /// message id is patched into a pooled buffer (see
+    /// [`probe::ProbeTemplates`]).
+    templates: probe::ProbeTemplates,
     rng: StdRng,
     message_id: u16,
     active_sweeps: usize,
@@ -123,7 +149,7 @@ impl Scanner {
     pub fn new(source: impl Into<String>, configs: Vec<ScannerConfig>) -> Scanner {
         let seed = configs.first().map(|c| c.seed).unwrap_or(0);
         let active = configs.len();
-        let sweeps = configs
+        let sweeps: Vec<Sweep> = configs
             .into_iter()
             .map(|cfg| Sweep {
                 perm: AddressPermutation::new(cfg.size, cfg.seed),
@@ -133,14 +159,70 @@ impl Scanner {
                 probes_sent: 0,
             })
             .collect();
+        let udp_track = Self::build_udp_tracker(&sweeps);
         Scanner {
             results: ScanResults::new(source),
             sweeps,
-            grabs: HashMap::new(),
-            udp_pending: HashMap::new(),
+            grabs: FastMap::default(),
+            udp_track,
+            templates: probe::ProbeTemplates::new(),
             rng: StdRng::seed_from_u64(ofh_net::rng::derive_seed(seed, "scanner")),
             message_id: 1,
             active_sweeps: active,
+        }
+    }
+
+    /// Port-indexed UDP probe tracking when ports are unambiguous, exact
+    /// per-address map otherwise.
+    fn build_udp_tracker(sweeps: &[Sweep]) -> UdpTracker {
+        let mut by_port: FastMap<u16, PortTracker> = FastMap::default();
+        for (idx, sweep) in sweeps.iter().enumerate() {
+            if !sweep.cfg.protocol.is_udp() {
+                continue;
+            }
+            for &port in &sweep.cfg.ports {
+                if by_port
+                    .insert(
+                        port,
+                        PortTracker {
+                            sweep: idx,
+                            base: u32::from(sweep.cfg.base),
+                            probed: BitSet::new(sweep.cfg.size),
+                        },
+                    )
+                    .is_some()
+                {
+                    // Two sweeps share a UDP port: fall back to exact
+                    // bookkeeping.
+                    return UdpTracker::Shared(FastMap::default());
+                }
+            }
+        }
+        UdpTracker::ByPort(by_port)
+    }
+
+    fn mark_udp_probe(&mut self, addr: Ipv4Addr, port: u16, sweep: usize) {
+        match &mut self.udp_track {
+            UdpTracker::ByPort(map) => {
+                if let Some(t) = map.get_mut(&port) {
+                    t.probed.set(u64::from(u32::from(addr).wrapping_sub(t.base)));
+                }
+            }
+            UdpTracker::Shared(map) => {
+                map.insert((addr, port), sweep);
+            }
+        }
+    }
+
+    fn udp_response_sweep(&self, addr: Ipv4Addr, port: u16) -> Option<usize> {
+        match &self.udp_track {
+            UdpTracker::ByPort(map) => {
+                let t = map.get(&port)?;
+                t.probed
+                    .get(u64::from(u32::from(addr).wrapping_sub(t.base)))
+                    .then_some(t.sweep)
+            }
+            UdpTracker::Shared(map) => map.get(&(addr, port)).copied(),
         }
     }
 
@@ -210,22 +292,15 @@ impl Scanner {
             if is_udp {
                 let mid = self.message_id;
                 self.message_id = self.message_id.wrapping_add(1).max(1);
-                if let Some(payload) = probe::udp_probe(protocol, mid) {
-                    self.udp_pending.insert((addr, port), sweep_idx);
+                if let Some(payload) = self.templates.udp_probe(protocol, mid) {
+                    self.mark_udp_probe(addr, port, sweep_idx);
                     ctx.udp_send(40_000, dst, payload);
                 }
             } else {
-                let conn = ctx.tcp_connect(dst);
-                self.grabs.insert(
-                    conn,
-                    Grab {
-                        sweep: sweep_idx,
-                        addr,
-                        port,
-                        buf: Vec::new(),
-                        followed_up: false,
-                    },
-                );
+                // The sweep index rides on the connection as a tag; the grab
+                // record is created only if the host answers — probes into
+                // empty space leave no scanner-side state at all.
+                ctx.tcp_connect_tagged(dst, sweep_idx as u64);
             }
         }
     }
@@ -279,18 +354,35 @@ impl Agent for Scanner {
     }
 
     fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        let Some(grab) = self.grabs.get(&conn) else {
+        // Recover the probe context from the connection itself (sweep from
+        // the tag, target from the peer) — a responsive host is the rare
+        // case, so this is where the grab record is created.
+        let Some(sweep_idx) = ctx.conn_tag(conn).map(|t| t as usize) else {
             return;
         };
-        let cfg = &self.sweeps[grab.sweep].cfg;
+        let Some(peer) = ctx.conn_peer(conn) else {
+            return;
+        };
+        debug_assert!(conn.0 & DEADLINE_BIT == 0, "conn id collides with deadline bit");
+        self.grabs.insert(
+            conn,
+            Grab {
+                sweep: sweep_idx,
+                addr: peer.addr,
+                port: peer.port,
+                buf: Vec::new(),
+                followed_up: false,
+            },
+        );
+        let cfg = &self.sweeps[sweep_idx].cfg;
         let (protocol, window) = (cfg.protocol, cfg.grab_window);
-        if let Some(opening) = probe::tcp_opening(protocol) {
+        if let Some(opening) = self.templates.tcp_opening(protocol) {
             ctx.tcp_send(conn, opening);
         }
         ctx.set_timer(window, DEADLINE_BIT | conn.0);
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let Some(grab) = self.grabs.get_mut(&conn) else {
             return;
         };
@@ -305,21 +397,16 @@ impl Agent for Scanner {
         }
     }
 
-    fn on_tcp_refused(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        self.grabs.remove(&conn);
-    }
-
-    fn on_tcp_timeout(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        self.grabs.remove(&conn);
-    }
+    // Refused / timed-out probes carry no scanner-side state (the grab is
+    // only created on establishment), so the default no-ops suffice.
 
     fn on_tcp_closed(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
         // Peer closed first: record what we have.
         self.finalize(ctx, conn, false);
     }
 
-    fn on_udp(&mut self, _ctx: &mut NetCtx<'_>, _local_port: u16, peer: SockAddr, payload: &[u8]) {
-        let Some(&sweep_idx) = self.udp_pending.get(&(peer.addr, peer.port)) else {
+    fn on_udp(&mut self, _ctx: &mut NetCtx<'_>, _local_port: u16, peer: SockAddr, payload: &Payload) {
+        let Some(sweep_idx) = self.udp_response_sweep(peer.addr, peer.port) else {
             return;
         };
         let protocol = self.sweeps[sweep_idx].cfg.protocol;

@@ -111,7 +111,7 @@ mod tests {
             tcp_flags: FlowObservation::SYN,
             tcp_window: 65_535,
             ip_len: 60,
-            payload: vec![],
+            payload: Default::default(),
             spoofed: false,
         });
     }

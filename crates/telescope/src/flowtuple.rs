@@ -83,7 +83,7 @@ mod tests {
             tcp_flags: flags,
             tcp_window: window,
             ip_len: 60,
-            payload: vec![],
+            payload: Default::default(),
             spoofed: false,
         }
     }

@@ -35,7 +35,7 @@ fn arb_observation() -> impl Strategy<Value = FlowObservation> {
                 tcp_flags: if tcp { flags | FlowObservation::SYN } else { 0 },
                 tcp_window: if tcp { window } else { 0 },
                 ip_len: len,
-                payload: vec![],
+                payload: Default::default(),
                 spoofed,
             },
         )

@@ -158,6 +158,11 @@ impl Message {
         segs.join("/")
     }
 
+    /// Byte range of the big-endian message id in an encoded message
+    /// (RFC 7252 §3: version/type/TKL byte, code byte, then the id).
+    /// Probe caches patch a fresh id into a pre-encoded template here.
+    pub const MESSAGE_ID_RANGE: std::ops::Range<usize> = 2..4;
+
     pub fn encode(&self) -> Vec<u8> {
         assert!(self.token.len() <= 8, "CoAP token is at most 8 bytes");
         let mut out = Vec::with_capacity(8 + self.payload.len());

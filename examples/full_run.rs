@@ -21,5 +21,12 @@ fn main() {
         eprintln!("[{:>7.1?}] {phase}", t0.elapsed());
     });
     println!("{}", report.render_full());
+    eprintln!("stages:  {}", report.timings.render());
+    let (hits, misses) = ofh_core::net::Payload::pool_stats();
+    let total = hits + misses;
+    eprintln!(
+        "payload pool: {hits}/{total} hits ({:.1}%)",
+        if total == 0 { 0.0 } else { 100.0 * hits as f64 / total as f64 }
+    );
     eprintln!("elapsed: {:?}", t0.elapsed());
 }

@@ -17,7 +17,7 @@ use ofh_core::devices::endpoints::{OpcUaDevice, Tr069Device};
 use ofh_core::devices::Universe;
 use ofh_core::net::rng::rng_for;
 use ofh_core::net::{
-    Agent, ConnToken, NetCtx, SimDuration, SimNet, SimNetConfig, SimTime, SockAddr,
+    Agent, ConnToken, NetCtx, Payload, SimDuration, SimNet, SimNetConfig, SimTime, SockAddr,
 };
 use ofh_core::scan::AddressPermutation;
 use ofh_core::wire::opcua::{Acknowledge, Hello};
@@ -95,7 +95,7 @@ impl Agent for FutureScanner {
         }
     }
 
-    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &[u8]) {
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
         let Some(&(addr, port)) = self.grabs.get(&conn) else { return };
         let finding = match port {
             ports::TR069 => match http::Response::parse(data) {

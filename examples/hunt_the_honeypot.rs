@@ -17,7 +17,7 @@ use ofh_core::devices::{Misconfig, Universe};
 use ofh_core::fingerprint::{engine, FingerprintProber, SignatureDb};
 use ofh_core::honeypots::{WildHoneypot, WildHoneypotAgent};
 use ofh_core::net::rng::rng_for;
-use ofh_core::net::{SimNet, SimNetConfig, SimTime};
+use ofh_core::net::{SimNet, SimNetConfig};
 use ofh_core::scan::{scan_start, Scanner, ScannerConfig};
 use ofh_core::wire::Protocol;
 

@@ -1,0 +1,34 @@
+//! Golden-file determinism: the quick preset at seed 7 renders a
+//! byte-identical report, forever.
+//!
+//! [`determinism.rs`](determinism.rs) proves runs agree with *each other*;
+//! this test pins the output against a checked-in snapshot so an
+//! optimization that changes event order (and therefore the trace) cannot
+//! slip through by perturbing both runs the same way. Regenerate with
+//! `cargo run --release --example quickstart > tests/golden/quickstart_seed7.txt`
+//! — but only after deciding the behavior change is intentional.
+
+use ofh_core::{Study, StudyConfig};
+use openforhire_suite as _;
+
+#[test]
+fn quick_preset_seed7_matches_golden_file() {
+    let report = Study::new(StudyConfig::quick(7)).run();
+    // The golden file is the quickstart's stdout: render_full + println's \n.
+    let rendered = format!("{}\n", report.render_full());
+    let golden = include_str!("golden/quickstart_seed7.txt");
+    if rendered != golden {
+        let diverges = rendered
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| format!("first divergent line: {}", i + 1))
+            .unwrap_or_else(|| "one report is a prefix of the other".into());
+        panic!(
+            "rendered report diverges from tests/golden/quickstart_seed7.txt \
+             ({diverges}; rendered {} bytes, golden {} bytes)",
+            rendered.len(),
+            golden.len()
+        );
+    }
+}
