@@ -18,6 +18,13 @@ cargo test --release -q --test parallel_determinism --test determinism -- --test
 echo "==> determinism suite, --test-threads=4 (release)"
 cargo test --release -q --test parallel_determinism --test determinism -- --test-threads=4 --include-ignored
 
+echo "==> observability artifacts: emit (quick preset) + schema validation"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+./target/release/openforhire study --summary --preset quick \
+    --metrics-out "$OBS_TMP/metrics.json" --trace-out "$OBS_TMP/trace.jsonl" >/dev/null
+cargo run --release -q --example obs_validate -- "$OBS_TMP/metrics.json" "$OBS_TMP/trace.jsonl"
+
 echo "==> bench suite, smoke mode (every body runs once, no timing)"
 cargo bench -p ofh-bench -- --test
 

@@ -73,6 +73,31 @@ pub enum AttackScript {
     ModbusTamper,
 }
 
+impl AttackScript {
+    /// Static label for metrics/tracing.
+    pub const fn kind_name(&self) -> &'static str {
+        match self {
+            AttackScript::SynProbe { .. } => "syn_probe",
+            AttackScript::TelnetBruteForce { .. } => "telnet_brute_force",
+            AttackScript::SshBruteForce { .. } => "ssh_brute_force",
+            AttackScript::MqttAttack { .. } => "mqtt_attack",
+            AttackScript::AmqpFlood { .. } => "amqp_flood",
+            AttackScript::XmppAnonToggle => "xmpp_anon_toggle",
+            AttackScript::CoapDiscovery => "coap_discovery",
+            AttackScript::CoapPoison => "coap_poison",
+            AttackScript::UpnpDiscovery => "upnp_discovery",
+            AttackScript::UdpFlood { .. } => "udp_flood",
+            AttackScript::ReflectionTrigger { .. } => "reflection_trigger",
+            AttackScript::HttpGet { .. } => "http_get",
+            AttackScript::HttpFlood { .. } => "http_flood",
+            AttackScript::FtpUploadMalware { .. } => "ftp_upload_malware",
+            AttackScript::SmbEternal { .. } => "smb_eternal",
+            AttackScript::S7JobFlood { .. } => "s7_job_flood",
+            AttackScript::ModbusTamper => "modbus_tamper",
+        }
+    }
+}
+
 /// A scheduled attack.
 #[derive(Debug, Clone)]
 pub struct Task {
@@ -168,6 +193,17 @@ impl AttackerAgent {
     fn launch(&mut self, ctx: &mut NetCtx<'_>, idx: usize) {
         let task = self.tasks[idx].clone();
         let dst = task.dst;
+        ofh_obs::count_l("attack.task.launched", task.script.kind_name(), 1);
+        ofh_obs::span(
+            "attack.task",
+            task.script.kind_name(),
+            ctx.now().0,
+            ctx.now().0,
+            u32::from(ctx.my_addr()),
+            u32::from(dst),
+            0,
+            0,
+        );
         match task.script {
             AttackScript::SynProbe { port } => {
                 let conn = ctx.tcp_connect(SockAddr::new(dst, port));

@@ -62,6 +62,17 @@ impl Harness {
     }
 }
 
+/// One quick-preset study run with the given observability settings;
+/// returns the wall clock in seconds.
+fn study_run_s(obs: ofh_core::obs::ObsConfig) -> f64 {
+    let mut cfg = StudyConfig::quick(7);
+    cfg.obs = obs;
+    let t0 = Instant::now();
+    let report = Study::new(cfg).run();
+    black_box(report.counters.events_processed);
+    t0.elapsed().as_secs_f64()
+}
+
 /// Schedule-then-pop churn at a live queue depth of `depth`, with one
 /// out-of-order event per eight to exercise the heap lane too.
 fn event_queue_churn(depth: u64) -> u64 {
@@ -153,6 +164,42 @@ fn main() {
         println!("(match corpus: {} banners, {bytes} bytes)", corpus.len());
     }
 
+    // ---- Observability overhead -----------------------------------------
+    // The ofh-obs contract: enabling metrics + tracing + profiling costs
+    // < 3% end-to-end. Shared-machine noise between individual quick runs
+    // exceeds the effect being measured, so: run off/on as back-to-back
+    // pairs (adjacent runs share scheduler/thermal conditions), alternate
+    // the order within each pair (cancels monotone drift), and take the
+    // *median* of the per-pair deltas.
+    let obs_overhead = if h.smoke {
+        black_box(study_run_s(ofh_core::obs::ObsConfig::default()));
+        println!("test hotpath/obs_overhead ... ok (single pass)");
+        None
+    } else {
+        study_run_s(ofh_core::obs::ObsConfig::disabled()); // warmup
+        let (mut best_off, mut best_on) = (f64::MAX, f64::MAX);
+        let mut deltas = Vec::new();
+        for i in 0..9 {
+            let (off, on) = if i % 2 == 0 {
+                let off = study_run_s(ofh_core::obs::ObsConfig::disabled());
+                (off, study_run_s(ofh_core::obs::ObsConfig::default()))
+            } else {
+                let on = study_run_s(ofh_core::obs::ObsConfig::default());
+                (study_run_s(ofh_core::obs::ObsConfig::disabled()), on)
+            };
+            best_off = best_off.min(off);
+            best_on = best_on.min(on);
+            deltas.push(on - off);
+        }
+        deltas.sort_by(f64::total_cmp);
+        let median_delta = deltas[deltas.len() / 2];
+        let pct = 100.0 * median_delta / best_off;
+        println!(
+            "bench hotpath/obs_overhead: off {best_off:.3} s | on {best_on:.3} s | median-pair {pct:+.2}%"
+        );
+        Some((best_off, best_on, pct))
+    };
+
     // ---- Optional end-to-end wall clock ---------------------------------
     let full_run_s = if !h.smoke && std::env::var_os("BENCH_FULL").is_some() {
         println!("timing full-preset study run (BENCH_FULL set)...");
@@ -181,6 +228,11 @@ fn main() {
     json.push_str(&format!(
         "  \"payload_pool\": {{ \"hits\": {hits}, \"misses\": {misses} }},\n"
     ));
+    if let Some((off, on, pct)) = obs_overhead {
+        json.push_str(&format!(
+            "  \"obs_overhead\": {{ \"quick_run_obs_off_s\": {off:.3}, \"quick_run_obs_on_s\": {on:.3}, \"overhead_pct\": {pct:.2} }},\n"
+        ));
+    }
     json.push_str(&format!(
         "  \"full_run\": {{ \"baseline_s\": {FULL_RUN_BASELINE_S}, \"current_s\": {} }}\n",
         full_run_s.map_or("null".into(), |s| format!("{s:.1}"))

@@ -42,6 +42,12 @@ pub struct StudyConfig {
     /// report, so it is excluded from the serialized config.
     #[serde(skip)]
     pub workers: usize,
+    /// Observability settings (metrics, tracing, self-profiling). Also a
+    /// pure execution knob — enabling or disabling observability must not
+    /// perturb any RNG stream or golden output — so it too stays out of the
+    /// serialized config.
+    #[serde(skip)]
+    pub obs: ofh_obs::ObsConfig,
 }
 
 impl StudyConfig {
@@ -59,6 +65,7 @@ impl StudyConfig {
             infected_oversample: 32,
             shards: 16,
             workers: 1,
+            obs: ofh_obs::ObsConfig::default(),
         }
     }
 
@@ -76,6 +83,7 @@ impl StudyConfig {
             infected_oversample: 8,
             shards: 16,
             workers: 1,
+            obs: ofh_obs::ObsConfig::default(),
         }
     }
 
@@ -93,6 +101,7 @@ impl StudyConfig {
             infected_oversample: 1,
             shards: 16,
             workers: 1,
+            obs: ofh_obs::ObsConfig::default(),
         }
     }
 
@@ -185,6 +194,7 @@ mod tests {
         let mut b = StudyConfig::quick(1);
         a.workers = 1;
         b.workers = 8;
+        b.obs = ofh_obs::ObsConfig::disabled();
         assert_eq!(
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap()

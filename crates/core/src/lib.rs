@@ -30,8 +30,12 @@ pub mod report;
 pub mod study;
 
 pub use config::StudyConfig;
-pub use report::{StageTimings, StudyReport};
+pub use report::StudyReport;
 pub use study::Study;
+
+// Re-export the observability layer (the `--metrics-out` / `--trace-out`
+// machinery) alongside the component crates.
+pub use ofh_obs as obs;
 
 // Re-export the component crates under one roof for downstream users.
 pub use ofh_analysis as analysis;

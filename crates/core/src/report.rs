@@ -12,38 +12,11 @@ use ofh_analysis::{AttackDataset, Table};
 use ofh_fingerprint::FingerprintReport;
 use ofh_honeypots::WildHoneypot;
 use ofh_net::sim::Counters;
+use ofh_obs::{MetricsSnapshot, TraceLog};
 use ofh_scan::ScanResults;
 use ofh_telescope::{Telescope, TelescopeSummary};
 
 use crate::config::StudyConfig;
-
-/// Wall-clock spent in each pipeline stage. The simulation stages (scan,
-/// fingerprint, month) are summed across shard workers, so with N workers
-/// they can exceed the elapsed time. Diagnostics only: timings are
-/// nondeterministic and are never rendered into the report text.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct StageTimings {
-    /// March scan phase (§3.1), summed across shards.
-    pub scan: std::time::Duration,
-    /// Active honeypot fingerprinting (§3.2), summed across shards.
-    pub fingerprint: std::time::Duration,
-    /// April honeypot month + telescope capture (§4), summed across shards.
-    pub month: std::time::Duration,
-    /// Deterministic merge of shard outputs.
-    pub merge: std::time::Duration,
-    /// Tables, figures, and infected-host joins (§5).
-    pub analysis: std::time::Duration,
-}
-
-impl StageTimings {
-    /// One line per stage, for diagnostic output (stderr, bench reports).
-    pub fn render(&self) -> String {
-        format!(
-            "scan {:.2?} | fingerprint {:.2?} | month {:.2?} | merge {:.2?} | analysis {:.2?}",
-            self.scan, self.fingerprint, self.month, self.merge, self.analysis
-        )
-    }
-}
 
 /// Everything a [`crate::Study`] run produces.
 pub struct StudyReport {
@@ -90,8 +63,12 @@ pub struct StudyReport {
     pub population_size: usize,
     pub wild_honeypot_count: usize,
     pub counters: Counters,
-    /// Per-stage wall clock (nondeterministic; excluded from rendering).
-    pub timings: StageTimings,
+    /// The merged metrics snapshot (`--metrics-out`). Everything outside
+    /// `metrics.host` is deterministic: byte-identical across worker counts
+    /// and repeated runs at the same seed.
+    pub metrics: MetricsSnapshot,
+    /// The merged sim-time trace (`--trace-out`), canonically ordered.
+    pub trace: TraceLog,
 }
 
 impl StudyReport {

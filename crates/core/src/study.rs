@@ -47,13 +47,14 @@ use ofh_intel::{Country, GeoDb};
 use ofh_net::rng::rng_for;
 use ofh_net::sim::Counters;
 use ofh_net::{AgentId, ShardSpec, SimNet, SimNetConfig, SimTime};
+use ofh_obs::{MetricRegistry, MetricsSnapshot, ProfileNode, ShardObs, Stopwatch, TraceLog};
 use ofh_scan::{datasets, scan_start, ScanResults, Scanner, ScannerConfig};
 use ofh_telescope::{Telescope, TelescopeSummary};
 use rand::Rng;
 
 use crate::config::StudyConfig;
 use crate::oracles::Oracles;
-use crate::report::{StageTimings, StudyReport};
+use crate::report::StudyReport;
 
 /// A configured study, ready to run.
 pub struct Study {
@@ -82,7 +83,11 @@ struct ShardOutput {
     logs: Vec<Vec<AttackEvent>>,
     telescope: Telescope,
     counters: Counters,
-    timings: StageTimings,
+    /// The shard's recorded metrics and trace ring (`None` when
+    /// observability is disabled).
+    obs: Option<ShardObs>,
+    /// Per-phase wall clock of this shard (single-threaded: wall == cpu).
+    profile: ProfileNode,
 }
 
 impl Study {
@@ -108,6 +113,8 @@ impl Study {
         let cfg = &self.cfg;
         let universe = cfg.universe;
         let mut rng = rng_for(cfg.seed, "study");
+        let study_sw = Stopwatch::start();
+        let setup_sw = Stopwatch::start();
 
         // ---- 1. Populations (global) ----------------------------------
         progress("synthesizing population");
@@ -168,8 +175,10 @@ impl Study {
         }
 
         // ---- 3. Sharded execution --------------------------------------
+        let setup_node = setup_sw.leaf("setup");
         let workers = cfg.worker_threads();
         progress("simulating shards");
+        let simulate_sw = Stopwatch::start();
         let inputs = ShardInputs {
             cfg,
             population: &population,
@@ -216,9 +225,12 @@ impl Study {
             })
         };
         outputs.sort_by_key(|(index, _)| *index);
+        let mut simulate_node = ProfileNode::new("simulate");
+        simulate_node.wall_ns = simulate_sw.elapsed().as_nanos() as u64;
 
         // ---- 4. Deterministic merge ------------------------------------
         progress("merging shard results");
+        let merge_sw = Stopwatch::start();
         let mut zmap_results = ScanResults::new("ZMap Scan");
         let mut sonar_results = ScanResults::new("Project Sonar");
         let mut shodan_results = ScanResults::new("Shodan");
@@ -226,9 +238,14 @@ impl Study {
         let mut logs: Vec<Vec<AttackEvent>> = vec![Vec::new(); 6];
         let mut telescope = Telescope::new(GeoDb::new());
         let mut counters = Counters::default();
-        let mut timings = StageTimings::default();
-        let merge_start = std::time::Instant::now();
-        for (_, out) in outputs {
+        // Metric registries and trace rings merge order-independently
+        // (counters sum, gauges max, histograms add bucket-wise; the trace
+        // re-sorts on (start, shard, seq)), so the merged observability
+        // artifacts — like the report — depend only on (seed, shards).
+        let mut registry = MetricRegistry::new();
+        let mut trace = TraceLog::default();
+        let mut per_shard_events: Vec<u64> = Vec::with_capacity(cfg.shards as usize);
+        for (index, out) in outputs {
             zmap_results.absorb(out.zmap);
             sonar_results.absorb(out.sonar);
             shodan_results.absorb(out.shodan);
@@ -238,20 +255,36 @@ impl Study {
             }
             telescope.absorb(out.telescope);
             counters.absorb(&out.counters);
-            timings.scan += out.timings.scan;
-            timings.fingerprint += out.timings.fingerprint;
-            timings.month += out.timings.month;
+            per_shard_events.push(out.counters.events_processed);
+            if let Some(shard_obs) = out.obs {
+                registry.absorb(&shard_obs.metrics);
+                trace.absorb(index, shard_obs.trace);
+            }
+            simulate_node.push_child(out.profile);
         }
         fingerprint_report.normalize();
+        trace.finish();
+        // Fold the fabric counters in, so the snapshot carries the network
+        // totals (including fault-injection drops/corruptions) without the
+        // hot path paying for a second count of each event.
+        registry.count("net.events_processed", "", counters.events_processed);
+        registry.count("net.syns_sent", "", counters.syns_sent);
+        registry.count("net.conns_established", "", counters.conns_established);
+        registry.count("net.conns_refused", "", counters.conns_refused);
+        registry.count("net.conn_timeouts", "", counters.conn_timeouts);
+        registry.count("net.tcp_bytes_total", "", counters.tcp_payload_bytes);
+        registry.count("net.udp.sent", "", counters.udp_datagrams_sent);
+        registry.count("net.udp.dropped", "", counters.udp_datagrams_dropped);
+        registry.count("net.udp.corrupted", "", counters.udp_datagrams_corrupted);
         // The dataset merge re-sorts all events by (time, src, src_port);
         // every source address lives in exactly one shard, so the sorted
         // stream is independent of the shard split.
         let dataset = AttackDataset::merge(logs);
-        timings.merge = merge_start.elapsed();
+        let merge_node = merge_sw.leaf("merge");
 
         // ---- 5. Analysis ------------------------------------------------
         progress("computing tables and figures");
-        let analysis_start = std::time::Instant::now();
+        let analysis_sw = Stopwatch::start();
         let honeypot_filter = fingerprint_report.filter_set();
         let table4 = Table4::compute(&zmap_results, &sonar_results, &shodan_results);
         let table5 = Table5::compute(&zmap_results, &honeypot_filter);
@@ -288,7 +321,25 @@ impl Study {
             &oracles.censys,
             &oracles.rdns,
         );
-        timings.analysis = analysis_start.elapsed();
+        let analysis_node = analysis_sw.leaf("analysis");
+
+        // ---- 6. The snapshot: profile tree + merged metrics -------------
+        // stage → shard → phase, with the wall/cpu split: a parallel
+        // "simulate" stage's cpu (the per-shard clocks summed) may exceed
+        // its wall (the coordinator's elapsed time) by up to `workers`×.
+        let mut profile = ProfileNode::new("study");
+        profile.wall_ns = study_sw.elapsed().as_nanos() as u64;
+        profile.push_child(setup_node);
+        profile.push_child(simulate_node);
+        profile.push_child(merge_node);
+        profile.push_child(analysis_node);
+        let mut metrics =
+            MetricsSnapshot::from_registry(cfg.seed, cfg.shards, &registry, per_shard_events);
+        let (pool_hits, pool_misses) = ofh_net::Payload::pool_stats();
+        metrics.host.workers = workers as u64;
+        metrics.host.pool_hits = pool_hits;
+        metrics.host.pool_misses = pool_misses;
+        metrics.host.profile = profile;
 
         StudyReport {
             config: cfg.clone(),
@@ -314,7 +365,8 @@ impl Study {
             population_size: population.records.len(),
             wild_honeypot_count: wild.len(),
             counters,
-            timings,
+            metrics,
+            trace,
         }
     }
 }
@@ -324,6 +376,18 @@ impl Study {
 fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
     let cfg = inputs.cfg;
     let universe = cfg.universe;
+
+    // Install this shard's recording target for the duration of its
+    // simulation. A shard runs to completion on one thread (the dispenser
+    // never migrates one mid-run), so everything the instrumented crates
+    // record below lands in this shard's private registry and ring.
+    let obs_guard = cfg
+        .obs
+        .enabled
+        .then(|| ofh_obs::install(ShardObs::new(cfg.obs.trace_capacity)));
+    let shard_sw = Stopwatch::start();
+    let mut profile = ProfileNode::new(format!("shard-{:02}", spec.index));
+    let phase_sw = Stopwatch::start();
 
     // ---- Wire up this shard's slice of the simulated Internet ----------
     let mut net = SimNet::new(SimNetConfig {
@@ -435,11 +499,11 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
     };
 
     // ---- Scan phase (March) --------------------------------------------
-    let mut timings = StageTimings::default();
-    let stage_start = std::time::Instant::now();
+    profile.push_child(phase_sw.leaf("wire"));
+    let phase_sw = Stopwatch::start();
     net.run_until(scan_end);
-    timings.scan = stage_start.elapsed();
-    let stage_start = std::time::Instant::now();
+    profile.push_child(phase_sw.leaf("scan"));
+    let phase_sw = Stopwatch::start();
     let zmap = net
         .agent_downcast_mut::<Scanner>(zmap_id)
         .expect("zmap scanner")
@@ -455,14 +519,19 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
         Box::new(FingerprintProber::new(candidates)),
     );
     net.run_until(net.now() + FingerprintProber::estimated_duration(candidate_count));
-    timings.fingerprint = stage_start.elapsed();
+    profile.push_child(phase_sw.leaf("fingerprint"));
 
     // ---- Honeypot month (April) ----------------------------------------
-    let stage_start = std::time::Instant::now();
+    let phase_sw = Stopwatch::start();
     net.run_until(cfg.study_end());
-    timings.month = stage_start.elapsed();
+    // Fold the network's locally-accumulated observability (final partial
+    // hour, payload-size histograms, connection high-water mark) into this
+    // shard's recording target while it is still installed.
+    net.flush_obs();
+    profile.push_child(phase_sw.leaf("month"));
 
     // ---- Extraction -----------------------------------------------------
+    let phase_sw = Stopwatch::start();
     let fingerprint = net
         .agent_downcast_mut::<FingerprintProber>(prober_id)
         .expect("prober")
@@ -498,6 +567,9 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
         Telescope::new(GeoDb::new()),
     );
 
+    profile.push_child(phase_sw.leaf("extract"));
+    profile.wall_ns = shard_sw.elapsed().as_nanos() as u64;
+
     ShardOutput {
         zmap,
         sonar,
@@ -506,7 +578,8 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
         logs,
         telescope,
         counters: net.counters(),
-        timings,
+        obs: obs_guard.map(|g| g.finish()),
+        profile,
     }
 }
 

@@ -76,14 +76,18 @@ pub fn passive_candidates(
     db: &SignatureDb,
     results: &ScanResults,
 ) -> Vec<(Ipv4Addr, u16, WildHoneypot)> {
-    results
+    let candidates: Vec<_> = results
         .records
         .values()
         .filter_map(|r| {
             db.match_banner(&r.raw)
                 .map(|family| (r.addr, r.port, family))
         })
-        .collect()
+        .collect();
+    for &(_, _, family) in &candidates {
+        ofh_obs::count_l("fingerprint.passive.candidate", family.name(), 1);
+    }
+    candidates
 }
 
 #[derive(Debug)]
@@ -147,7 +151,7 @@ impl FingerprintProber {
         }
     }
 
-    fn conclude(&mut self, conn: ConnToken) {
+    fn conclude(&mut self, now: ofh_net::SimTime, conn: ConnToken) {
         let Some(st) = self.states.remove(&conn) else {
             return;
         };
@@ -160,6 +164,18 @@ impl FingerprintProber {
             && !st.rounds[1]
                 .windows(JUNK_PROBE.len() - 1)
                 .any(|w| w == &JUNK_PROBE[..JUNK_PROBE.len() - 1]);
+        let verdict = if confirmed { "fingerprint.detected" } else { "fingerprint.rejected" };
+        ofh_obs::count_l(verdict, st.family.name(), 1);
+        ofh_obs::span(
+            "fingerprint.match",
+            st.family.name(),
+            now.0,
+            now.0,
+            0,
+            u32::from(st.addr),
+            st.port,
+            st.rounds.iter().map(|r| r.len() as u32).sum(),
+        );
         if confirmed {
             self.report.detections.push(Detection {
                 addr: st.addr,
@@ -197,7 +213,7 @@ impl Agent for FingerprintProber {
             ctx.set_timer(ROUND_GAP, conn.0);
         } else {
             ctx.tcp_close(conn);
-            self.conclude(conn);
+            self.conclude(ctx.now(), conn);
         }
     }
 
@@ -213,16 +229,16 @@ impl Agent for FingerprintProber {
         }
     }
 
-    fn on_tcp_refused(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        self.conclude(conn);
+    fn on_tcp_refused(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.conclude(ctx.now(), conn);
     }
 
-    fn on_tcp_timeout(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        self.conclude(conn);
+    fn on_tcp_timeout(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.conclude(ctx.now(), conn);
     }
 
-    fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        self.conclude(conn);
+    fn on_tcp_closed(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.conclude(ctx.now(), conn);
     }
 }
 

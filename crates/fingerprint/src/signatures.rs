@@ -37,6 +37,11 @@ impl SignatureDb {
     /// controlled), the longest pattern wins.
     pub fn match_banner(&self, banner: &[u8]) -> Option<WildHoneypot> {
         let hits = self.automaton.find_all(banner);
+        ofh_obs::count("fingerprint.ac.banners_scanned", 1);
+        ofh_obs::count("fingerprint.ac.bytes_scanned", banner.len() as u64);
+        if !hits.is_empty() {
+            ofh_obs::count("fingerprint.ac.matches", hits.len() as u64);
+        }
         hits.into_iter()
             .max_by_key(|&i| self.patterns[i as usize].len())
             .map(|i| self.families[i as usize])

@@ -46,6 +46,33 @@ pub enum EventKind {
     ExploitSignature { name: String },
 }
 
+impl EventKind {
+    /// Static label for metrics/tracing.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            EventKind::Connection => "connection",
+            EventKind::Datagram { .. } => "datagram",
+            EventKind::Discovery => "discovery",
+            EventKind::LoginAttempt { .. } => "login_attempt",
+            EventKind::Command { .. } => "command",
+            EventKind::PayloadDrop { .. } => "payload_drop",
+            EventKind::DataWrite { .. } => "data_write",
+            EventKind::DataRead { .. } => "data_read",
+            EventKind::HttpRequest { .. } => "http_request",
+            EventKind::ExploitSignature { .. } => "exploit_signature",
+        }
+    }
+
+    /// Size, in bytes, of the transferred payload where the event has one.
+    fn bytes(&self) -> u32 {
+        match self {
+            EventKind::Datagram { len } => *len as u32,
+            EventKind::PayloadDrop { payload, .. } => payload.len() as u32,
+            _ => 0,
+        }
+    }
+}
+
 /// One logged attack event.
 ///
 /// Serializes for JSON-lines export; not deserializable because the honeypot
@@ -84,6 +111,18 @@ impl EventLog {
         src_port: u16,
         kind: EventKind,
     ) {
+        ofh_obs::count_l("honeypot.event", self.honeypot, 1);
+        ofh_obs::count_l("honeypot.event.kind", kind.name(), 1);
+        ofh_obs::span(
+            "honeypot.event",
+            protocol.name(),
+            time.0,
+            time.0,
+            u32::from(src),
+            0,
+            src_port,
+            kind.bytes(),
+        );
         self.events.push(AttackEvent {
             time,
             honeypot: self.honeypot,

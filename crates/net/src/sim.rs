@@ -224,6 +224,12 @@ pub struct Fabric {
     /// Scratch for matching tap indices (avoids a per-packet alloc).
     tap_hits: Vec<u32>,
     pub counters: Counters,
+    /// Locally-accumulated observability for the hot send paths; folded into
+    /// the installed registry once per phase by [`SimNet::flush_obs`] so the
+    /// per-packet cost is a plain field update, not a thread-local lookup.
+    obs_conns_peak: u64,
+    obs_tcp_bytes: ofh_obs::Histogram,
+    obs_udp_bytes: ofh_obs::Histogram,
 }
 
 /// Per-agent egress accounting (Appendix A.3's sandboxing audit).
@@ -379,6 +385,7 @@ impl Fabric {
         }
         self.counters.syns_sent += 1;
         self.egress[client.0 as usize].tcp_initiated += 1;
+        self.obs_conns_peak = self.obs_conns_peak.max(self.conns.len() as u64);
         let ttl = self.ttls[client.0 as usize];
         let window = self.windows[client.0 as usize];
         self.observe(
@@ -417,6 +424,7 @@ impl Fabric {
             (c.latency, c.server_sock, c.client_sock)
         };
         self.counters.tcp_payload_bytes += data.len() as u64;
+        self.obs_tcp_bytes.record(data.len() as u64);
         let ttl = self.ttls[sender.0 as usize];
         self.observe(
             src,
@@ -466,6 +474,7 @@ impl Fabric {
         spoofed: bool,
     ) {
         self.counters.udp_datagrams_sent += 1;
+        self.obs_udp_bytes.record(payload.len() as u64);
         // Egress accounting: a send to the peer whose datagram we are
         // currently handling is a reply; everything else is unsolicited.
         let is_reply = matches!(
@@ -547,6 +556,10 @@ pub struct SimNet {
     fabric: Fabric,
     agents: Vec<Option<Box<dyn Agent>>>,
     addrs: Vec<Ipv4Addr>,
+    /// Sim-hour the events-per-hour accumulator below belongs to.
+    obs_hour: u64,
+    /// Events processed so far within `obs_hour`.
+    obs_hour_events: u64,
 }
 
 impl SimNet {
@@ -571,9 +584,14 @@ impl SimNet {
                 tap_max_end: Vec::new(),
                 tap_hits: Vec::new(),
                 counters: Counters::default(),
+                obs_conns_peak: 0,
+                obs_tcp_bytes: ofh_obs::Histogram::default(),
+                obs_udp_bytes: ofh_obs::Histogram::default(),
             },
             agents: Vec::new(),
             addrs: Vec::new(),
+            obs_hour: 0,
+            obs_hour_events: 0,
         }
     }
 
@@ -651,12 +669,49 @@ impl SimNet {
         self.fabric.queue.advance_to(t);
     }
 
+    /// Per-event observability bookkeeping: accumulate events into the
+    /// current sim-hour, flushing one histogram sample per completed hour.
+    /// Keyed on sim-time, so the histogram is deterministic.
+    #[inline]
+    fn note_event(&mut self) {
+        let hour = self.fabric.queue.now().0 / 3_600_000;
+        if hour != self.obs_hour {
+            if self.obs_hour_events > 0 {
+                ofh_obs::observe("net.events_per_hour", self.obs_hour_events);
+            }
+            self.obs_hour = hour;
+            self.obs_hour_events = 0;
+        }
+        self.obs_hour_events += 1;
+    }
+
+    /// Flush the locally-accumulated observability — the partial
+    /// events-per-hour sample plus the hot-path accumulators (connection
+    /// high-water mark, payload-size histograms). Call after the last
+    /// `run_until` of a phase, while the phase's observability target is
+    /// still installed. Idempotent: accumulators reset on flush.
+    pub fn flush_obs(&mut self) {
+        if self.obs_hour_events > 0 {
+            ofh_obs::observe("net.events_per_hour", self.obs_hour_events);
+            self.obs_hour_events = 0;
+        }
+        if self.fabric.obs_conns_peak > 0 {
+            ofh_obs::gauge_max("net.conns_live", self.fabric.obs_conns_peak);
+            self.fabric.obs_conns_peak = 0;
+        }
+        ofh_obs::observe_hist("net.tcp_payload_bytes", &self.fabric.obs_tcp_bytes);
+        self.fabric.obs_tcp_bytes = ofh_obs::Histogram::default();
+        ofh_obs::observe_hist("net.udp_payload_bytes", &self.fabric.obs_udp_bytes);
+        self.fabric.obs_udp_bytes = ofh_obs::Histogram::default();
+    }
+
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some((_, ev)) = self.fabric.queue.pop() else {
             return false;
         };
         self.fabric.counters.events_processed += 1;
+        self.note_event();
         self.dispatch(ev);
         true
     }
@@ -666,6 +721,7 @@ impl SimNet {
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some((_, ev)) = self.fabric.queue.pop_before(deadline) {
             self.fabric.counters.events_processed += 1;
+            self.note_event();
             self.dispatch(ev);
         }
         if self.fabric.queue.now() < deadline {

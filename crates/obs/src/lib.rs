@@ -1,0 +1,296 @@
+//! # ofh-obs — deterministic observability for the openforhire pipeline
+//!
+//! Three instruments, one determinism contract:
+//!
+//! 1. **Metrics** ([`MetricRegistry`]) — counters, high-water gauges, and
+//!    log-linear histograms. Each shard owns a private registry; registries
+//!    merge order-independently at the join barrier, so the merged metrics
+//!    are byte-stable across `--workers 1/2/4/8/16`.
+//! 2. **Tracing** ([`TraceRing`], [`TraceLog`], [`Span`]) — spans keyed on
+//!    *sim-time*, recorded into a bounded per-shard ring and merged into one
+//!    canonical stream, emitted as JSONL via `--trace-out`.
+//! 3. **Self-profiling** ([`ProfileNode`], [`Stopwatch`]) — scoped
+//!    wall-clock timers building a stage → shard → phase tree with an
+//!    explicit `wall_ns` / `cpu_ns` split.
+//!
+//! ## Recording model
+//!
+//! Instrumented code calls the free functions ([`count`], [`observe`],
+//! [`span`], …), which record into whatever [`ShardObs`] is *installed* on
+//! the current thread — and no-op when none is. The pipeline installs one
+//! `ShardObs` per shard for the duration of that shard's simulation (shards
+//! never migrate threads mid-run), plus one on the coordinator thread for
+//! setup/merge/analysis-stage metrics. Unit tests and benches that never
+//! call [`install`] therefore run fully un-instrumented.
+//!
+//! Nothing here may perturb the simulation: recording takes no RNG draws,
+//! never reorders events, and reads no wall clock on the recording path.
+//! The *only* wall-clock reads live in [`Stopwatch`], whose results feed the
+//! profile tree — explicitly outside the determinism contract.
+
+pub mod metrics;
+pub mod profile;
+pub mod snapshot;
+pub mod trace;
+
+pub use metrics::{bucket_index, bucket_lower_bound, key_string, Histogram, MetricKey, MetricRegistry};
+pub use profile::{ProfileNode, Stopwatch};
+pub use snapshot::{HistogramSnapshot, HostStats, MetricsSnapshot, SCHEMA_VERSION};
+pub use trace::{Span, TraceLog, TraceRing, DEFAULT_TRACE_CAPACITY, TRACE_SCHEMA_VERSION};
+
+use std::cell::RefCell;
+
+use serde::{Deserialize, Serialize};
+
+/// Observability configuration — an execution knob, not a simulation
+/// parameter. It is excluded from config serialization (`#[serde(skip)]` at
+/// the embedding site) for the same reason `workers` is: two runs differing
+/// only in observability settings must produce identical reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Master switch. When false nothing is installed and every recording
+    /// call is a branch-on-thread-local no-op.
+    pub enabled: bool,
+    /// Per-shard trace ring capacity (spans kept per shard).
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Fully disabled observability (for overhead benchmarking).
+    pub fn disabled() -> ObsConfig {
+        ObsConfig {
+            enabled: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+/// One shard's observability state: its private metric registry and trace
+/// ring. Also used (with an idle ring) for the coordinator's global stages.
+#[derive(Debug, Default)]
+pub struct ShardObs {
+    pub metrics: MetricRegistry,
+    pub trace: TraceRing,
+}
+
+impl ShardObs {
+    pub fn new(trace_capacity: usize) -> ShardObs {
+        ShardObs {
+            metrics: MetricRegistry::new(),
+            trace: TraceRing::new(trace_capacity),
+        }
+    }
+}
+
+thread_local! {
+    /// The `ShardObs` recording calls on this thread write into, if any.
+    static CURRENT: RefCell<Option<ShardObs>> = const { RefCell::new(None) };
+}
+
+/// Install `obs` as this thread's recording target until the returned guard
+/// is [`finish`](ObsGuard::finish)ed (which returns the populated `ShardObs`)
+/// or dropped. Installs nest: the previous target (if any) is saved and
+/// restored, so a single-worker run can interleave shard recording with the
+/// coordinator's own.
+#[must_use = "dropping the guard discards the recorded data; call finish()"]
+pub fn install(obs: ShardObs) -> ObsGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(obs));
+    ObsGuard { prev: Some(prev), done: false }
+}
+
+/// Guard for an [`install`]; restores the previously installed target.
+#[derive(Debug)]
+pub struct ObsGuard {
+    /// What was installed before us (restored on finish/drop). `None` after
+    /// finish.
+    prev: Option<Option<ShardObs>>,
+    done: bool,
+}
+
+impl ObsGuard {
+    /// Uninstall, restore the previous target, and hand back the recorded
+    /// data.
+    pub fn finish(mut self) -> ShardObs {
+        self.done = true;
+        let prev = self.prev.take().unwrap_or(None);
+        CURRENT.with(|c| {
+            let mut slot = c.borrow_mut();
+            let cur = slot.take().expect("ObsGuard::finish: nothing installed");
+            *slot = prev;
+            cur
+        })
+    }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            let prev = self.prev.take().unwrap_or(None);
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+/// Is a recording target installed on this thread?
+#[inline]
+pub fn enabled() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+#[inline]
+fn with_obs(f: impl FnOnce(&mut ShardObs)) {
+    CURRENT.with(|c| {
+        if let Ok(mut slot) = c.try_borrow_mut() {
+            if let Some(obs) = slot.as_mut() {
+                f(obs);
+            }
+        }
+    });
+}
+
+/// Increment counter `name` by `n`. No-op when nothing is installed.
+#[inline]
+pub fn count(name: &'static str, n: u64) {
+    with_obs(|o| o.metrics.count(name, "", n));
+}
+
+/// Increment labeled counter `name{label}` by `n`.
+#[inline]
+pub fn count_l(name: &'static str, label: &'static str, n: u64) {
+    with_obs(|o| o.metrics.count(name, label, n));
+}
+
+/// Raise high-water gauge `name` to at least `v`.
+#[inline]
+pub fn gauge_max(name: &'static str, v: u64) {
+    with_obs(|o| o.metrics.gauge_max(name, "", v));
+}
+
+/// Record `v` into histogram `name`.
+#[inline]
+pub fn observe(name: &'static str, v: u64) {
+    with_obs(|o| o.metrics.observe(name, "", v));
+}
+
+/// Record `v` into labeled histogram `name{label}`.
+#[inline]
+pub fn observe_l(name: &'static str, label: &'static str, v: u64) {
+    with_obs(|o| o.metrics.observe(name, label, v));
+}
+
+/// Fold a locally-accumulated histogram into `name`. The batched form of
+/// [`observe`] for hot paths: per-sample code records into a private
+/// [`Histogram`] it owns (one bucket bump, no thread-local access, no key
+/// lookup), and flushes here once per phase.
+pub fn observe_hist(name: &'static str, h: &Histogram) {
+    with_obs(|o| o.metrics.absorb_histogram(name, "", h));
+}
+
+/// Record a tracing span. `seq` is assigned by the ring; pass 0.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn span(
+    kind: &'static str,
+    label: &'static str,
+    start_ms: u64,
+    end_ms: u64,
+    src: u32,
+    dst: u32,
+    port: u16,
+    bytes: u32,
+) {
+    with_obs(|o| {
+        o.trace.push(Span {
+            start_ms,
+            end_ms,
+            kind,
+            label,
+            src,
+            dst,
+            port,
+            bytes,
+            seq: 0,
+        })
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_is_noop_without_install() {
+        // Must not panic or leak state.
+        count("x", 1);
+        observe_l("h", "l", 5);
+        span("k", "l", 1, 2, 0, 0, 0, 0);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn install_captures_and_finish_returns() {
+        let guard = install(ShardObs::new(8));
+        assert!(enabled());
+        count("probes", 3);
+        count("probes", 4);
+        gauge_max("depth", 9);
+        observe("bytes", 100);
+        span("scan.probe", "telnet", 10, 11, 1, 2, 23, 4);
+        let obs = guard.finish();
+        assert!(!enabled());
+        assert_eq!(obs.metrics.counter("probes", ""), 7);
+        assert_eq!(obs.metrics.gauge("depth", ""), 9);
+        assert_eq!(obs.metrics.histogram("bytes", "").unwrap().count, 1);
+        assert_eq!(obs.trace.emitted(), 1);
+    }
+
+    #[test]
+    fn installs_nest_and_restore() {
+        let outer = install(ShardObs::new(8));
+        count("outer", 1);
+        {
+            let inner = install(ShardObs::new(8));
+            count("inner", 1);
+            let got = inner.finish();
+            assert_eq!(got.metrics.counter("inner", ""), 1);
+            assert_eq!(got.metrics.counter("outer", ""), 0);
+        }
+        // Outer target restored; keeps accumulating.
+        count("outer", 1);
+        let got = outer.finish();
+        assert_eq!(got.metrics.counter("outer", ""), 2);
+        assert_eq!(got.metrics.counter("inner", ""), 0);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn dropped_guard_restores_previous() {
+        let outer = install(ShardObs::new(8));
+        {
+            let _inner = install(ShardObs::new(8));
+            count("lost", 1);
+            // _inner dropped without finish: data discarded, outer restored.
+        }
+        count("kept", 1);
+        let got = outer.finish();
+        assert_eq!(got.metrics.counter("kept", ""), 1);
+        assert_eq!(got.metrics.counter("lost", ""), 0);
+    }
+
+    #[test]
+    fn obs_config_default_and_disabled() {
+        let d = ObsConfig::default();
+        assert!(d.enabled);
+        assert_eq!(d.trace_capacity, DEFAULT_TRACE_CAPACITY);
+        assert!(!ObsConfig::disabled().enabled);
+    }
+}

@@ -1,0 +1,356 @@
+//! The per-shard metric registry: counters, gauges, and log-linear
+//! histograms, all keyed by `(name, label)` pairs of static strings.
+//!
+//! Every shard owns one registry privately for the duration of its
+//! simulation, so recording is a plain map update — no atomics, no locks,
+//! no cross-thread traffic ("lock-free in spirit"). At the join barrier the
+//! per-shard registries are folded together with [`MetricRegistry::absorb`],
+//! whose reducers (sum, max, bucket-wise sum) are commutative and
+//! associative — the merged registry depends only on the *set* of shard
+//! registries, never on merge order or worker scheduling.
+//!
+//! Accumulation uses multiply–xor-hashed maps (the metric *names* are
+//! compile-time constants, not attacker input, so HashDoS resistance buys
+//! nothing) because recording sits inside the < 3% overhead budget; the
+//! canonical sorted ordering is imposed once, when the snapshot collects
+//! keys into `BTreeMap<String, _>`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A metric key: a static metric name plus an optional static label
+/// (protocol, honeypot family, …). The empty label means "unlabeled".
+pub type MetricKey = (&'static str, &'static str);
+
+/// Render a key the way the snapshot and docs spell it: `name` or
+/// `name{label}`.
+pub fn key_string(key: &MetricKey) -> String {
+    if key.1.is_empty() {
+        key.0.to_string()
+    } else {
+        format!("{}{{{}}}", key.0, key.1)
+    }
+}
+
+/// Multiply–xor hasher (the fxhash construction) for [`MetricKey`]s. Fixed
+/// function, no per-process random state — iteration order of a [`KeyMap`]
+/// is therefore deterministic too, but nothing may rely on it: every
+/// ordered view is produced by sorting (see [`crate::MetricsSnapshot`]).
+#[derive(Debug, Default, Clone)]
+pub struct KeyHasher(u64);
+
+/// Knuth's 64-bit golden-ratio multiplier.
+const HASH_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let word = u64::from_le_bytes(c.try_into().unwrap());
+            self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(HASH_SEED);
+        }
+        let rest = chunks.remainder();
+        let mut buf = [0u8; 8];
+        buf[..rest.len()].copy_from_slice(rest);
+        // Fold in the length so "ab" and "ab\0" differ.
+        let word = u64::from_le_bytes(buf) ^ ((rest.len() as u64) << 56);
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(HASH_SEED);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.0 = (self.0.rotate_left(5) ^ n as u64).wrapping_mul(HASH_SEED);
+    }
+}
+
+/// The registry's accumulation map: hashed for recording speed; sorted
+/// views are built at snapshot time.
+pub type KeyMap<V> = HashMap<MetricKey, V, BuildHasherDefault<KeyHasher>>;
+
+/// A log-linear histogram: exact unit buckets below 16, then four linear
+/// sub-buckets per power of two. Bucket indices fit in a `u8` for the whole
+/// `u64` range; the relative width of any bucket is at most 25%.
+///
+/// The layout is fixed by construction (not configurable), so histograms
+/// recorded on different shards merge bucket-for-bucket.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// bucket index -> count, only touched buckets present.
+    pub buckets: BTreeMap<u8, u64>,
+}
+
+/// Number of exact unit buckets (values 0..16 map to themselves).
+const LINEAR_CUTOFF: u64 = 16;
+
+/// Map a value to its bucket index.
+#[inline]
+pub fn bucket_index(v: u64) -> u8 {
+    if v < LINEAR_CUTOFF {
+        return v as u8;
+    }
+    // exp >= 4 because v >= 16; two sub-bucket bits below the leading bit.
+    let exp = 63 - v.leading_zeros() as u64;
+    let sub = (v >> (exp - 2)) & 0b11;
+    (LINEAR_CUTOFF + (exp - 4) * 4 + sub) as u8
+}
+
+/// Inclusive lower bound of a bucket — the value the snapshot reports for
+/// the bucket.
+pub fn bucket_lower_bound(idx: u8) -> u64 {
+    let idx = idx as u64;
+    if idx < LINEAR_CUTOFF {
+        return idx;
+    }
+    let exp = 4 + (idx - LINEAR_CUTOFF) / 4;
+    let sub = (idx - LINEAR_CUTOFF) % 4;
+    (4 + sub) << (exp - 2)
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+    }
+
+    /// Arithmetic mean (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the lower bound of the bucket containing the
+    /// q-th recorded value. `q` in [0, 1].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_lower_bound(idx);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket-wise merge. Commutative and associative.
+    pub fn absorb(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+    }
+}
+
+/// One shard's (or the coordinator's) private metric store.
+#[derive(Debug, Clone, Default)]
+pub struct MetricRegistry {
+    counters: KeyMap<u64>,
+    gauges: KeyMap<u64>,
+    histograms: KeyMap<Histogram>,
+}
+
+impl MetricRegistry {
+    pub fn new() -> MetricRegistry {
+        MetricRegistry::default()
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn count(&mut self, name: &'static str, label: &'static str, n: u64) {
+        *self.counters.entry((name, label)).or_insert(0) += n;
+    }
+
+    /// Raise a high-water-mark gauge to at least `v`. Merged with `max`,
+    /// which is the only order-independent gauge reduction.
+    #[inline]
+    pub fn gauge_max(&mut self, name: &'static str, label: &'static str, v: u64) {
+        let g = self.gauges.entry((name, label)).or_insert(0);
+        *g = (*g).max(v);
+    }
+
+    /// Record one observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, label: &'static str, v: u64) {
+        self.histograms.entry((name, label)).or_default().record(v);
+    }
+
+    /// Fold a locally-accumulated histogram into a named one. This is the
+    /// batched form of [`MetricRegistry::observe`] for hot paths: record
+    /// into a private [`Histogram`] (no key lookup per sample), then absorb
+    /// it once. No-op for an empty histogram.
+    pub fn absorb_histogram(&mut self, name: &'static str, label: &'static str, h: &Histogram) {
+        if h.count > 0 {
+            self.histograms.entry((name, label)).or_default().absorb(h);
+        }
+    }
+
+    pub fn counter(&self, name: &'static str, label: &'static str) -> u64 {
+        self.counters.get(&(name, label)).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &'static str, label: &'static str) -> u64 {
+        self.gauges.get(&(name, label)).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &'static str, label: &'static str) -> Option<&Histogram> {
+        self.histograms.get(&(name, label))
+    }
+
+    /// The raw counter map. Unordered — callers needing a canonical order
+    /// must sort (the snapshot collects into `BTreeMap<String, _>`).
+    pub fn counters(&self) -> &KeyMap<u64> {
+        &self.counters
+    }
+
+    /// The raw gauge map (unordered; see [`MetricRegistry::counters`]).
+    pub fn gauges(&self) -> &KeyMap<u64> {
+        &self.gauges
+    }
+
+    /// The raw histogram map (unordered; see [`MetricRegistry::counters`]).
+    pub fn histograms(&self) -> &KeyMap<Histogram> {
+        &self.histograms
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another registry in: counters sum, gauges max, histograms merge
+    /// bucket-wise. Order-independent by construction.
+    pub fn absorb(&mut self, other: &MetricRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let g = self.gauges.entry(*k).or_insert(0);
+            *g = (*g).max(*v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(*k).or_default().absorb(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last = 0u8;
+        for v in 0..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "bucket index must be monotone at {v}");
+            assert!(bucket_lower_bound(idx) <= v, "lower bound exceeds value at {v}");
+            last = idx;
+        }
+        // The whole u64 range fits in u8 indices.
+        assert!(bucket_index(u64::MAX) == 255);
+        assert_eq!(bucket_lower_bound(bucket_index(0)), 0);
+    }
+
+    #[test]
+    fn bucket_relative_error_bounded() {
+        // The bucket lower bound is never more than 25% below the value.
+        for shift in 4u32..62 {
+            for off in [0u64, 1, 3, 7] {
+                let v = (1u64 << shift) + (off << (shift.saturating_sub(3)));
+                let lb = bucket_lower_bound(bucket_index(v));
+                assert!(lb <= v);
+                assert!((v - lb) as f64 <= 0.25 * v as f64, "v={v} lb={lb}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v) as u64, v);
+            assert_eq!(bucket_lower_bound(v as u8), v);
+        }
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 106);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.quantile(0.5), 2);
+        assert!(h.mean() > 26.0 && h.mean() < 27.0);
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent() {
+        let mk = |vals: &[u64]| {
+            let mut r = MetricRegistry::new();
+            for &v in vals {
+                r.count("c", "x", v);
+                r.gauge_max("g", "", v);
+                r.observe("h", "y", v);
+            }
+            r
+        };
+        let a = mk(&[1, 2, 3]);
+        let b = mk(&[10, 20]);
+        let c = mk(&[7]);
+        let mut abc = MetricRegistry::new();
+        abc.absorb(&a);
+        abc.absorb(&b);
+        abc.absorb(&c);
+        let mut cba = MetricRegistry::new();
+        cba.absorb(&c);
+        cba.absorb(&b);
+        cba.absorb(&a);
+        assert_eq!(abc.counter("c", "x"), cba.counter("c", "x"));
+        assert_eq!(abc.counter("c", "x"), 43);
+        assert_eq!(abc.gauge("g", ""), 20);
+        assert_eq!(abc.histogram("h", "y"), cba.histogram("h", "y"));
+    }
+
+    #[test]
+    fn key_strings() {
+        assert_eq!(key_string(&("scan.probe.sent", "telnet")), "scan.probe.sent{telnet}");
+        assert_eq!(key_string(&("net.events", "")), "net.events");
+    }
+}

@@ -1,0 +1,181 @@
+//! Self-profiling: a hierarchical wall-clock profile of the pipeline,
+//! stage → shard → phase.
+//!
+//! The profile distinguishes two durations per node:
+//!
+//! * **`cpu_ns`** — time spent *working* on the node, summed across every
+//!   thread that contributed. For a stage executed by N workers this can
+//!   exceed the elapsed time by up to a factor of N.
+//! * **`wall_ns`** — elapsed time as one observer would measure it. For a
+//!   parallel stage this is measured once at the coordinator; for an
+//!   aggregate over shards it is the maximum contribution (the critical
+//!   path).
+//!
+//! This split is what fixes the old `StageTimings` double-reporting: the
+//! per-shard clocks still sum (into `cpu_ns`) but no longer masquerade as
+//! elapsed time.
+//!
+//! Profile values are wall-clock measurements and therefore the *one*
+//! deliberately nondeterministic part of the observability layer; the
+//! snapshot's determinism test zeroes them via [`ProfileNode::zero_wall_clock`].
+
+use serde::{Deserialize, Serialize};
+
+/// One node of the profile tree.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileNode {
+    pub name: String,
+    /// Elapsed nanoseconds (coordinator view / critical path).
+    pub wall_ns: u64,
+    /// Worked nanoseconds, summed over contributing threads.
+    pub cpu_ns: u64,
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    pub fn new(name: impl Into<String>) -> ProfileNode {
+        ProfileNode {
+            name: name.into(),
+            wall_ns: 0,
+            cpu_ns: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// A leaf measured on a single thread: wall and cpu coincide.
+    pub fn leaf(name: impl Into<String>, elapsed: std::time::Duration) -> ProfileNode {
+        let ns = elapsed.as_nanos() as u64;
+        ProfileNode {
+            name: name.into(),
+            wall_ns: ns,
+            cpu_ns: ns,
+            children: Vec::new(),
+        }
+    }
+
+    /// Append a child and fold its cpu into this node's cpu.
+    pub fn push_child(&mut self, child: ProfileNode) {
+        self.cpu_ns += child.cpu_ns;
+        self.children.push(child);
+    }
+
+    /// Find a direct child by name.
+    pub fn child(&self, name: &str) -> Option<&ProfileNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Zero every duration in the subtree, keeping the structure (node
+    /// names, order, arity). Used by determinism tests: two runs must agree
+    /// on everything but the clocks.
+    pub fn zero_wall_clock(&mut self) {
+        self.wall_ns = 0;
+        self.cpu_ns = 0;
+        for c in &mut self.children {
+            c.zero_wall_clock();
+        }
+    }
+
+    /// Render the subtree as an indented text table, cut off below
+    /// `max_depth` (0 = just this node).
+    pub fn render(&self, max_depth: usize) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0, max_depth);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, max_depth: usize) {
+        let indent = "  ".repeat(depth);
+        let label = format!("{indent}{}", self.name);
+        out.push_str(&format!(
+            "{label:<28} wall {:>9} | cpu {:>9}\n",
+            fmt_ns(self.wall_ns),
+            fmt_ns(self.cpu_ns)
+        ));
+        if depth < max_depth {
+            for c in &self.children {
+                c.render_into(out, depth + 1, max_depth);
+            }
+        }
+    }
+}
+
+/// `1234567890ns` → `"1.23s"`, `"12.3ms"`, …
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Scoped wall-clock stopwatch for building [`ProfileNode`] leaves.
+#[derive(Debug)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    pub fn start() -> Stopwatch {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.0.elapsed()
+    }
+
+    /// Stop and produce a leaf node.
+    pub fn leaf(self, name: impl Into<String>) -> ProfileNode {
+        ProfileNode::leaf(name, self.0.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn push_child_accumulates_cpu() {
+        let mut root = ProfileNode::new("study");
+        root.wall_ns = 100;
+        root.push_child(ProfileNode::leaf("a", Duration::from_nanos(40)));
+        root.push_child(ProfileNode::leaf("b", Duration::from_nanos(70)));
+        assert_eq!(root.cpu_ns, 110, "children cpu sums past the wall clock");
+        assert_eq!(root.wall_ns, 100);
+        assert_eq!(root.child("b").unwrap().cpu_ns, 70);
+    }
+
+    #[test]
+    fn zeroing_keeps_structure() {
+        let mut root = ProfileNode::new("root");
+        root.push_child(ProfileNode::leaf("x", Duration::from_millis(5)));
+        root.zero_wall_clock();
+        assert_eq!(root.cpu_ns, 0);
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "x");
+        assert_eq!(root.children[0].wall_ns, 0);
+    }
+
+    #[test]
+    fn render_depth_limits() {
+        let mut root = ProfileNode::new("root");
+        root.push_child(ProfileNode::leaf("child", Duration::from_micros(3)));
+        let shallow = root.render(0);
+        assert!(shallow.contains("root") && !shallow.contains("child"));
+        let deep = root.render(2);
+        assert!(deep.contains("child"));
+        assert!(deep.contains("3.0us"));
+    }
+
+    #[test]
+    fn profile_serde_roundtrip() {
+        let mut root = ProfileNode::new("root");
+        root.wall_ns = 42;
+        root.push_child(ProfileNode::leaf("x", Duration::from_nanos(7)));
+        let json = serde_json::to_string(&root).unwrap();
+        let back: ProfileNode = serde_json::from_str(&json).unwrap();
+        assert_eq!(root, back);
+    }
+}

@@ -1,0 +1,251 @@
+//! Sim-time tracing spans with a bounded per-shard ring buffer.
+//!
+//! Spans are keyed on **simulated** time, never the wall clock, so the
+//! trace a run emits is as deterministic as its report: same seed, same
+//! spans, regardless of worker count. Each shard records into its own ring
+//! (newest spans win once the ring is full — the ring is a flight recorder,
+//! not an archive); the merged [`TraceLog`] interleaves the shard rings
+//! into one stream sorted by `(start, shard, seq)`.
+
+use std::net::Ipv4Addr;
+
+/// Schema version stamped into every emitted trace line.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Default ring capacity per shard.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// One traced operation, in simulated milliseconds. Instantaneous events
+/// (a recorded probe response, an observed telescope flow) have
+/// `start_ms == end_ms`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Sim-time start, milliseconds since the simulation epoch.
+    pub start_ms: u64,
+    /// Sim-time end; equals `start_ms` for point events.
+    pub end_ms: u64,
+    /// Span kind, e.g. `scan.probe`, `honeypot.session`, `telescope.flow`,
+    /// `fingerprint.match`, `attack.task`.
+    pub kind: &'static str,
+    /// Per-protocol (or per-family) label.
+    pub label: &'static str,
+    /// Source address (0.0.0.0 when not applicable).
+    pub src: u32,
+    /// Destination address (0.0.0.0 when not applicable).
+    pub dst: u32,
+    /// Destination port (0 when not applicable).
+    pub port: u16,
+    /// Payload/transfer size in bytes (0 when not applicable).
+    pub bytes: u32,
+    /// Per-shard emission sequence number, assigned by the ring.
+    pub seq: u64,
+}
+
+/// A bounded ring of spans: O(1) push, keeps the newest `capacity` spans.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    spans: Vec<Span>,
+    capacity: usize,
+    /// Index the next push overwrites once the ring is full.
+    head: usize,
+    /// Total spans ever pushed (emitted = kept + evicted).
+    emitted: u64,
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            spans: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Record a span. The `seq` field is assigned here.
+    #[inline]
+    pub fn push(&mut self, mut span: Span) {
+        span.seq = self.emitted;
+        self.emitted += 1;
+        if self.spans.len() < self.capacity {
+            self.spans.push(span);
+        } else {
+            self.spans[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Total spans pushed over the ring's lifetime.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Spans evicted by ring wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.emitted - self.spans.len() as u64
+    }
+
+    /// Drain the retained spans in emission order (oldest retained first).
+    pub fn into_spans(self) -> Vec<Span> {
+        let mut spans = self.spans;
+        let pivot = self.head.min(spans.len());
+        spans.rotate_left(pivot);
+        spans
+    }
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+/// The merged, cross-shard trace: every retained span tagged with its shard,
+/// sorted into the canonical `(start, shard, seq)` order.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// `(shard, span)`, canonically ordered after [`TraceLog::finish`].
+    pub spans: Vec<(u32, Span)>,
+    /// Total spans emitted across all shards (retained + evicted).
+    pub total_emitted: u64,
+    /// Spans lost to ring wraparound across all shards.
+    pub total_dropped: u64,
+}
+
+impl TraceLog {
+    /// Fold one shard's ring in. Call [`TraceLog::finish`] after the last.
+    pub fn absorb(&mut self, shard: u32, ring: TraceRing) {
+        self.total_emitted += ring.emitted();
+        self.total_dropped += ring.dropped();
+        self.spans.extend(ring.into_spans().into_iter().map(|s| (shard, s)));
+    }
+
+    /// Sort into the canonical order. Each `(shard, seq)` pair is unique, so
+    /// the order is total and independent of absorb order.
+    pub fn finish(&mut self) {
+        self.spans
+            .sort_by_key(|(shard, s)| (s.start_ms, *shard, s.seq));
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Render as JSON lines: a header record, then one record per span.
+    /// Every line is a self-contained JSON object carrying the schema
+    /// version — a consumer can validate any line in isolation.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(128 + self.spans.len() * 160);
+        out.push_str(&format!(
+            "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"trace.header\",\"spans\":{},\"emitted\":{},\"dropped\":{}}}\n",
+            self.spans.len(),
+            self.total_emitted,
+            self.total_dropped
+        ));
+        for (shard, s) in &self.spans {
+            out.push_str(&format!(
+                "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"{}\",\"label\":\"{}\",\"shard\":{shard},\"seq\":{},\"start_ms\":{},\"end_ms\":{},\"src\":\"{}\",\"dst\":\"{}\",\"port\":{},\"bytes\":{}}}\n",
+                s.kind,
+                s.label,
+                s.seq,
+                s.start_ms,
+                s.end_ms,
+                Ipv4Addr::from(s.src),
+                Ipv4Addr::from(s.dst),
+                s.port,
+                s.bytes,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_at(t: u64) -> Span {
+        Span {
+            start_ms: t,
+            end_ms: t,
+            kind: "test",
+            label: "x",
+            src: 0x0102_0304,
+            dst: 0,
+            port: 23,
+            bytes: 7,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest() {
+        let mut ring = TraceRing::new(4);
+        for t in 0..10u64 {
+            ring.push(span_at(t));
+        }
+        assert_eq!(ring.emitted(), 10);
+        assert_eq!(ring.dropped(), 6);
+        let spans = ring.into_spans();
+        assert_eq!(spans.len(), 4);
+        // Newest four, oldest retained first, seq matches emission order.
+        assert_eq!(spans.iter().map(|s| s.start_ms).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(spans.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_under_capacity_keeps_all() {
+        let mut ring = TraceRing::new(100);
+        ring.push(span_at(5));
+        ring.push(span_at(3));
+        assert_eq!(ring.dropped(), 0);
+        let spans = ring.into_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start_ms, 5, "emission order, not time order");
+    }
+
+    #[test]
+    fn merged_log_order_is_absorb_order_independent() {
+        let ring = |times: &[u64]| {
+            let mut r = TraceRing::new(16);
+            for &t in times {
+                r.push(span_at(t));
+            }
+            r
+        };
+        let mut ab = TraceLog::default();
+        ab.absorb(0, ring(&[1, 5, 5]));
+        ab.absorb(1, ring(&[2, 5]));
+        ab.finish();
+        let mut ba = TraceLog::default();
+        ba.absorb(1, ring(&[2, 5]));
+        ba.absorb(0, ring(&[1, 5, 5]));
+        ba.finish();
+        assert_eq!(ab.spans, ba.spans);
+        assert_eq!(ab.total_emitted, 5);
+        assert_eq!(ab.to_jsonl(), ba.to_jsonl());
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let mut log = TraceLog::default();
+        let mut r = TraceRing::new(4);
+        r.push(span_at(42));
+        log.absorb(3, r);
+        log.finish();
+        let jsonl = log.to_jsonl();
+        let mut lines = jsonl.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"trace.header\""));
+        assert!(header.contains(&format!("\"v\":{TRACE_SCHEMA_VERSION}")));
+        let line = lines.next().unwrap();
+        assert!(line.contains("\"shard\":3"));
+        assert!(line.contains("\"src\":\"1.2.3.4\""));
+        assert!(line.contains("\"start_ms\":42"));
+        assert!(lines.next().is_none());
+    }
+}

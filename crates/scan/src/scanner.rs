@@ -279,11 +279,18 @@ impl Scanner {
             let cfg = &self.sweeps[sweep_idx].cfg;
             (cfg.protocol, cfg.batch, cfg.protocol.is_udp())
         };
+        // Counted once per batch, not per probe — issue_batch is the
+        // scanner's hottest loop.
+        let before = self.sweeps[sweep_idx].probes_sent;
         for _ in 0..batch {
             let Some((addr, port)) = self.next_target(sweep_idx) else {
                 if !self.sweeps[sweep_idx].exhausted {
                     self.sweeps[sweep_idx].exhausted = true;
                     self.active_sweeps -= 1;
+                }
+                let sent = self.sweeps[sweep_idx].probes_sent - before;
+                if sent > 0 {
+                    ofh_obs::count_l("scan.probe.sent", protocol.name(), sent);
                 }
                 return;
             };
@@ -303,6 +310,7 @@ impl Scanner {
                 ctx.tcp_connect_tagged(dst, sweep_idx as u64);
             }
         }
+        ofh_obs::count_l("scan.probe.sent", protocol.name(), batch as u64);
     }
 
     fn finalize(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, close: bool) {
@@ -310,6 +318,18 @@ impl Scanner {
             return;
         };
         let protocol = self.sweeps[grab.sweep].cfg.protocol;
+        ofh_obs::count_l("scan.response.recorded", protocol.name(), 1);
+        ofh_obs::observe_l("scan.response_bytes", protocol.name(), grab.buf.len() as u64);
+        ofh_obs::span(
+            "scan.grab",
+            protocol.name(),
+            ctx.now().0,
+            ctx.now().0,
+            u32::from(ctx.my_addr()),
+            u32::from(grab.addr),
+            grab.port,
+            grab.buf.len() as u32,
+        );
         // Empty buffer = responsive host with no banner: still recorded,
         // with an empty response (the port is provably open).
         let response = probe::normalize_response(protocol, &grab.buf);
@@ -405,11 +425,23 @@ impl Agent for Scanner {
         self.finalize(ctx, conn, false);
     }
 
-    fn on_udp(&mut self, _ctx: &mut NetCtx<'_>, _local_port: u16, peer: SockAddr, payload: &Payload) {
+    fn on_udp(&mut self, ctx: &mut NetCtx<'_>, _local_port: u16, peer: SockAddr, payload: &Payload) {
         let Some(sweep_idx) = self.udp_response_sweep(peer.addr, peer.port) else {
             return;
         };
         let protocol = self.sweeps[sweep_idx].cfg.protocol;
+        ofh_obs::count_l("scan.response.recorded", protocol.name(), 1);
+        ofh_obs::observe_l("scan.response_bytes", protocol.name(), payload.len() as u64);
+        ofh_obs::span(
+            "scan.grab",
+            protocol.name(),
+            ctx.now().0,
+            ctx.now().0,
+            u32::from(ctx.my_addr()),
+            u32::from(peer.addr),
+            peer.port,
+            payload.len() as u32,
+        );
         let response = probe::normalize_response(protocol, payload);
         self.results.insert(HostRecord {
             addr: peer.addr,

@@ -88,6 +88,22 @@ impl Telescope {
 
 impl FlowTap for Telescope {
     fn observe(&mut self, obs: &FlowObservation) {
+        let transport = match obs.transport {
+            ofh_net::Transport::Tcp => "tcp",
+            ofh_net::Transport::Udp => "udp",
+        };
+        ofh_obs::count_l("telescope.flow", transport, 1);
+        ofh_obs::observe("telescope.ip_len", obs.ip_len as u64);
+        ofh_obs::span(
+            "telescope.flow",
+            transport,
+            obs.time.0,
+            obs.time.0,
+            u32::from(obs.src),
+            u32::from(obs.dst),
+            obs.dst_port,
+            obs.ip_len as u32,
+        );
         let country = self.geo.country_of(obs.src).code().to_string();
         let asn = self.geo.asn_of(obs.src);
         let ft = FlowTuple::from_observation(obs, &country, asn);

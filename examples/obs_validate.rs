@@ -1,0 +1,108 @@
+//! Validate emitted observability artifacts against the schema this build
+//! understands. Used by ci.sh after a `--metrics-out`/`--trace-out` run:
+//!
+//! ```sh
+//! openforhire study --preset quick --metrics-out m.json --trace-out t.jsonl
+//! cargo run --example obs_validate -- m.json t.jsonl
+//! ```
+//!
+//! Checks that the metrics snapshot parses, carries the expected schema
+//! version, and is internally consistent ([`MetricsSnapshot::validate`]);
+//! and that every trace line is a self-contained JSON object carrying the
+//! trace schema version, with a header whose span count matches the file.
+
+use std::process::ExitCode;
+
+use ofh_core::obs::{MetricsSnapshot, TRACE_SCHEMA_VERSION};
+use serde::Deserialize;
+
+/// The fields common to the trace header and every span line.
+#[derive(Debug, Deserialize)]
+struct TraceLine {
+    v: u32,
+    kind: String,
+}
+
+/// The header line's payload.
+#[derive(Debug, Deserialize)]
+struct TraceHeader {
+    v: u32,
+    spans: u64,
+    emitted: u64,
+    dropped: u64,
+}
+
+fn validate_metrics(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snap: MetricsSnapshot =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: parse: {e}"))?;
+    snap.validate().map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: ok (schema v{}, seed {}, {} shards, {} counters, {} gauges, {} histograms)",
+        snap.schema_version,
+        snap.seed,
+        snap.shards,
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len(),
+    );
+    Ok(())
+}
+
+fn validate_trace(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or_else(|| format!("{path}: empty trace"))?;
+    let header: TraceHeader =
+        serde_json::from_str(header_line).map_err(|e| format!("{path}: header: {e}"))?;
+    if header.v != TRACE_SCHEMA_VERSION {
+        return Err(format!(
+            "{path}: header schema v{} (this build expects v{TRACE_SCHEMA_VERSION})",
+            header.v
+        ));
+    }
+    if header.emitted < header.spans + header.dropped {
+        return Err(format!(
+            "{path}: header claims {} emitted < {} retained + {} dropped",
+            header.emitted, header.spans, header.dropped
+        ));
+    }
+    let mut count = 0u64;
+    for (i, line) in lines.enumerate() {
+        let parsed: TraceLine = serde_json::from_str(line)
+            .map_err(|e| format!("{path}: line {}: {e}", i + 2))?;
+        if parsed.v != TRACE_SCHEMA_VERSION {
+            return Err(format!("{path}: line {}: schema v{}", i + 2, parsed.v));
+        }
+        if parsed.kind == "trace.header" {
+            return Err(format!("{path}: line {}: duplicate header", i + 2));
+        }
+        count += 1;
+    }
+    if count != header.spans {
+        return Err(format!(
+            "{path}: header claims {} spans, file has {count}",
+            header.spans
+        ));
+    }
+    println!(
+        "{path}: ok (schema v{}, {count} spans, {} emitted, {} dropped by ring bound)",
+        header.v, header.emitted, header.dropped
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(metrics), Some(trace)) = (args.next(), args.next()) else {
+        eprintln!("usage: obs_validate <metrics.json> <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    match validate_metrics(&metrics).and_then(|()| validate_trace(&trace)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -7,8 +7,13 @@
 //! openforhire export <scan|events|flowtuples> [--preset ...] [--seed N]
 //! ```
 //!
+//! Any command additionally accepts `--metrics-out FILE` (versioned
+//! `metrics.json` snapshot) and `--trace-out FILE` (sim-time span trace as
+//! JSON lines).
+//!
 //! Everything is deterministic: the same preset and seed always print the
-//! same bytes.
+//! same bytes — including the metrics snapshot (outside its `host` section)
+//! and the trace.
 
 use std::process::ExitCode;
 
@@ -28,7 +33,9 @@ fn usage() -> &'static str {
        --preset quick|standard|full   scale preset (default: quick)\n\
        --seed N                       master seed (default: 7)\n\
        --workers N                    shard worker threads; 0 = one per core\n\
-                                      (default: 1 — any value prints identical bytes)\n"
+                                      (default: 1 — any value prints identical bytes)\n\
+       --metrics-out FILE             write the metrics snapshot (JSON, versioned schema)\n\
+       --trace-out FILE               write the sim-time span trace (JSON lines)\n"
 }
 
 struct Args {
@@ -38,6 +45,8 @@ struct Args {
     seed: u64,
     workers: usize,
     summary: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +59,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         workers: 1,
         summary: false,
+        metrics_out: None,
+        trace_out: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -69,6 +80,12 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--workers needs a value")?
                     .parse()
                     .map_err(|_| "--workers must be an integer")?;
+            }
+            "--metrics-out" => {
+                out.metrics_out = Some(args.next().ok_or("--metrics-out needs a path")?);
+            }
+            "--trace-out" => {
+                out.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
             }
             "--summary" => out.summary = true,
             other if !other.starts_with('-') && out.target.is_none() => {
@@ -164,6 +181,23 @@ fn run() -> Result<(), String> {
         }
     );
     let report = Study::new(cfg).run();
+    if let Some(path) = &args.metrics_out {
+        let json =
+            serde_json::to_string_pretty(&report.metrics).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, report.trace.to_jsonl())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote {} trace spans to {path} ({} emitted, {} dropped by ring bound)",
+            report.trace.len(),
+            report.trace.total_emitted,
+            report.trace.total_dropped
+        );
+    }
     match args.command.as_str() {
         "study" => {
             if args.summary {
