@@ -25,6 +25,14 @@ trap 'rm -rf "$OBS_TMP"' EXIT
     --metrics-out "$OBS_TMP/metrics.json" --trace-out "$OBS_TMP/trace.jsonl" >/dev/null
 cargo run --release -q --example obs_validate -- "$OBS_TMP/metrics.json" "$OBS_TMP/trace.jsonl"
 
+echo "==> chaos smoke: hostile schedule, workers 1 vs 8, byte-for-byte"
+./target/release/openforhire study --preset quick --faults hostile --workers 1 \
+    > "$OBS_TMP/chaos_w1.txt"
+./target/release/openforhire study --preset quick --faults hostile --workers 8 \
+    > "$OBS_TMP/chaos_w8.txt"
+cmp "$OBS_TMP/chaos_w1.txt" "$OBS_TMP/chaos_w8.txt"
+echo "    reports identical under faults at workers 1 and 8"
+
 echo "==> bench suite, smoke mode (every body runs once, no timing)"
 cargo bench -p ofh-bench -- --test
 

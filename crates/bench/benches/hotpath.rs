@@ -26,6 +26,12 @@ use ofh_wire::Protocol;
 /// (seed 7, 1 worker, this container) — the ≥25% improvement target.
 const FULL_RUN_BASELINE_S: f64 = 64.8;
 
+/// Quick-preset wall clock (obs on, best-of-9, this container) at the
+/// commit before the fault-schedule engine landed. With the default
+/// `FaultSchedule::none()` every fault check is one `is_none()` branch, so
+/// the current quick run must stay within 1% of this.
+const QUICK_RUN_BASELINE_S: f64 = 0.424;
+
 struct Harness {
     smoke: bool,
     results: Vec<(String, f64)>,
@@ -231,6 +237,16 @@ fn main() {
     if let Some((off, on, pct)) = obs_overhead {
         json.push_str(&format!(
             "  \"obs_overhead\": {{ \"quick_run_obs_off_s\": {off:.3}, \"quick_run_obs_on_s\": {on:.3}, \"overhead_pct\": {pct:.2} }},\n"
+        ));
+        // The obs-on best-of-9 above is exactly the pre-fault-engine
+        // baseline's configuration (quick preset, schedule = none), so it
+        // doubles as the fault fast-path overhead measurement.
+        let fault_pct = 100.0 * (on - QUICK_RUN_BASELINE_S) / QUICK_RUN_BASELINE_S;
+        println!(
+            "bench hotpath/fault_fast_path: baseline {QUICK_RUN_BASELINE_S:.3} s | none-schedule {on:.3} s | {fault_pct:+.2}%"
+        );
+        json.push_str(&format!(
+            "  \"fault_overhead\": {{ \"quick_run_baseline_s\": {QUICK_RUN_BASELINE_S}, \"quick_run_none_s\": {on:.3}, \"overhead_pct\": {fault_pct:.2} }},\n"
         ));
     }
     json.push_str(&format!(

@@ -3,7 +3,7 @@
 use std::net::Ipv4Addr;
 
 use ofh_devices::Universe;
-use ofh_net::{FaultPlan, SimDuration, SimTime};
+use ofh_net::{FaultSchedule, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a full study run.
@@ -21,8 +21,10 @@ pub struct StudyConfig {
     pub hp_scale: u64,
     /// Length of the honeypot deployment (the paper: 30 days of April).
     pub month_days: u64,
-    /// Network fault model.
-    pub fault: FaultPlan,
+    /// Network fault model: a scripted schedule of fault phases (empty
+    /// schedule = pristine network).
+    #[serde(default)]
+    pub faults: FaultSchedule,
     /// Run the Sonar and Shodan dataset sweeps (Table 4's extra columns).
     pub run_dataset_providers: bool,
     /// Oversampling factor for the §5.3 infected set: infected counts are
@@ -60,7 +62,7 @@ impl StudyConfig {
             scan_scale: 8_192,
             hp_scale: 256,
             month_days: 30,
-            fault: FaultPlan::NONE,
+            faults: FaultSchedule::none(),
             run_dataset_providers: true,
             infected_oversample: 32,
             shards: 16,
@@ -78,7 +80,7 @@ impl StudyConfig {
             scan_scale: 1_024,
             hp_scale: 32,
             month_days: 30,
-            fault: FaultPlan::NONE,
+            faults: FaultSchedule::none(),
             run_dataset_providers: true,
             infected_oversample: 8,
             shards: 16,
@@ -96,7 +98,7 @@ impl StudyConfig {
             scan_scale: 64,
             hp_scale: 8,
             month_days: 30,
-            fault: FaultPlan::NONE,
+            faults: FaultSchedule::none(),
             run_dataset_providers: true,
             infected_oversample: 1,
             shards: 16,
@@ -128,7 +130,7 @@ impl StudyConfig {
 
     /// Sanity-check the configuration.
     pub fn validate(&self) -> Result<(), String> {
-        self.fault.validate()?;
+        self.faults.validate()?;
         if self.scan_scale == 0 || self.hp_scale == 0 || self.infected_oversample == 0 {
             return Err("scales must be nonzero".into());
         }
@@ -153,6 +155,30 @@ impl StudyConfig {
         }
         Ok(())
     }
+}
+
+/// Resolve a `--faults` argument into a validated schedule: a named preset
+/// (`none`, `lossy`, `hostile`) or a path to a JSON schedule file. A bad
+/// name, unreadable file, or invalid schedule fails here — at startup, with
+/// a message naming the problem — rather than mid-run.
+pub fn faults_from_arg(arg: &str) -> Result<FaultSchedule, String> {
+    let schedule = match FaultSchedule::by_name(arg) {
+        Some(s) => s,
+        None => {
+            let text = std::fs::read_to_string(arg).map_err(|e| {
+                format!(
+                    "--faults: `{arg}` is not a preset (none|lossy|hostile) and \
+                     could not be read as a schedule file: {e}"
+                )
+            })?;
+            serde_json::from_str(&text)
+                .map_err(|e| format!("--faults: `{arg}` is not a valid fault schedule: {e}"))?
+        }
+    };
+    schedule
+        .validate()
+        .map_err(|e| format!("--faults: invalid schedule in `{arg}`: {e}"))?;
+    Ok(schedule)
 }
 
 #[cfg(test)]
@@ -199,6 +225,38 @@ mod tests {
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap()
         );
+    }
+
+    #[test]
+    fn bad_fault_schedule_rejected_at_load() {
+        use ofh_net::FaultPlan;
+        let mut cfg = StudyConfig::quick(1);
+        cfg.faults = FaultSchedule::uniform(FaultPlan {
+            drop_chance: 1.5,
+            ..FaultPlan::NONE
+        });
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("drop_chance"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn faults_from_arg_resolves_presets_and_files() {
+        assert!(faults_from_arg("none").unwrap().is_none());
+        assert!(!faults_from_arg("lossy").unwrap().is_none());
+        assert!(!faults_from_arg("hostile").unwrap().is_none());
+        let err = faults_from_arg("/nonexistent/schedule.json").unwrap_err();
+        assert!(err.contains("not a preset"), "unhelpful error: {err}");
+
+        let path = std::env::temp_dir().join("ofh_faults_from_arg_test.json");
+        std::fs::write(&path, r#"{"phases":[{"name":"loss","plan":{"drop_chance":0.2}}]}"#)
+            .unwrap();
+        let s = faults_from_arg(path.to_str().unwrap()).unwrap();
+        assert_eq!(s.phases.len(), 1);
+        // An out-of-range probability in the file is caught at startup.
+        std::fs::write(&path, r#"{"phases":[{"plan":{"drop_chance":2.0}}]}"#).unwrap();
+        let err = faults_from_arg(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("invalid schedule"), "unhelpful error: {err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod oracles;
 pub mod report;
 pub mod study;
 
-pub use config::StudyConfig;
-pub use report::StudyReport;
+pub use config::{faults_from_arg, StudyConfig};
+pub use report::{ResilienceReport, StudyReport};
 pub use study::Study;
 
 // Re-export the observability layer (the `--metrics-out` / `--trace-out`

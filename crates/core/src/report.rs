@@ -13,10 +13,114 @@ use ofh_fingerprint::FingerprintReport;
 use ofh_honeypots::WildHoneypot;
 use ofh_net::sim::Counters;
 use ofh_obs::{MetricsSnapshot, TraceLog};
-use ofh_scan::ScanResults;
+use ofh_scan::{ScanResilience, ScanResults};
 use ofh_telescope::{Telescope, TelescopeSummary};
 
 use crate::config::StudyConfig;
+
+/// Degradation accounting: what the fault schedule cost the pipeline and
+/// how much of it the resilience machinery (retries, shedding, gap-aware
+/// aggregation) won back. All zeros on a fault-free run.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct ResilienceReport {
+    /// Scanner grabs lost on their first attempt (established connections
+    /// interrupted, or retry-eligible connect failures). First-attempt SYN
+    /// timeouts are *not* counted: a stateless ZMap-style scanner cannot
+    /// tell a dropped SYN from empty space.
+    pub scan_first_attempt_losses: u64,
+    /// Banner-grab retries the scanners issued…
+    pub scan_retries_issued: u64,
+    /// …and how many of those chains ended in a completed grab.
+    pub scan_retries_recovered: u64,
+    /// Active fingerprint re-checks the prober re-issued after a failure…
+    pub fingerprint_retries_issued: u64,
+    /// …and how many concluded with an established verification.
+    pub fingerprint_retries_recovered: u64,
+    /// Connections the deployed honeypots refused at their flood gates.
+    pub honeypot_conns_shed: u64,
+    /// Scheduled collector blackout over the whole study, in minutes.
+    pub outage_minutes: u64,
+    /// SYNs / SYN-ACKs lost to the schedule in transit.
+    pub tcp_handshake_drops: u64,
+    /// SYNs answered by a simulated rate limiter.
+    pub tcp_rate_limited: u64,
+    /// Established connections torn down by injected resets or blackouts.
+    pub tcp_resets_injected: u64,
+    /// Packets swallowed because the destination host was churned dark.
+    pub churn_suppressed: u64,
+    /// UDP datagrams dropped / corrupted / duplicated in transit.
+    pub udp_dropped: u64,
+    pub udp_corrupted: u64,
+    pub udp_duplicated: u64,
+    /// Retry-machinery state still held after the run drained (scanner
+    /// grab/retry maps, prober probe states). Must be 0, faults or not.
+    pub leaked_connections: u64,
+}
+
+impl ResilienceReport {
+    /// Grabs lost for good: every retry chain roots at exactly one
+    /// first-attempt loss and recovers at most once, so this never
+    /// underflows.
+    pub fn scan_net_losses(&self) -> u64 {
+        self.scan_first_attempt_losses - self.scan_retries_recovered
+    }
+
+    pub fn render(&self) -> String {
+        let mut t = ofh_analysis::Table::new(
+            "Resilience: degradation accounting under the fault schedule",
+            &["Counter", "Value"],
+        );
+        for (name, v) in [
+            ("Scan first-attempt losses", self.scan_first_attempt_losses),
+            ("Scan retries issued", self.scan_retries_issued),
+            ("Scan retries recovered", self.scan_retries_recovered),
+            ("Scan net losses", self.scan_net_losses()),
+            ("Fingerprint retries issued", self.fingerprint_retries_issued),
+            ("Fingerprint retries recovered", self.fingerprint_retries_recovered),
+            ("Honeypot connections shed", self.honeypot_conns_shed),
+            ("Scheduled outage minutes", self.outage_minutes),
+            ("TCP handshake drops (in transit)", self.tcp_handshake_drops),
+            ("TCP rate-limited SYNs", self.tcp_rate_limited),
+            ("TCP resets injected", self.tcp_resets_injected),
+            ("Packets churned dark", self.churn_suppressed),
+            ("UDP dropped", self.udp_dropped),
+            ("UDP corrupted", self.udp_corrupted),
+            ("UDP duplicated", self.udp_duplicated),
+            ("Leaked connections", self.leaked_connections),
+        ] {
+            t.row(&[name.into(), v.to_string()]);
+        }
+        t.render()
+    }
+
+    /// Assemble from the merged run artifacts.
+    pub fn assemble(
+        scan: &ScanResilience,
+        fingerprint: &ofh_fingerprint::FingerprintReport,
+        honeypot_conns_shed: u64,
+        outage_minutes: u64,
+        counters: &Counters,
+        leaked_connections: u64,
+    ) -> ResilienceReport {
+        ResilienceReport {
+            scan_first_attempt_losses: scan.first_attempt_losses,
+            scan_retries_issued: scan.retries_issued,
+            scan_retries_recovered: scan.retries_recovered,
+            fingerprint_retries_issued: fingerprint.retries_issued,
+            fingerprint_retries_recovered: fingerprint.retries_recovered,
+            honeypot_conns_shed,
+            outage_minutes,
+            tcp_handshake_drops: counters.tcp_handshake_drops,
+            tcp_rate_limited: counters.tcp_rate_limited,
+            tcp_resets_injected: counters.tcp_resets_injected,
+            churn_suppressed: counters.churn_suppressed,
+            udp_dropped: counters.udp_datagrams_dropped,
+            udp_corrupted: counters.udp_datagrams_corrupted,
+            udp_duplicated: counters.udp_datagrams_duplicated,
+            leaked_connections,
+        }
+    }
+}
 
 /// Everything a [`crate::Study`] run produces.
 pub struct StudyReport {
@@ -53,6 +157,8 @@ pub struct StudyReport {
     pub fig9: Fig9,
     /// §5.3 — the infected-hosts joins.
     pub infected: InfectedHosts,
+    /// Degradation accounting under the configured fault schedule.
+    pub resilience: ResilienceReport,
     /// The merged honeypot dataset (for further analysis).
     pub dataset: AttackDataset,
     /// The telescope capture.
@@ -170,6 +276,7 @@ impl StudyReport {
             self.fig9.render(),
             self.infected.render(),
             self.table13.render(),
+            self.resilience.render(),
         ] {
             out.push_str(&section);
             out.push('\n');

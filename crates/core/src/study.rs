@@ -83,6 +83,13 @@ struct ShardOutput {
     logs: Vec<Vec<AttackEvent>>,
     telescope: Telescope,
     counters: Counters,
+    /// Retry/loss accounting summed over every scanner replica the shard ran.
+    resilience: ofh_scan::ScanResilience,
+    /// Connections the shard's deployed-honeypot replicas shed at their gates.
+    conns_shed: u64,
+    /// Retry-machinery state still held after the shard drained (scanner
+    /// grab/retry maps + prober probe states). Must be 0, faults or not.
+    leaked: u64,
     /// The shard's recorded metrics and trace ring (`None` when
     /// observability is disabled).
     obs: Option<ShardObs>,
@@ -245,7 +252,13 @@ impl Study {
         let mut registry = MetricRegistry::new();
         let mut trace = TraceLog::default();
         let mut per_shard_events: Vec<u64> = Vec::with_capacity(cfg.shards as usize);
+        let mut scan_resilience = ofh_scan::ScanResilience::default();
+        let mut conns_shed: u64 = 0;
+        let mut leaked: u64 = 0;
         for (index, out) in outputs {
+            scan_resilience.absorb(&out.resilience);
+            conns_shed += out.conns_shed;
+            leaked += out.leaked;
             zmap_results.absorb(out.zmap);
             sonar_results.absorb(out.sonar);
             shodan_results.absorb(out.shodan);
@@ -276,6 +289,17 @@ impl Study {
         registry.count("net.udp.sent", "", counters.udp_datagrams_sent);
         registry.count("net.udp.dropped", "", counters.udp_datagrams_dropped);
         registry.count("net.udp.corrupted", "", counters.udp_datagrams_corrupted);
+        registry.count("net.udp.duplicated", "", counters.udp_datagrams_duplicated);
+        registry.count("net.fault.handshake_drops", "", counters.tcp_handshake_drops);
+        registry.count("net.fault.rate_limited", "", counters.tcp_rate_limited);
+        registry.count("net.fault.resets_injected", "", counters.tcp_resets_injected);
+        registry.count("net.fault.churn_suppressed", "", counters.churn_suppressed);
+        registry.count("scan.retry.first_attempt_losses", "", scan_resilience.first_attempt_losses);
+        registry.count("scan.retry.issued", "", scan_resilience.retries_issued);
+        registry.count("scan.retry.recovered", "", scan_resilience.retries_recovered);
+        registry.count("fingerprint.retry.issued", "", fingerprint_report.retries_issued);
+        registry.count("fingerprint.retry.recovered", "", fingerprint_report.retries_recovered);
+        registry.count("honeypot.conns_shed", "", conns_shed);
         // The dataset merge re-sorts all events by (time, src, src_port);
         // every source address lives in exactly one shard, so the sorted
         // stream is independent of the shard split.
@@ -297,11 +321,19 @@ impl Study {
             .copied()
             .filter(|a| ofh_analysis::AttackDataset::is_scanning_service(&oracles.rdns, *a))
             .collect();
-        let table8 = TelescopeSummary::compute(
+        // Gap-tolerant Table 8: daily averages discount scheduled blackout
+        // time overlapping the honeypot month instead of silently averaging
+        // over dead air.
+        let month_outage_minutes = cfg.faults.outage_minutes_between(
+            month_start_day * 86_400_000,
+            (month_start_day + cfg.month_days) * 86_400_000,
+        );
+        let table8 = TelescopeSummary::compute_gap_aware(
             &telescope,
             month_start_day,
             month_start_day + cfg.month_days,
             &known_scanners,
+            month_outage_minutes,
         );
         let table10 = Table10::compute(&misconfigured, &geo);
         let table12 = Table12::compute(&dataset, 11);
@@ -320,6 +352,14 @@ impl Study {
             &oracles.virustotal,
             &oracles.censys,
             &oracles.rdns,
+        );
+        let resilience = crate::report::ResilienceReport::assemble(
+            &scan_resilience,
+            &fingerprint_report,
+            conns_shed,
+            cfg.faults.outage_minutes(),
+            &counters,
+            leaked,
         );
         let analysis_node = analysis_sw.leaf("analysis");
 
@@ -359,6 +399,7 @@ impl Study {
             fig8,
             fig9,
             infected,
+            resilience,
             dataset,
             telescope,
             zmap_results,
@@ -392,7 +433,7 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
     // ---- Wire up this shard's slice of the simulated Internet ----------
     let mut net = SimNet::new(SimNetConfig {
         seed: spec.seed(cfg.seed, "shard-net"),
-        fault: cfg.fault,
+        faults: cfg.faults.clone(),
         ..SimNetConfig::default()
     });
     let telescope_tap = net.add_tap(
@@ -501,6 +542,15 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
     // ---- Scan phase (March) --------------------------------------------
     profile.push_child(phase_sw.leaf("wire"));
     let phase_sw = Stopwatch::start();
+    // Under a fault schedule, grabs interrupted near the sweep tail retry
+    // with backoff (up to ~4.25 s each, two chained): give the tail room to
+    // drain. Fault-free runs keep the original boundary so their traces are
+    // byte-for-byte unchanged.
+    let scan_end = if cfg.faults.is_none() {
+        scan_end
+    } else {
+        scan_end + ofh_net::SimDuration::from_secs(30)
+    };
     net.run_until(scan_end);
     profile.push_child(phase_sw.leaf("scan"));
     let phase_sw = Stopwatch::start();
@@ -532,26 +582,59 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
 
     // ---- Extraction -----------------------------------------------------
     let phase_sw = Stopwatch::start();
-    let fingerprint = net
+    let mut resilience = ofh_scan::ScanResilience::default();
+    let mut leaked: u64 = 0;
+    let prober = net
         .agent_downcast_mut::<FingerprintProber>(prober_id)
-        .expect("prober")
-        .report
-        .clone();
+        .expect("prober");
+    leaked += prober.leaked_state();
+    let fingerprint = prober.report.clone();
+    // Fold in the zmap scanner's retry accounting (its results were cloned
+    // at the scan boundary above, after the retry tail drained).
+    {
+        let s = net.agent_downcast_mut::<Scanner>(zmap_id).expect("zmap scanner");
+        resilience.absorb(&s.resilience);
+        leaked += s.leaked_state();
+    }
     let sonar = sonar_id
-        .map(|id| extract_results(&mut net, id))
+        .map(|id| extract_results(&mut net, id, &mut resilience, &mut leaked))
         .unwrap_or_else(|| ScanResults::new("Project Sonar"));
     let shodan = shodan_id
-        .map(|id| extract_results(&mut net, id))
+        .map(|id| extract_results(&mut net, id, &mut resilience, &mut leaked))
         .unwrap_or_else(|| ScanResults::new("Shodan"));
 
-    let mut logs = vec![
-        std::mem::take(&mut net.agent_downcast_mut::<HosTaGeHoneypot>(hostage_id).expect("hostage").log).events,
-        std::mem::take(&mut net.agent_downcast_mut::<UPotHoneypot>(upot_id).expect("upot").log).events,
-        std::mem::take(&mut net.agent_downcast_mut::<ConpotHoneypot>(conpot_id).expect("conpot").log).events,
-        std::mem::take(&mut net.agent_downcast_mut::<ThingPotHoneypot>(thingpot_id).expect("thingpot").log).events,
-        std::mem::take(&mut net.agent_downcast_mut::<CowrieHoneypot>(cowrie_id).expect("cowrie").log).events,
-        std::mem::take(&mut net.agent_downcast_mut::<DionaeaHoneypot>(dionaea_id).expect("dionaea").log).events,
-    ];
+    let mut conns_shed: u64 = 0;
+    let mut logs = Vec::with_capacity(6);
+    {
+        let h = net.agent_downcast_mut::<HosTaGeHoneypot>(hostage_id).expect("hostage");
+        conns_shed += h.shed_connections();
+        logs.push(std::mem::take(&mut h.log).events);
+    }
+    {
+        let h = net.agent_downcast_mut::<UPotHoneypot>(upot_id).expect("upot");
+        conns_shed += h.shed_connections();
+        logs.push(std::mem::take(&mut h.log).events);
+    }
+    {
+        let h = net.agent_downcast_mut::<ConpotHoneypot>(conpot_id).expect("conpot");
+        conns_shed += h.shed_connections();
+        logs.push(std::mem::take(&mut h.log).events);
+    }
+    {
+        let h = net.agent_downcast_mut::<ThingPotHoneypot>(thingpot_id).expect("thingpot");
+        conns_shed += h.shed_connections();
+        logs.push(std::mem::take(&mut h.log).events);
+    }
+    {
+        let h = net.agent_downcast_mut::<CowrieHoneypot>(cowrie_id).expect("cowrie");
+        conns_shed += h.shed_connections();
+        logs.push(std::mem::take(&mut h.log).events);
+    }
+    {
+        let h = net.agent_downcast_mut::<DionaeaHoneypot>(dionaea_id).expect("dionaea");
+        conns_shed += h.shed_connections();
+        logs.push(std::mem::take(&mut h.log).events);
+    }
     // Exclude our own measurement infrastructure (the scanning host and
     // the fingerprint prober) from the attack dataset — the paper's
     // pipeline likewise discounts its own probes.
@@ -578,16 +661,24 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
         logs,
         telescope,
         counters: net.counters(),
+        resilience,
+        conns_shed,
+        leaked,
         obs: obs_guard.map(|g| g.finish()),
         profile,
     }
 }
 
-fn extract_results(net: &mut SimNet, id: AgentId) -> ScanResults {
-    net.agent_downcast_mut::<Scanner>(id)
-        .expect("scanner agent")
-        .results
-        .clone()
+fn extract_results(
+    net: &mut SimNet,
+    id: AgentId,
+    resilience: &mut ofh_scan::ScanResilience,
+    leaked: &mut u64,
+) -> ScanResults {
+    let s = net.agent_downcast_mut::<Scanner>(id).expect("scanner agent");
+    resilience.absorb(&s.resilience);
+    *leaked += s.leaked_state();
+    s.results.clone()
 }
 
 /// Ground-truth-free helper used by tests: build just the population.

@@ -33,6 +33,11 @@ pub struct FingerprintReport {
     /// Candidates that matched passively but failed the active check
     /// (banner coincidence on a real device).
     pub rejected: Vec<(Ipv4Addr, u16)>,
+    /// Active-stage re-checks whose first connect or probe was cut short by
+    /// the network (refused / timed out / reset) and was re-attempted.
+    pub retries_issued: u64,
+    /// Re-attempts that established — the re-check ran thanks to the retry.
+    pub retries_recovered: u64,
 }
 
 impl FingerprintReport {
@@ -60,6 +65,8 @@ impl FingerprintReport {
     pub fn absorb(&mut self, other: FingerprintReport) {
         self.detections.extend(other.detections);
         self.rejected.extend(other.rejected);
+        self.retries_issued += other.retries_issued;
+        self.retries_recovered += other.retries_recovered;
     }
 
     /// Sort detections and rejections into a canonical order, so a merged
@@ -98,6 +105,9 @@ struct ProbeState {
     /// Response chunks per probe round (banner, reply 1, reply 2).
     rounds: Vec<Vec<u8>>,
     sent: u8,
+    /// 0 for the first connect, 1 for the single allowed retry.
+    attempt: u8,
+    established: bool,
 }
 
 /// The active-stage prober agent: connects to every candidate, sends two
@@ -106,6 +116,10 @@ pub struct FingerprintProber {
     pub report: FingerprintReport,
     queue: Vec<(Ipv4Addr, u16, WildHoneypot)>,
     states: HashMap<ConnToken, ProbeState>,
+    /// Candidates whose first attempt the network cut short, parked until
+    /// their retry timer fires.
+    retries: HashMap<u64, (Ipv4Addr, u16, WildHoneypot)>,
+    next_retry_id: u64,
     batch: usize,
     outstanding: usize,
 }
@@ -113,6 +127,8 @@ pub struct FingerprintProber {
 const JUNK_PROBE: &[u8] = b"zxcv-fingerprint-probe\n";
 const ROUND_GAP: SimDuration = SimDuration::from_millis(1_200);
 const TICK: u64 = u64::MAX; // timer token for the dispatch tick
+const RETRY_BIT: u64 = 1 << 62; // retry timer tokens (conn ids stay far below)
+const RETRY_DELAY: SimDuration = SimDuration::from_millis(2_000);
 
 impl FingerprintProber {
     pub fn new(candidates: Vec<(Ipv4Addr, u16, WildHoneypot)>) -> FingerprintProber {
@@ -120,9 +136,16 @@ impl FingerprintProber {
             report: FingerprintReport::default(),
             queue: candidates,
             states: HashMap::new(),
+            retries: HashMap::new(),
+            next_retry_id: 0,
             batch: 512,
             outstanding: 0,
         }
+    }
+
+    /// Probe states plus parked retries — zero once the run has drained.
+    pub fn leaked_state(&self) -> u64 {
+        (self.states.len() + self.retries.len()) as u64
     }
 
     /// Conservative end-time estimate for `n` candidates.
@@ -136,19 +159,54 @@ impl FingerprintProber {
             let Some((addr, port, family)) = self.queue.pop() else {
                 return;
             };
-            let conn = ctx.tcp_connect(SockAddr::new(addr, port));
-            self.states.insert(
-                conn,
-                ProbeState {
-                    addr,
-                    port,
-                    family,
-                    rounds: vec![Vec::new()],
-                    sent: 0,
-                },
-            );
-            self.outstanding += 1;
+            self.connect(ctx, addr, port, family, 0);
         }
+    }
+
+    fn connect(
+        &mut self,
+        ctx: &mut NetCtx<'_>,
+        addr: Ipv4Addr,
+        port: u16,
+        family: WildHoneypot,
+        attempt: u8,
+    ) {
+        let conn = ctx.tcp_connect(SockAddr::new(addr, port));
+        self.states.insert(
+            conn,
+            ProbeState {
+                addr,
+                port,
+                family,
+                rounds: vec![Vec::new()],
+                sent: 0,
+                attempt,
+                established: false,
+            },
+        );
+        self.outstanding += 1;
+    }
+
+    /// A connect or in-flight probe failed. First attempts get one retry
+    /// after a short deterministic backoff (staggered per candidate so a
+    /// burst of failures doesn't reconnect as a thundering herd); a failed
+    /// retry concludes with whatever rounds were gathered.
+    fn probe_failed(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        let attempt = match self.states.get(&conn) {
+            Some(st) => st.attempt,
+            None => return,
+        };
+        if attempt > 0 {
+            self.conclude(ctx.now(), conn);
+            return;
+        }
+        let st = self.states.remove(&conn).expect("state checked above");
+        self.outstanding = self.outstanding.saturating_sub(1);
+        let id = self.next_retry_id;
+        self.next_retry_id += 1;
+        self.retries.insert(id, (st.addr, st.port, st.family));
+        let stagger = SimDuration::from_millis(id.wrapping_mul(137) % 700);
+        ctx.set_timer(RETRY_DELAY + stagger, RETRY_BIT | id);
     }
 
     fn conclude(&mut self, now: ofh_net::SimTime, conn: ConnToken) {
@@ -156,6 +214,9 @@ impl FingerprintProber {
             return;
         };
         self.outstanding = self.outstanding.saturating_sub(1);
+        if st.attempt > 0 && st.established {
+            self.report.retries_recovered += 1;
+        }
         // Verdict: both junk probes answered, answers identical, and the
         // static banner (with the signature) keeps being replayed.
         let confirmed = st.rounds.len() >= 3
@@ -201,6 +262,14 @@ impl Agent for FingerprintProber {
             }
             return;
         }
+        if token & RETRY_BIT != 0 {
+            let Some((addr, port, family)) = self.retries.remove(&(token & !RETRY_BIT)) else {
+                return;
+            };
+            self.report.retries_issued += 1;
+            self.connect(ctx, addr, port, family, 1);
+            return;
+        }
         // Per-connection round deadline.
         let conn = ConnToken(token);
         let Some(st) = self.states.get_mut(&conn) else {
@@ -218,7 +287,8 @@ impl Agent for FingerprintProber {
     }
 
     fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        if self.states.contains_key(&conn) {
+        if let Some(st) = self.states.get_mut(&conn) {
+            st.established = true;
             ctx.set_timer(ROUND_GAP, conn.0);
         }
     }
@@ -230,11 +300,15 @@ impl Agent for FingerprintProber {
     }
 
     fn on_tcp_refused(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        self.conclude(ctx.now(), conn);
+        self.probe_failed(ctx, conn);
     }
 
     fn on_tcp_timeout(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        self.conclude(ctx.now(), conn);
+        self.probe_failed(ctx, conn);
+    }
+
+    fn on_tcp_reset(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.probe_failed(ctx, conn);
     }
 
     fn on_tcp_closed(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
@@ -286,6 +360,44 @@ mod tests {
         assert!(report.rejected.contains(&(ip(16, 20, 0, 3), 23)));
         assert!(report.filter_set().contains(&ip(16, 20, 0, 1)));
         assert!(!report.filter_set().contains(&ip(16, 20, 0, 3)));
+    }
+
+    #[test]
+    fn outage_cut_recheck_recovers_on_retry() {
+        use ofh_net::{FaultPhase, FaultPlan, FaultSchedule};
+        // A total blackout covers the first connect attempt (the SYN dies,
+        // the 3 s connect timeout fires inside the window); the single retry
+        // lands after the outage lifts and completes the re-check.
+        let mut net = SimNet::new(SimNetConfig {
+            faults: FaultSchedule {
+                phases: vec![FaultPhase {
+                    name: "boot-outage".into(),
+                    from_ms: Some(0),
+                    to_ms: Some(4_000),
+                    plan: FaultPlan {
+                        drop_chance: 1.0,
+                        ..FaultPlan::NONE
+                    },
+                    ..FaultPhase::default()
+                }],
+            },
+            ..SimNetConfig::default()
+        });
+        net.attach(ip(16, 20, 0, 1), Box::new(WildHoneypotAgent::new(WildHoneypot::Cowrie)));
+        let pid = net.attach(
+            ip(16, 3, 0, 9),
+            Box::new(FingerprintProber::new(vec![(
+                ip(16, 20, 0, 1),
+                23,
+                WildHoneypot::Cowrie,
+            )])),
+        );
+        net.run_until(SimTime::ZERO + FingerprintProber::estimated_duration(1));
+        let prober = net.agent_downcast::<FingerprintProber>(pid).unwrap();
+        assert_eq!(prober.report.total(), 1, "retry should complete the re-check");
+        assert_eq!(prober.report.retries_issued, 1);
+        assert_eq!(prober.report.retries_recovered, 1);
+        assert_eq!(prober.leaked_state(), 0);
     }
 
     #[test]

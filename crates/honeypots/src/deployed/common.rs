@@ -106,6 +106,62 @@ impl LoginMachine {
     }
 }
 
+/// Connection-flood shedding for a deployed honeypot.
+///
+/// A real deployment sits behind finite file descriptors and worker pools; a
+/// scanning burst or a bot flood must degrade gracefully (refuse the excess)
+/// rather than grow per-connection state without bound. Every deployed
+/// honeypot admits connections through a gate: over the cap, the connection
+/// is refused and counted, exactly like an exhausted `accept()` backlog.
+#[derive(Debug)]
+pub struct ConnGate {
+    live: u64,
+    max_live: u64,
+    shed: u64,
+}
+
+impl Default for ConnGate {
+    fn default() -> Self {
+        ConnGate::new(1_024)
+    }
+}
+
+impl ConnGate {
+    pub fn new(max_live: u64) -> Self {
+        ConnGate {
+            live: 0,
+            max_live,
+            shed: 0,
+        }
+    }
+
+    /// Try to admit one connection: `true` admits (and counts it live),
+    /// `false` means the caller should refuse it.
+    pub fn try_admit(&mut self) -> bool {
+        if self.live >= self.max_live {
+            self.shed += 1;
+            return false;
+        }
+        self.live += 1;
+        true
+    }
+
+    /// An admitted connection ended (closed, reset, or torn down).
+    pub fn release(&mut self) {
+        self.live = self.live.saturating_sub(1);
+    }
+
+    /// Connections currently admitted.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// Connections refused because the gate was full.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+}
+
 /// Split a raw buffer into complete lines (by `\n`), returning leftover bytes.
 /// Honeypots accumulate TCP data and feed complete lines to their state
 /// machines.
@@ -146,6 +202,29 @@ mod tests {
 
     fn conn(n: u64) -> ConnToken {
         ConnToken(n)
+    }
+
+    #[test]
+    fn conn_gate_sheds_over_cap_and_recovers_on_release() {
+        let mut g = ConnGate::new(2);
+        assert!(g.try_admit());
+        assert!(g.try_admit());
+        assert_eq!(g.live(), 2);
+        // Over the cap: refused and counted, live unchanged.
+        assert!(!g.try_admit());
+        assert!(!g.try_admit());
+        assert_eq!(g.shed(), 2);
+        assert_eq!(g.live(), 2);
+        // A release frees a slot; the next admit succeeds again.
+        g.release();
+        assert!(g.try_admit());
+        assert_eq!(g.live(), 2);
+        assert_eq!(g.shed(), 2);
+        // Release never underflows.
+        g.release();
+        g.release();
+        g.release();
+        assert_eq!(g.live(), 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use ofh_wire::s7::{pdu_type, S7Message};
 use ofh_wire::telnet::visible_text;
 use ofh_wire::{http, ports, Protocol};
 
-use crate::deployed::common::{drain_lines, LoginMachine, LoginStep};
+use crate::deployed::common::{drain_lines, ConnGate, LoginMachine, LoginStep};
 use crate::events::{EventKind, EventLog};
 
 /// The Conpot honeypot agent.
@@ -27,6 +27,7 @@ pub struct ConpotHoneypot {
     conns: HashMap<ConnToken, (Protocol, SockAddr, Vec<u8>)>,
     /// Simulated holding registers (poisoning targets).
     pub registers: Vec<u16>,
+    gate: ConnGate,
 }
 
 impl Default for ConpotHoneypot {
@@ -43,7 +44,13 @@ impl ConpotHoneypot {
             ssh: LoginMachine::new(2),
             conns: HashMap::new(),
             registers: vec![0x0100; 16],
+            gate: ConnGate::default(),
         }
+    }
+
+    /// Connections refused because the gate was full (flood shedding).
+    pub fn shed_connections(&self) -> u64 {
+        self.gate.shed()
     }
 }
 
@@ -63,6 +70,9 @@ impl Agent for ConpotHoneypot {
             ports::HTTP => Protocol::Http,
             _ => return TcpDecision::Refuse,
         };
+        if !self.gate.try_admit() {
+            return TcpDecision::Refuse;
+        }
         self.conns.insert(conn, (protocol, peer, Vec::new()));
         self.log.log(ctx.now(), protocol, peer.addr, peer.port, EventKind::Connection);
         match protocol {
@@ -293,6 +303,7 @@ impl Agent for ConpotHoneypot {
 
     fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
         if let Some((protocol, _, _)) = self.conns.remove(&conn) {
+            self.gate.release();
             match protocol {
                 Protocol::Telnet => self.telnet.close(conn),
                 Protocol::Ssh => self.ssh.close(conn),
@@ -344,6 +355,7 @@ mod tests {
             ssh: LoginMachine::new(2),
             conns: HashMap::new(),
             registers: h.registers.clone(),
+            gate: ConnGate::default(),
         };
         (out, replies)
     }

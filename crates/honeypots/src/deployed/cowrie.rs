@@ -12,7 +12,9 @@ use ofh_wire::telnet::visible_text;
 use ofh_wire::{ports, Protocol};
 use std::collections::HashMap;
 
-use crate::deployed::common::{drain_lines, extract_url, looks_like_binary, LoginMachine, LoginStep};
+use crate::deployed::common::{
+    drain_lines, extract_url, looks_like_binary, ConnGate, LoginMachine, LoginStep,
+};
 use crate::events::{EventKind, EventLog};
 
 /// The Cowrie honeypot agent.
@@ -22,6 +24,7 @@ pub struct CowrieHoneypot {
     telnet: LoginMachine,
     /// Per-connection protocol (fixed at accept) and line buffer.
     conns: HashMap<ConnToken, (Protocol, SockAddr, Vec<u8>)>,
+    gate: ConnGate,
 }
 
 impl Default for CowrieHoneypot {
@@ -43,7 +46,13 @@ impl CowrieHoneypot {
             ssh,
             telnet,
             conns: HashMap::new(),
+            gate: ConnGate::default(),
         }
+    }
+
+    /// Connections refused because the gate was full (flood shedding).
+    pub fn shed_connections(&self) -> u64 {
+        self.gate.shed()
     }
 
     fn machine(&mut self, protocol: Protocol) -> &mut LoginMachine {
@@ -67,6 +76,9 @@ impl Agent for CowrieHoneypot {
             ports::TELNET | ports::TELNET_ALT => Protocol::Telnet,
             _ => return TcpDecision::Refuse,
         };
+        if !self.gate.try_admit() {
+            return TcpDecision::Refuse;
+        }
         self.conns.insert(conn, (protocol, peer, Vec::new()));
         self.machine(protocol).open(conn);
         self.log.log(ctx.now(), protocol, peer.addr, peer.port, EventKind::Connection);
@@ -199,6 +211,7 @@ impl Agent for CowrieHoneypot {
 
     fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
         if let Some((protocol, _, _)) = self.conns.remove(&conn) {
+            self.gate.release();
             self.machine(protocol).close(conn);
         }
     }

@@ -15,7 +15,7 @@ use ofh_wire::mqtt::{ConnectReturnCode, Packet};
 use ofh_wire::smb::{command as smb_cmd, SmbMessage};
 use ofh_wire::{http, ports, Protocol};
 
-use crate::deployed::common::{drain_lines, looks_like_binary};
+use crate::deployed::common::{drain_lines, looks_like_binary, ConnGate};
 use crate::events::{EventKind, EventLog};
 
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +31,7 @@ pub struct DionaeaHoneypot {
     pub log: EventLog,
     conns: HashMap<ConnToken, (Protocol, SockAddr, Vec<u8>)>,
     ftp: HashMap<ConnToken, FtpState>,
+    gate: ConnGate,
 }
 
 impl Default for DionaeaHoneypot {
@@ -45,7 +46,13 @@ impl DionaeaHoneypot {
             log: EventLog::new("Dionaea"),
             conns: HashMap::new(),
             ftp: HashMap::new(),
+            gate: ConnGate::default(),
         }
+    }
+
+    /// Connections refused because the gate was full (flood shedding).
+    pub fn shed_connections(&self) -> u64 {
+        self.gate.shed()
     }
 }
 
@@ -64,6 +71,9 @@ impl Agent for DionaeaHoneypot {
             ports::SMB => Protocol::Smb,
             _ => return TcpDecision::Refuse,
         };
+        if !self.gate.try_admit() {
+            return TcpDecision::Refuse;
+        }
         self.conns.insert(conn, (protocol, peer, Vec::new()));
         self.log.log(ctx.now(), protocol, peer.addr, peer.port, EventKind::Connection);
         match protocol {
@@ -268,7 +278,9 @@ impl Agent for DionaeaHoneypot {
     }
 
     fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        self.conns.remove(&conn);
+        if self.conns.remove(&conn).is_some() {
+            self.gate.release();
+        }
         self.ftp.remove(&conn);
     }
 }

@@ -16,7 +16,9 @@ use ofh_wire::smb::{command as smb_cmd, SmbMessage};
 use ofh_wire::telnet::visible_text;
 use ofh_wire::{http, ports, Protocol};
 
-use crate::deployed::common::{drain_lines, extract_url, looks_like_binary, LoginMachine, LoginStep};
+use crate::deployed::common::{
+    drain_lines, extract_url, looks_like_binary, ConnGate, LoginMachine, LoginStep,
+};
 use crate::events::{EventKind, EventLog};
 
 /// The HosTaGe honeypot agent.
@@ -29,6 +31,7 @@ pub struct HosTaGeHoneypot {
     mqtt_authed: HashMap<ConnToken, bool>,
     /// AMQP handshake progress.
     amqp_started: HashMap<ConnToken, bool>,
+    gate: ConnGate,
 }
 
 impl Default for HosTaGeHoneypot {
@@ -49,7 +52,13 @@ impl HosTaGeHoneypot {
             conns: HashMap::new(),
             mqtt_authed: HashMap::new(),
             amqp_started: HashMap::new(),
+            gate: ConnGate::default(),
         }
+    }
+
+    /// Connections refused because the gate was full (flood shedding).
+    pub fn shed_connections(&self) -> u64 {
+        self.gate.shed()
     }
 
     fn coap_resources() -> Vec<LinkEntry> {
@@ -83,6 +92,9 @@ impl Agent for HosTaGeHoneypot {
             ports::SMB => Protocol::Smb,
             _ => return TcpDecision::Refuse,
         };
+        if !self.gate.try_admit() {
+            return TcpDecision::Refuse;
+        }
         self.conns.insert(conn, (protocol, peer, Vec::new()));
         self.log.log(ctx.now(), protocol, peer.addr, peer.port, EventKind::Connection);
         match protocol {
@@ -392,6 +404,7 @@ impl Agent for HosTaGeHoneypot {
 
     fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
         if let Some((protocol, _, _)) = self.conns.remove(&conn) {
+            self.gate.release();
             match protocol {
                 Protocol::Telnet => self.telnet.close(conn),
                 Protocol::Ssh => self.ssh.close(conn),

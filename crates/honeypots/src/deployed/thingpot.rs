@@ -12,12 +12,14 @@ use ofh_net::{Agent, ConnToken, NetCtx, SockAddr, TcpDecision};
 use ofh_wire::xmpp::{Mechanism, StreamFeatures};
 use ofh_wire::{http, ports, Protocol};
 
+use crate::deployed::common::ConnGate;
 use crate::events::{EventKind, EventLog};
 
 /// The ThingPot honeypot agent.
 pub struct ThingPotHoneypot {
     pub log: EventLog,
     opened: HashMap<ConnToken, (SockAddr, bool)>,
+    gate: ConnGate,
 }
 
 impl Default for ThingPotHoneypot {
@@ -31,7 +33,13 @@ impl ThingPotHoneypot {
         ThingPotHoneypot {
             log: EventLog::new("ThingPot"),
             opened: HashMap::new(),
+            gate: ConnGate::default(),
         }
+    }
+
+    /// Connections refused because the gate was full (flood shedding).
+    pub fn shed_connections(&self) -> u64 {
+        self.gate.shed()
     }
 
     fn features() -> StreamFeatures {
@@ -58,6 +66,9 @@ impl Agent for ThingPotHoneypot {
             ports::HTTP => Protocol::Http,
             _ => return TcpDecision::Refuse,
         };
+        if !self.gate.try_admit() {
+            return TcpDecision::Refuse;
+        }
         self.log.log(ctx.now(), protocol, peer.addr, peer.port, EventKind::Connection);
         self.opened.insert(conn, (peer, false));
         TcpDecision::accept()
@@ -147,7 +158,9 @@ impl Agent for ThingPotHoneypot {
     }
 
     fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        self.opened.remove(&conn);
+        if self.opened.remove(&conn).is_some() {
+            self.gate.release();
+        }
     }
 }
 

@@ -32,6 +32,12 @@ impl UPotHoneypot {
         }
     }
 
+    /// U-Pot is UDP-only (SSDP): there are no connections to shed, but the
+    /// uniform accessor keeps fleet-wide shed accounting simple.
+    pub fn shed_connections(&self) -> u64 {
+        0
+    }
+
     fn wemo() -> DeviceDescription {
         DeviceDescription {
             friendly_name: "Wemo Switch".into(),

@@ -103,6 +103,14 @@ pub trait Agent: Any {
         let _ = (ctx, conn);
     }
 
+    /// The connection was torn down by the network (an injected reset or a
+    /// blackout), not by the peer. Delivered to *both* ends. Defaults to
+    /// [`Self::on_tcp_closed`] — for most agents a reset is just an abrupt
+    /// close; resilient clients (the scanner's grab retry path) override it.
+    fn on_tcp_reset(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.on_tcp_closed(ctx, conn);
+    }
+
     /// A UDP datagram arrived at `local_port`.
     fn on_udp(&mut self, ctx: &mut NetCtx<'_>, local_port: u16, peer: SockAddr, payload: &Payload) {
         let _ = (ctx, local_port, peer, payload);

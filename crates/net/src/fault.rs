@@ -1,24 +1,54 @@
-//! Fault injection.
+//! Fault injection: plans, scopes, and schedules.
 //!
 //! Adverse network conditions are part of the substrate's contract: the
 //! paper's scanner must tolerate loss (ZMap famously scans statelessly and
-//! accepts ~2% loss), and the honeypots must survive floods. A [`FaultPlan`]
-//! configures probabilistic packet drops, extra latency jitter, and payload
-//! corruption, applied uniformly by the simulator. All probabilities are
-//! evaluated against the simulator's seeded RNG, so faulty runs are exactly
-//! reproducible too.
+//! accepts ~2% loss), ZGrab retries interrupted application-layer grabs, the
+//! honeypots must survive floods, and the CAIDA telescope has collection
+//! gaps. A [`FaultPlan`] is the per-packet probabilistic model (drops,
+//! corruption, jitter, duplicates, resets, rate-limiting, host churn); a
+//! [`FaultSchedule`] composes plans into time-windowed, scoped *phases* —
+//! outage windows, ramped loss, per-protocol or per-CIDR brownouts. All
+//! probabilities are evaluated against the simulator's seeded RNG (and churn
+//! against a pure hash), so faulty runs are exactly reproducible across any
+//! worker count.
+
+use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 
-/// Probabilistic fault model applied to every delivered packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+use crate::cidr::Cidr;
+use crate::rng;
+use crate::time::SimTime;
+
+/// Probabilistic fault model applied to every matching packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FaultPlan {
-    /// Probability in [0, 1] that a packet is silently dropped.
+    /// Probability in [0, 1] that a packet is silently dropped. A lost SYN or
+    /// SYN-ACK manifests as a client-side timeout; a dropped UDP datagram
+    /// simply never arrives. `1.0` is a blackout (see outage phases).
     pub drop_chance: f64,
-    /// Probability in [0, 1] that one octet of a data payload is flipped.
+    /// Probability in [0, 1] that one bit of a UDP payload is flipped.
     pub corrupt_chance: f64,
     /// Additional uniformly-distributed latency jitter, in milliseconds.
+    /// Applies to UDP datagrams and established TCP segments; TCP delivery
+    /// stays FIFO per connection and direction (see DESIGN.md §11).
     pub jitter_ms: u64,
+    /// Probability in [0, 1] that a delivered UDP datagram arrives twice.
+    pub duplicate_chance: f64,
+    /// Probability in [0, 1], rolled per TCP segment, that the connection is
+    /// torn down with a reset delivered to both ends (`on_tcp_reset`).
+    pub reset_chance: f64,
+    /// Probability in [0, 1] that a SYN is answered by an intermediary
+    /// rate-limiter (ICMP unreachable) instead of reaching the host; the
+    /// client sees a refusal.
+    pub rate_limit_chance: f64,
+    /// Fraction in [0, 1] of in-scope hosts that are unreachable ("dark")
+    /// during any given churn slot. Which hosts are dark is a pure hash of
+    /// (fabric seed, address, slot), so hosts flap deterministically: dark
+    /// for a slot, back the next — the transient-churn fault mode.
+    pub churn_chance: f64,
+    /// Length of one churn slot in milliseconds (default 10 minutes).
+    pub churn_period_ms: u64,
 }
 
 impl FaultPlan {
@@ -27,22 +57,44 @@ impl FaultPlan {
         drop_chance: 0.0,
         corrupt_chance: 0.0,
         jitter_ms: 0,
+        duplicate_chance: 0.0,
+        reset_chance: 0.0,
+        rate_limit_chance: 0.0,
+        churn_chance: 0.0,
+        churn_period_ms: 600_000,
     };
 
-    /// A lossy-but-usable Internet: 2% drops, 0.1% corruption, 40 ms jitter.
-    /// Matches the loss regime ZMap reports for real scans.
+    /// A lossy-but-usable Internet: 2% drops, 0.1% corruption, 40 ms jitter,
+    /// plus a whiff of duplicates and mid-grab resets so the retry machinery
+    /// has something to recover from. Matches the loss regime ZMap reports
+    /// for real scans.
     pub const LOSSY: FaultPlan = FaultPlan {
         drop_chance: 0.02,
         corrupt_chance: 0.001,
         jitter_ms: 40,
+        duplicate_chance: 0.001,
+        reset_chance: 0.002,
+        rate_limit_chance: 0.002,
+        churn_chance: 0.0,
+        churn_period_ms: 600_000,
     };
 
     /// Validate that probabilities are in range.
     pub fn validate(&self) -> Result<(), String> {
-        for (name, p) in [("drop_chance", self.drop_chance), ("corrupt_chance", self.corrupt_chance)] {
+        for (name, p) in [
+            ("drop_chance", self.drop_chance),
+            ("corrupt_chance", self.corrupt_chance),
+            ("duplicate_chance", self.duplicate_chance),
+            ("reset_chance", self.reset_chance),
+            ("rate_limit_chance", self.rate_limit_chance),
+            ("churn_chance", self.churn_chance),
+        ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
                 return Err(format!("{name} = {p} is not a probability"));
             }
+        }
+        if self.churn_chance > 0.0 && self.churn_period_ms == 0 {
+            return Err("churn_chance > 0 requires churn_period_ms > 0".into());
         }
         Ok(())
     }
@@ -54,14 +106,474 @@ impl Default for FaultPlan {
     }
 }
 
+// Hand-written so absent fields default from [`FaultPlan::NONE`] — notably
+// `churn_period_ms` stays 10 minutes, not zero, in sparse hand-written plans.
+impl Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::value::type_err("map", v, "FaultPlan"))?;
+        let mut plan = FaultPlan::NONE;
+        macro_rules! field {
+            ($name:ident) => {
+                if let Some(x) = serde::value::get(m, stringify!($name)) {
+                    plan.$name = Deserialize::from_value(x)?;
+                }
+            };
+        }
+        field!(drop_chance);
+        field!(corrupt_chance);
+        field!(jitter_ms);
+        field!(duplicate_chance);
+        field!(reset_chance);
+        field!(rate_limit_chance);
+        field!(churn_chance);
+        field!(churn_period_ms);
+        Ok(plan)
+    }
+}
+
+/// Which way a packet is travelling relative to the service endpoint.
+/// Serializes as the lowercase strings `"both"` / `"forward"` / `"reverse"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Match packets in either direction (the default).
+    #[default]
+    Both,
+    /// Toward the service: SYNs, client→server segments, UDP sender→dst.
+    Forward,
+    /// From the service back to the client.
+    Reverse,
+}
+
+impl Direction {
+    fn matches(self, packet: Direction) -> bool {
+        self == Direction::Both || self == packet
+    }
+}
+
+impl Serialize for Direction {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                Direction::Both => "both",
+                Direction::Forward => "forward",
+                Direction::Reverse => "reverse",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for Direction {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v.as_str() {
+            Some("both") => Ok(Direction::Both),
+            Some("forward") => Ok(Direction::Forward),
+            Some("reverse") => Ok(Direction::Reverse),
+            Some(other) => Err(serde::DeError::custom(format!(
+                "Direction: expected \"both\", \"forward\", or \"reverse\", got {other:?}"
+            ))),
+            None => Err(serde::value::type_err("string", v, "Direction")),
+        }
+    }
+}
+
+/// Limits a phase to a slice of traffic. An empty scope matches everything.
+///
+/// Scope is evaluated against the *service endpoint*: the server socket for
+/// TCP (so `ports: [23]` follows a Telnet connection in both directions) and
+/// the destination socket for UDP datagrams.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultScope {
+    /// Only traffic whose service endpoint falls in this block. Serialized
+    /// as the human-friendly `"a.b.c.d/len"` string so hand-written schedule
+    /// files stay readable.
+    pub dst: Option<Cidr>,
+    /// Only traffic whose service port is one of these (empty = any port).
+    pub ports: Vec<u16>,
+    /// Only traffic flowing this way.
+    pub direction: Direction,
+}
+
+impl FaultScope {
+    /// Whether a packet toward/from `service`, flowing `dir`, is in scope.
+    pub fn matches(&self, service: crate::addr::SockAddr, dir: Direction) -> bool {
+        self.direction.matches(dir)
+            && self.dst.map_or(true, |c| c.contains(service.addr))
+            && (self.ports.is_empty() || self.ports.contains(&service.port))
+    }
+}
+
+impl Serialize for FaultScope {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        Value::Map(vec![
+            (
+                Value::Str("dst".into()),
+                match self.dst {
+                    Some(c) => Value::Str(c.to_string()),
+                    None => Value::Null,
+                },
+            ),
+            (Value::Str("ports".into()), self.ports.to_value()),
+            (Value::Str("direction".into()), self.direction.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultScope {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::{value, DeError, Value};
+        let m = v.as_map().ok_or_else(|| value::type_err("map", v, "FaultScope"))?;
+        let dst = match value::get(m, "dst") {
+            None | Some(Value::Null) => None,
+            Some(Value::Str(s)) => Some(
+                s.parse::<Cidr>()
+                    .map_err(|e| DeError::custom(format!("FaultScope.dst: {e}")))?,
+            ),
+            Some(other) => return Err(value::type_err("CIDR string", other, "FaultScope")),
+        };
+        let ports = match value::get(m, "ports") {
+            Some(x) => Deserialize::from_value(x)?,
+            None => Vec::new(),
+        };
+        let direction = match value::get(m, "direction") {
+            Some(x) => Direction::from_value(x)?,
+            None => Direction::Both,
+        };
+        Ok(FaultScope { dst, ports, direction })
+    }
+}
+
+/// Linear multiplier on `drop_chance` across a phase's window: `start` at
+/// `from_ms`, `end` at `to_ms`. Models links that degrade (or recover)
+/// gradually instead of failing outright.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ramp {
+    pub start: f64,
+    pub end: f64,
+}
+
+/// One time-windowed, scoped application of a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPhase {
+    /// Label for reports and error messages.
+    #[serde(default)]
+    pub name: String,
+    /// Start of the active window in sim-time ms (`None` = from the start).
+    #[serde(default)]
+    pub from_ms: Option<u64>,
+    /// End of the active window, exclusive (`None` = until the end).
+    #[serde(default)]
+    pub to_ms: Option<u64>,
+    /// Which traffic the phase applies to.
+    #[serde(default)]
+    pub scope: FaultScope,
+    /// The fault probabilities while active.
+    #[serde(default)]
+    pub plan: FaultPlan,
+    /// Optional linear ramp on `drop_chance` across the window.
+    #[serde(default)]
+    pub ramp: Option<Ramp>,
+}
+
+impl FaultPhase {
+    /// The active window with open ends resolved.
+    pub fn window(&self) -> (u64, u64) {
+        (self.from_ms.unwrap_or(0), self.to_ms.unwrap_or(u64::MAX))
+    }
+
+    /// Whether the phase is active at `t`.
+    #[inline]
+    pub fn active_at(&self, t: SimTime) -> bool {
+        let (from, to) = self.window();
+        t.0 >= from && t.0 < to
+    }
+
+    /// The effective drop probability at `t` (ramp applied, clamped to 1).
+    pub fn drop_chance_at(&self, t: SimTime) -> f64 {
+        match self.ramp {
+            None => self.drop_chance_clamped(),
+            Some(r) => {
+                let (from, to) = self.window();
+                // validate() guarantees ramped phases have finite windows.
+                let frac = (t.0.saturating_sub(from)) as f64 / (to - from).max(1) as f64;
+                let mult = r.start + (r.end - r.start) * frac;
+                (self.plan.drop_chance * mult).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    fn drop_chance_clamped(&self) -> f64 {
+        self.plan.drop_chance.min(1.0)
+    }
+
+    /// A blackout: every matching packet is dropped while active.
+    pub fn is_outage(&self) -> bool {
+        self.plan.drop_chance >= 1.0 && self.ramp.is_none()
+    }
+}
+
+/// A scripted sequence of fault phases. The empty schedule (the default) is
+/// the fault-free fast path: the fabric checks `is_none()` once per packet
+/// and skips all fault logic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    #[serde(default)]
+    pub phases: Vec<FaultPhase>,
+}
+
+impl FaultSchedule {
+    /// No faults at all (the default).
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// One always-on, unscoped phase applying `plan` uniformly — the shape of
+    /// the old static fault model.
+    pub fn uniform(plan: FaultPlan) -> Self {
+        if plan == FaultPlan::NONE {
+            return FaultSchedule::none();
+        }
+        FaultSchedule {
+            phases: vec![FaultPhase {
+                name: "uniform".into(),
+                plan,
+                ..FaultPhase::default()
+            }],
+        }
+    }
+
+    /// [`FaultPlan::LOSSY`] applied uniformly for the whole run.
+    pub fn lossy() -> Self {
+        let mut s = FaultSchedule::uniform(FaultPlan::LOSSY);
+        s.phases[0].name = "lossy".into();
+        s
+    }
+
+    /// A deliberately nasty but survivable schedule exercising every fault
+    /// kind: baseline loss, a ramped scan-window brownout, a six-hour
+    /// blackout during the honeypot month, Telnet-scoped host churn through
+    /// the scan, and forward-path rate limiting.
+    pub fn hostile() -> Self {
+        const DAY: u64 = 86_400_000;
+        FaultSchedule {
+            phases: vec![
+                FaultPhase {
+                    name: "baseline".into(),
+                    plan: FaultPlan {
+                        drop_chance: 0.02,
+                        corrupt_chance: 0.001,
+                        jitter_ms: 40,
+                        duplicate_chance: 0.002,
+                        reset_chance: 0.002,
+                        rate_limit_chance: 0.003,
+                        ..FaultPlan::NONE
+                    },
+                    ..FaultPhase::default()
+                },
+                FaultPhase {
+                    name: "scan-brownout".into(),
+                    from_ms: Some(3 * DAY),
+                    to_ms: Some(3 * DAY + 8 * 3_600_000),
+                    plan: FaultPlan {
+                        drop_chance: 0.5,
+                        ..FaultPlan::NONE
+                    },
+                    ramp: Some(Ramp {
+                        start: 0.2,
+                        end: 1.0,
+                    }),
+                    ..FaultPhase::default()
+                },
+                FaultPhase {
+                    name: "month-outage".into(),
+                    from_ms: Some(35 * DAY),
+                    to_ms: Some(35 * DAY + 6 * 3_600_000),
+                    plan: FaultPlan {
+                        drop_chance: 1.0,
+                        ..FaultPlan::NONE
+                    },
+                    ..FaultPhase::default()
+                },
+                FaultPhase {
+                    name: "telnet-churn".into(),
+                    to_ms: Some(31 * DAY),
+                    scope: FaultScope {
+                        ports: vec![23, 2323],
+                        ..FaultScope::default()
+                    },
+                    plan: FaultPlan {
+                        churn_chance: 0.08,
+                        churn_period_ms: 600_000,
+                        ..FaultPlan::NONE
+                    },
+                    ..FaultPhase::default()
+                },
+                FaultPhase {
+                    name: "rate-limiters".into(),
+                    from_ms: Some(DAY),
+                    to_ms: Some(20 * DAY),
+                    scope: FaultScope {
+                        direction: Direction::Forward,
+                        ..FaultScope::default()
+                    },
+                    plan: FaultPlan {
+                        rate_limit_chance: 0.01,
+                        ..FaultPlan::NONE
+                    },
+                    ..FaultPhase::default()
+                },
+            ],
+        }
+    }
+
+    /// A named preset (`none` / `lossy` / `hostile`), if `name` is one.
+    pub fn by_name(name: &str) -> Option<FaultSchedule> {
+        match name {
+            "none" => Some(FaultSchedule::none()),
+            "lossy" => Some(FaultSchedule::lossy()),
+            "hostile" => Some(FaultSchedule::hostile()),
+            _ => None,
+        }
+    }
+
+    /// The fault-free fast path: no phases at all.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Validate every phase: probabilities in range, windows the right way
+    /// round, ramps finite and windowed, and no two overlapping outage
+    /// (blackout) windows — overlapping total outages are invariably a
+    /// schedule-authoring mistake.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, p) in self.phases.iter().enumerate() {
+            let label = if p.name.is_empty() {
+                format!("phase #{i}")
+            } else {
+                format!("phase {:?}", p.name)
+            };
+            p.plan
+                .validate()
+                .map_err(|e| format!("{label}: {e}"))?;
+            let (from, to) = p.window();
+            if from >= to {
+                return Err(format!(
+                    "{label}: window [{from}, {to}) is empty or inverted"
+                ));
+            }
+            if let Some(r) = p.ramp {
+                for (name, v) in [("ramp.start", r.start), ("ramp.end", r.end)] {
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("{label}: {name} = {v} must be finite and >= 0"));
+                    }
+                }
+                if p.from_ms.is_none() || p.to_ms.is_none() {
+                    return Err(format!("{label}: a ramp requires a finite window"));
+                }
+            }
+            if p.is_outage() && (p.from_ms.is_none() || p.to_ms.is_none()) {
+                return Err(format!(
+                    "{label}: an outage (drop_chance >= 1) must have a finite window"
+                ));
+            }
+        }
+        let outages: Vec<(usize, &FaultPhase)> = self
+            .phases
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_outage())
+            .collect();
+        for (ai, (i, a)) in outages.iter().enumerate() {
+            for (j, b) in outages.iter().skip(ai + 1) {
+                let (af, at) = a.window();
+                let (bf, bt) = b.window();
+                if af < bt && bf < at {
+                    return Err(format!(
+                        "outage phases #{i} ({:?}) and #{j} ({:?}) have overlapping windows",
+                        a.name, b.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total scheduled blackout time in minutes (sum of outage windows,
+    /// counting overlap-free validated phases; unscoped and scoped alike).
+    pub fn outage_minutes(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.is_outage())
+            .map(|p| {
+                let (from, to) = p.window();
+                (to.saturating_sub(from)) / 60_000
+            })
+            .sum()
+    }
+
+    /// Scheduled blackout minutes overlapping `[from_ms, to_ms)` — what the
+    /// gap-aware telescope aggregation discounts from its denominator.
+    pub fn outage_minutes_between(&self, from_ms: u64, to_ms: u64) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.is_outage())
+            .map(|p| {
+                let (f, t) = p.window();
+                t.min(to_ms).saturating_sub(f.max(from_ms)) / 60_000
+            })
+            .sum()
+    }
+
+    /// Phases active at `t` whose scope matches, for the fabric's per-packet
+    /// evaluation.
+    #[inline]
+    pub fn matching(
+        &self,
+        t: SimTime,
+        service: crate::addr::SockAddr,
+        dir: Direction,
+    ) -> impl Iterator<Item = &FaultPhase> {
+        self.phases
+            .iter()
+            .filter(move |p| p.active_at(t) && p.scope.matches(service, dir))
+    }
+}
+
+/// Whether `addr` is churned dark during the slot containing `t`, as a pure
+/// hash of (seed, address, slot). No RNG stream is consumed, so churn is
+/// deterministic regardless of event interleaving, and a host that goes dark
+/// returns as soon as the slot rolls over.
+#[inline]
+pub fn churn_dark(seed: u64, addr: Ipv4Addr, t: SimTime, chance: f64, period_ms: u64) -> bool {
+    if chance <= 0.0 {
+        return false;
+    }
+    let slot = t.0 / period_ms.max(1);
+    let h = rng::splitmix64(
+        seed ^ 0x6368_7572_6e5f_6e65 ^ ((u32::from(addr) as u64) << 21) ^ slot.rotate_left(43),
+    );
+    // Map the top 53 bits to [0, 1): exact for every representable chance.
+    ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < chance
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::addr::{ip, SockAddr};
 
     #[test]
     fn presets_valid() {
         FaultPlan::NONE.validate().unwrap();
         FaultPlan::LOSSY.validate().unwrap();
+        FaultSchedule::none().validate().unwrap();
+        FaultSchedule::lossy().validate().unwrap();
+        FaultSchedule::hostile().validate().unwrap();
+        assert!(FaultSchedule::none().is_none());
+        assert!(!FaultSchedule::lossy().is_none());
     }
 
     #[test]
@@ -76,5 +588,144 @@ mod tests {
             ..FaultPlan::NONE
         };
         assert!(nan.validate().is_err());
+        let churn = FaultPlan {
+            churn_chance: 0.1,
+            churn_period_ms: 0,
+            ..FaultPlan::NONE
+        };
+        assert!(churn.validate().is_err());
+        let sched = FaultSchedule::uniform(bad);
+        assert!(sched.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_window_and_unwindowed_ramp() {
+        let mut s = FaultSchedule::uniform(FaultPlan::LOSSY);
+        s.phases[0].from_ms = Some(100);
+        s.phases[0].to_ms = Some(100);
+        assert!(s.validate().unwrap_err().contains("inverted"));
+
+        let mut s = FaultSchedule::uniform(FaultPlan::LOSSY);
+        s.phases[0].ramp = Some(Ramp { start: 0.0, end: 1.0 });
+        assert!(s.validate().unwrap_err().contains("finite window"));
+    }
+
+    #[test]
+    fn rejects_overlapping_outages() {
+        let outage = |from: u64, to: u64| FaultPhase {
+            name: format!("outage-{from}"),
+            from_ms: Some(from),
+            to_ms: Some(to),
+            plan: FaultPlan {
+                drop_chance: 1.0,
+                ..FaultPlan::NONE
+            },
+            ..FaultPhase::default()
+        };
+        let ok = FaultSchedule {
+            phases: vec![outage(0, 100), outage(100, 200)],
+        };
+        ok.validate().unwrap();
+        let bad = FaultSchedule {
+            phases: vec![outage(0, 100), outage(50, 200)],
+        };
+        assert!(bad.validate().unwrap_err().contains("overlapping"));
+        let unbounded = FaultSchedule {
+            phases: vec![FaultPhase {
+                plan: FaultPlan {
+                    drop_chance: 1.0,
+                    ..FaultPlan::NONE
+                },
+                ..FaultPhase::default()
+            }],
+        };
+        assert!(unbounded.validate().is_err());
+    }
+
+    #[test]
+    fn windows_scopes_and_ramps() {
+        let phase = FaultPhase {
+            from_ms: Some(1_000),
+            to_ms: Some(2_000),
+            scope: FaultScope {
+                dst: Some("10.0.0.0/8".parse().unwrap()),
+                ports: vec![23],
+                direction: Direction::Forward,
+            },
+            plan: FaultPlan {
+                drop_chance: 0.5,
+                ..FaultPlan::NONE
+            },
+            ramp: Some(Ramp { start: 0.0, end: 4.0 }),
+            ..FaultPhase::default()
+        };
+        assert!(!phase.active_at(SimTime(999)));
+        assert!(phase.active_at(SimTime(1_000)));
+        assert!(!phase.active_at(SimTime(2_000)));
+        let telnet = SockAddr::new(ip(10, 1, 2, 3), 23);
+        assert!(phase.scope.matches(telnet, Direction::Forward));
+        assert!(!phase.scope.matches(telnet, Direction::Reverse));
+        assert!(!phase.scope.matches(SockAddr::new(ip(10, 1, 2, 3), 80), Direction::Forward));
+        assert!(!phase.scope.matches(SockAddr::new(ip(11, 0, 0, 1), 23), Direction::Forward));
+        // Ramp 0→4 on drop 0.5: zero at the start, 1x (0.5) a quarter in,
+        // and clamped to 1.0 near the end (raw value would be ~2).
+        assert_eq!(phase.drop_chance_at(SimTime(1_000)), 0.0);
+        assert!((phase.drop_chance_at(SimTime(1_250)) - 0.5).abs() < 1e-9);
+        assert_eq!(phase.drop_chance_at(SimTime(1_999)), 1.0);
+    }
+
+    #[test]
+    fn outage_minutes_sums_windows() {
+        assert_eq!(FaultSchedule::hostile().outage_minutes(), 360);
+        assert_eq!(FaultSchedule::lossy().outage_minutes(), 0);
+    }
+
+    #[test]
+    fn churn_is_pure_and_flaps() {
+        let addr = ip(10, 3, 4, 5);
+        let t = SimTime(5_000_000);
+        assert_eq!(
+            churn_dark(7, addr, t, 0.3, 600_000),
+            churn_dark(7, addr, t, 0.3, 600_000)
+        );
+        assert!(!churn_dark(7, addr, t, 0.0, 600_000));
+        assert!(churn_dark(7, addr, t, 1.0, 600_000));
+        // Across many slots roughly `chance` of them are dark, and at least
+        // one transition happens (the host flaps rather than dying).
+        let dark: Vec<bool> = (0..200u64)
+            .map(|slot| churn_dark(7, addr, SimTime(slot * 600_000), 0.3, 600_000))
+            .collect();
+        let n = dark.iter().filter(|&&d| d).count();
+        assert!(n > 20 && n < 120, "churn fraction wildly off: {n}/200");
+        assert!(dark.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn schedule_serde_round_trips() {
+        let s = FaultSchedule::hostile();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // CIDR scopes serialize as readable strings.
+        let scoped = FaultSchedule {
+            phases: vec![FaultPhase {
+                scope: FaultScope {
+                    dst: Some("44.0.0.0/8".parse().unwrap()),
+                    ..FaultScope::default()
+                },
+                plan: FaultPlan::LOSSY,
+                ..FaultPhase::default()
+            }],
+        };
+        let json = serde_json::to_string(&scoped).unwrap();
+        assert!(json.contains("\"44.0.0.0/8\""), "{json}");
+        assert_eq!(serde_json::from_str::<FaultSchedule>(&json).unwrap(), scoped);
+        // Sparse hand-written phases parse via defaults.
+        let sparse: FaultSchedule = serde_json::from_str(
+            r#"{ "phases": [ { "name": "loss", "plan": { "drop_chance": 0.1 } } ] }"#,
+        )
+        .unwrap();
+        assert_eq!(sparse.phases[0].plan.drop_chance, 0.1);
+        assert_eq!(sparse.phases[0].plan.jitter_ms, 0);
     }
 }

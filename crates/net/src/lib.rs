@@ -75,7 +75,7 @@ pub use addr::{ip, ipu, SockAddr};
 pub use agent::{Agent, AgentId, ConnToken, NetCtx, TcpDecision};
 pub use cidr::{Cidr, CidrSet};
 pub use fasthash::{FastMap, FastSet};
-pub use fault::FaultPlan;
+pub use fault::{churn_dark, Direction, FaultPhase, FaultPlan, FaultSchedule, FaultScope, Ramp};
 pub use packet::{FlowKind, FlowObservation, Payload, PayloadBuilder, Transport};
 pub use shard::{shard_of, ShardSpec};
 pub use sim::{EgressStats, LatencyModel, SimNet, SimNetConfig};

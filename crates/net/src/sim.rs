@@ -4,15 +4,26 @@
 //!
 //! ## Transport semantics
 //!
-//! * **TCP connect**: subject to `FaultPlan::drop_chance` (a lost SYN or
-//!   SYN-ACK manifests as a timeout, exactly the loss mode stateless scanners
-//!   like ZMap experience). Connecting to unoccupied space times out; to an
-//!   occupied host with a refusing agent, produces an RST (`on_tcp_refused`).
+//! * **TCP connect**: subject to the configured [`FaultSchedule`] (a lost SYN
+//!   or SYN-ACK manifests as a timeout, exactly the loss mode stateless
+//!   scanners like ZMap experience; a rate-limiting intermediary manifests as
+//!   a refusal; a churned-dark host as a timeout). Connecting to unoccupied
+//!   space times out; to an occupied host with a refusing agent, produces an
+//!   RST (`on_tcp_refused`).
 //! * **TCP data**: reliable and ordered once established (retransmission is
 //!   below the abstraction line), delivered after the connection's fixed
-//!   per-pair latency.
-//! * **UDP**: unreliable — subject to drops and (optionally) single-octet
-//!   corruption. Supports spoofed sources, the reflection-attack primitive.
+//!   per-pair latency plus any scheduled jitter — clamped so delivery stays
+//!   FIFO per connection and direction. Fault schedules may inject resets
+//!   (`on_tcp_reset` at both ends) and blackouts (segments crossing a total
+//!   outage tear the connection down).
+//! * **UDP**: unreliable — subject to drops, duplicate delivery, and
+//!   (optionally) single-bit corruption. Supports spoofed sources, the
+//!   reflection-attack primitive.
+//!
+//! Dropped packets are dropped *in transit*: observation taps do not see
+//! them, which is how scheduled outages produce real gaps in the telescope's
+//! capture. Churned-dark hosts, by contrast, drop traffic at the host, so
+//! taps still observe it.
 //!
 //! ## Observation taps
 //!
@@ -34,7 +45,7 @@ use crate::addr::SockAddr;
 use crate::agent::{Agent, AgentId, ConnToken, NetCtx, TcpDecision};
 use crate::cidr::Cidr;
 use crate::event::EventQueue;
-use crate::fault::FaultPlan;
+use crate::fault::{churn_dark, Direction, FaultSchedule};
 use crate::packet::{FlowKind, FlowObservation, Payload, PayloadBuilder, Transport};
 use crate::rng;
 use crate::time::{SimDuration, SimTime};
@@ -75,8 +86,9 @@ impl Default for LatencyModel {
 pub struct SimNetConfig {
     /// Master seed for the fabric RNG (fault decisions, jitter).
     pub seed: u64,
-    /// Fault injection plan.
-    pub fault: FaultPlan,
+    /// Fault injection schedule (empty = fault-free fast path).
+    #[serde(default)]
+    pub faults: FaultSchedule,
     /// Latency model.
     pub latency: LatencyModel,
     /// How long a connection attempt waits before `on_tcp_timeout`.
@@ -87,7 +99,7 @@ impl Default for SimNetConfig {
     fn default() -> Self {
         SimNetConfig {
             seed: 0,
-            fault: FaultPlan::NONE,
+            faults: FaultSchedule::none(),
             latency: LatencyModel::default(),
             syn_timeout: SimDuration::from_secs(3),
         }
@@ -106,6 +118,15 @@ pub struct Counters {
     pub udp_datagrams_sent: u64,
     pub udp_datagrams_dropped: u64,
     pub udp_datagrams_corrupted: u64,
+    pub udp_datagrams_duplicated: u64,
+    /// SYNs / SYN-ACKs lost to the fault schedule (in transit).
+    pub tcp_handshake_drops: u64,
+    /// SYNs answered by a simulated rate limiter instead of the host.
+    pub tcp_rate_limited: u64,
+    /// Established connections torn down by an injected reset or blackout.
+    pub tcp_resets_injected: u64,
+    /// Packets swallowed because the destination host was churned dark.
+    pub churn_suppressed: u64,
 }
 
 impl Counters {
@@ -121,6 +142,11 @@ impl Counters {
         self.udp_datagrams_sent += other.udp_datagrams_sent;
         self.udp_datagrams_dropped += other.udp_datagrams_dropped;
         self.udp_datagrams_corrupted += other.udp_datagrams_corrupted;
+        self.udp_datagrams_duplicated += other.udp_datagrams_duplicated;
+        self.tcp_handshake_drops += other.tcp_handshake_drops;
+        self.tcp_rate_limited += other.tcp_rate_limited;
+        self.tcp_resets_injected += other.tcp_resets_injected;
+        self.churn_suppressed += other.churn_suppressed;
     }
 }
 
@@ -155,6 +181,14 @@ struct ConnState {
     /// scanners use it to recover the sweep a probe belongs to without a
     /// per-probe side table.
     tag: u64,
+    /// Latest delivery time already scheduled toward the server — jittered
+    /// segments are clamped to at least this, keeping the stream FIFO.
+    fifo_fwd: SimTime,
+    /// Same, toward the client.
+    fifo_rev: SimTime,
+    /// An injected reset is in flight: the connection is dying, further
+    /// segments go nowhere, and a [`NetEvent::ResetTeardown`] will remove it.
+    reset_pending: bool,
 }
 
 enum NetEvent {
@@ -176,6 +210,9 @@ enum NetEvent {
     CloseArrive {
         conn: u64,
         to_agent: AgentId,
+    },
+    ResetTeardown {
+        conn: u64,
     },
     ConnTimeout {
         conn: u64,
@@ -211,6 +248,12 @@ pub struct Fabric {
     /// While dispatching a UDP arrival: (receiving agent, sender) — used to
     /// classify the agent's own sends during the callback as replies.
     current_udp_inbound: Option<(AgentId, SockAddr)>,
+    /// While dispatching a terminal outcome (refused/timeout): the connection
+    /// being torn down as `(id, tag, server_sock)`, so `conn_tag` /
+    /// `conn_peer` still answer inside the callback — retrying clients need
+    /// the target back — without keeping the slab slot alive (a callback may
+    /// legitimately open new connections that reuse it).
+    closing: Option<(u64, u64, SockAddr)>,
     pub(crate) rng: StdRng,
     cfg: SimNetConfig,
     taps: Vec<(Cidr, Box<dyn FlowTap>)>,
@@ -379,6 +422,9 @@ impl Fabric {
             phase: ConnPhase::Connecting,
             client_notified: false,
             tag,
+            fifo_fwd: SimTime(0),
+            fifo_rev: SimTime(0),
+            reset_pending: false,
         });
         if let Some(log) = &mut self.conn_capture {
             log.push(id);
@@ -386,29 +432,57 @@ impl Fabric {
         self.counters.syns_sent += 1;
         self.egress[client.0 as usize].tcp_initiated += 1;
         self.obs_conns_peak = self.obs_conns_peak.max(self.conns.len() as u64);
-        let ttl = self.ttls[client.0 as usize];
-        let window = self.windows[client.0 as usize];
-        self.observe(
-            client_sock,
-            dst,
-            Transport::Tcp,
-            FlowKind::TcpSyn,
-            ttl,
-            FlowObservation::SYN,
-            window,
-            &Payload::empty(),
-            false,
-        );
+        let verdict = if self.cfg.faults.is_none() {
+            SynVerdict::Deliver
+        } else {
+            self.fault_syn(dst)
+        };
+        match verdict {
+            SynVerdict::Lost => self.counters.tcp_handshake_drops += 1,
+            SynVerdict::RateLimited => self.counters.tcp_rate_limited += 1,
+            SynVerdict::Dark => self.counters.churn_suppressed += 1,
+            SynVerdict::Deliver => {}
+        }
+        // Lost and rate-limited SYNs die *in transit*, before any tap at the
+        // destination network; dark-host suppression happens at the host, so
+        // the wire (and the telescope) still sees the SYN.
+        if !matches!(verdict, SynVerdict::Lost | SynVerdict::RateLimited) {
+            let ttl = self.ttls[client.0 as usize];
+            let window = self.windows[client.0 as usize];
+            self.observe(
+                client_sock,
+                dst,
+                Transport::Tcp,
+                FlowKind::TcpSyn,
+                ttl,
+                FlowObservation::SYN,
+                window,
+                &Payload::empty(),
+                false,
+            );
+        }
         let now = self.queue.now();
         // The timeout backstop always exists; it is ignored if an outcome
         // reaches the client first.
         self.queue
             .schedule(now + self.cfg.syn_timeout, NetEvent::ConnTimeout { conn: id });
-        let occupied = self.by_addr.contains_key(&dst.addr);
-        let syn_lost = self.roll(self.cfg.fault.drop_chance);
-        if occupied && !syn_lost {
-            self.queue
-                .schedule(now + latency, NetEvent::SynArrive { conn: id });
+        match verdict {
+            SynVerdict::Deliver if self.by_addr.contains_key(&dst.addr) => {
+                self.queue
+                    .schedule(now + latency, NetEvent::SynArrive { conn: id });
+            }
+            SynVerdict::RateLimited => {
+                // An intermediary answered with ICMP unreachable: the client
+                // experiences a refusal after one round trip.
+                self.queue.schedule(
+                    now + latency,
+                    NetEvent::ConnOutcome {
+                        conn: id,
+                        accepted: false,
+                    },
+                );
+            }
+            _ => {}
         }
         ConnToken(id)
     }
@@ -417,12 +491,16 @@ impl Fabric {
         let Some(c) = self.conns.get(conn.0) else {
             return; // connection already gone (closed/refused)
         };
+        if c.reset_pending {
+            return; // dying connection: the segment is lost with it
+        }
         let to_server = c.client == sender;
         let (latency, src, dst) = if to_server {
             (c.latency, c.client_sock, c.server_sock)
         } else {
             (c.latency, c.server_sock, c.client_sock)
         };
+        let service = if to_server { dst } else { src };
         self.counters.tcp_payload_bytes += data.len() as u64;
         self.obs_tcp_bytes.record(data.len() as u64);
         let ttl = self.ttls[sender.0 as usize];
@@ -438,8 +516,43 @@ impl Fabric {
             false,
         );
         let now = self.queue.now();
+        let mut deliver = now + latency;
+        if !self.cfg.faults.is_none() {
+            let dir = if to_server {
+                Direction::Forward
+            } else {
+                Direction::Reverse
+            };
+            let (reset, jitter) = self.fault_tcp_segment(service, dir);
+            if reset {
+                // The connection is torn down mid-stream; both ends learn of
+                // it after one latency. The segment itself is gone, but the
+                // conn stays in the table until the teardown event so an
+                // in-flight `ConnOutcome` (the greeting races the SYN-ACK)
+                // still notifies the client before the reset does.
+                self.counters.tcp_resets_injected += 1;
+                let c = self.conns.get_mut(conn.0).expect("conn checked above");
+                c.reset_pending = true;
+                self.queue
+                    .schedule(now + latency, NetEvent::ResetTeardown { conn: conn.0 });
+                return;
+            }
+            deliver = deliver + jitter;
+        }
+        // FIFO clamp: a lightly-jittered segment never overtakes a heavily-
+        // jittered predecessor within the same connection and direction.
+        let c = self.conns.get_mut(conn.0).expect("conn checked above");
+        let fifo = if to_server {
+            &mut c.fifo_fwd
+        } else {
+            &mut c.fifo_rev
+        };
+        if deliver < *fifo {
+            deliver = *fifo;
+        }
+        *fifo = deliver;
         self.queue.schedule(
-            now + latency,
+            deliver,
             NetEvent::DataArrive {
                 conn: conn.0,
                 to_server,
@@ -489,6 +602,38 @@ impl Fabric {
         // Spoofed packets carry the TTL fingerprint of the claimed source's
         // would-be stack only if the attacker bothers; we use a fixed 255.
         let ttl = 255u8;
+        let mut jitter = SimDuration::ZERO;
+        let mut duplicate = false;
+        if !self.cfg.faults.is_none() {
+            match self.fault_udp(dst, &mut payload) {
+                UdpVerdict::Dropped => {
+                    // Lost in transit: no tap sees it — scheduled outages
+                    // carve real gaps into the telescope capture.
+                    self.counters.udp_datagrams_dropped += 1;
+                    return;
+                }
+                UdpVerdict::Dark => {
+                    // Dropped at the churned-dark host; the wire saw it.
+                    self.counters.churn_suppressed += 1;
+                    self.observe(
+                        src,
+                        dst,
+                        Transport::Udp,
+                        FlowKind::UdpDatagram,
+                        ttl,
+                        0,
+                        0,
+                        &payload,
+                        spoofed,
+                    );
+                    return;
+                }
+                UdpVerdict::Deliver { jitter: j, dup } => {
+                    jitter = j;
+                    duplicate = dup;
+                }
+            }
+        }
         self.observe(
             src,
             dst,
@@ -503,33 +648,38 @@ impl Fabric {
         if !self.by_addr.contains_key(&dst.addr) {
             return;
         }
-        if self.roll(self.cfg.fault.drop_chance) {
-            self.counters.udp_datagrams_dropped += 1;
-            return;
-        }
-        if !payload.is_empty() && self.roll(self.cfg.fault.corrupt_chance) {
-            self.counters.udp_datagrams_corrupted += 1;
-            let idx = self.rng.gen_range(0..payload.len());
-            let bit = 1u8 << self.rng.gen_range(0..8);
-            // Copy-on-write: payloads are shared immutably, so the (rare)
-            // corruption fault clones the bytes into a fresh pooled buffer.
-            let mut corrupted = PayloadBuilder::new();
-            corrupted.extend_from_slice(&payload);
-            corrupted[idx] ^= bit;
-            payload = corrupted.freeze();
-        }
-        let latency = self.cfg.latency.one_way(src.addr, dst.addr) + self.jitter();
+        let latency = self.cfg.latency.one_way(src.addr, dst.addr) + jitter;
         let now = self.queue.now();
+        if duplicate {
+            self.counters.udp_datagrams_duplicated += 1;
+            self.queue.schedule(
+                now + latency + SimDuration::from_millis(1),
+                NetEvent::UdpArrive {
+                    src,
+                    dst,
+                    payload: payload.clone(),
+                },
+            );
+        }
         self.queue
             .schedule(now + latency, NetEvent::UdpArrive { src, dst, payload });
     }
 
     pub(crate) fn conn_tag(&self, conn: ConnToken) -> Option<u64> {
-        self.conns.get(conn.0).map(|c| c.tag)
+        self.conns.get(conn.0).map(|c| c.tag).or(match self.closing {
+            Some((id, tag, _)) if id == conn.0 => Some(tag),
+            _ => None,
+        })
     }
 
     pub(crate) fn conn_peer(&self, conn: ConnToken) -> Option<SockAddr> {
-        self.conns.get(conn.0).map(|c| c.server_sock)
+        self.conns
+            .get(conn.0)
+            .map(|c| c.server_sock)
+            .or(match self.closing {
+                Some((id, _, peer)) if id == conn.0 => Some(peer),
+                _ => None,
+            })
     }
 
     pub(crate) fn set_timer(&mut self, agent: AgentId, delay: SimDuration, token: u64) {
@@ -538,17 +688,111 @@ impl Fabric {
             .schedule(now + delay, NetEvent::Timer { agent, token });
     }
 
-    fn roll(&mut self, p: f64) -> bool {
-        p > 0.0 && self.rng.gen_bool(p.min(1.0))
+    /// Evaluate the fault schedule for an outbound SYN toward `dst`.
+    fn fault_syn(&mut self, dst: SockAddr) -> SynVerdict {
+        let now = self.queue.now();
+        let seed = self.cfg.seed;
+        let rng = &mut self.rng;
+        for p in self.cfg.faults.matching(now, dst, Direction::Forward) {
+            if churn_dark(seed, dst.addr, now, p.plan.churn_chance, p.plan.churn_period_ms) {
+                return SynVerdict::Dark;
+            }
+            if roll(rng, p.drop_chance_at(now)) {
+                return SynVerdict::Lost;
+            }
+            if roll(rng, p.plan.rate_limit_chance) {
+                return SynVerdict::RateLimited;
+            }
+        }
+        SynVerdict::Deliver
     }
 
-    fn jitter(&mut self) -> SimDuration {
-        if self.cfg.fault.jitter_ms == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_millis(self.rng.gen_range(0..=self.cfg.fault.jitter_ms))
+    /// Whether a server→client handshake response is lost in transit.
+    fn fault_response_lost(&mut self, service: SockAddr) -> bool {
+        let now = self.queue.now();
+        let rng = &mut self.rng;
+        for p in self.cfg.faults.matching(now, service, Direction::Reverse) {
+            if roll(rng, p.drop_chance_at(now)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Faults for one established-connection segment: `(reset, jitter)`.
+    /// Segments are never silently dropped (TCP retransmits below the
+    /// abstraction line), but a segment crossing a total blackout means the
+    /// retransmissions die too — the connection tears down like a reset.
+    fn fault_tcp_segment(&mut self, service: SockAddr, dir: Direction) -> (bool, SimDuration) {
+        let now = self.queue.now();
+        let rng = &mut self.rng;
+        let mut jitter_ms = 0u64;
+        for p in self.cfg.faults.matching(now, service, dir) {
+            if p.drop_chance_at(now) >= 1.0 || roll(rng, p.plan.reset_chance) {
+                return (true, SimDuration::ZERO);
+            }
+            if p.plan.jitter_ms > 0 {
+                jitter_ms += rng.gen_range(0..=p.plan.jitter_ms);
+            }
+        }
+        (false, SimDuration::from_millis(jitter_ms))
+    }
+
+    /// Faults for one UDP datagram toward `dst`; may corrupt the payload
+    /// in place (copy-on-write — payload buffers are shared immutably).
+    fn fault_udp(&mut self, dst: SockAddr, payload: &mut Payload) -> UdpVerdict {
+        let now = self.queue.now();
+        let seed = self.cfg.seed;
+        let rng = &mut self.rng;
+        let mut jitter_ms = 0u64;
+        let mut dup = false;
+        let mut corrupt = false;
+        for p in self.cfg.faults.matching(now, dst, Direction::Forward) {
+            if roll(rng, p.drop_chance_at(now)) {
+                return UdpVerdict::Dropped;
+            }
+            if churn_dark(seed, dst.addr, now, p.plan.churn_chance, p.plan.churn_period_ms) {
+                return UdpVerdict::Dark;
+            }
+            corrupt |= roll(rng, p.plan.corrupt_chance);
+            dup |= roll(rng, p.plan.duplicate_chance);
+            if p.plan.jitter_ms > 0 {
+                jitter_ms += rng.gen_range(0..=p.plan.jitter_ms);
+            }
+        }
+        if corrupt && !payload.is_empty() {
+            self.counters.udp_datagrams_corrupted += 1;
+            let idx = self.rng.gen_range(0..payload.len());
+            let bit = 1u8 << self.rng.gen_range(0..8);
+            let mut corrupted = PayloadBuilder::new();
+            corrupted.extend_from_slice(payload);
+            corrupted[idx] ^= bit;
+            *payload = corrupted.freeze();
+        }
+        UdpVerdict::Deliver {
+            jitter: SimDuration::from_millis(jitter_ms),
+            dup,
         }
     }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SynVerdict {
+    Deliver,
+    Lost,
+    RateLimited,
+    Dark,
+}
+
+enum UdpVerdict {
+    Dropped,
+    Dark,
+    Deliver { jitter: SimDuration, dup: bool },
+}
+
+#[inline]
+fn roll(rng: &mut StdRng, p: f64) -> bool {
+    p > 0.0 && rng.gen_bool(p.min(1.0))
 }
 
 /// The simulated Internet.
@@ -564,7 +808,7 @@ pub struct SimNet {
 
 impl SimNet {
     pub fn new(cfg: SimNetConfig) -> Self {
-        cfg.fault.validate().expect("invalid fault plan");
+        cfg.faults.validate().expect("invalid fault schedule");
         let rng = StdRng::seed_from_u64(rng::derive_seed(cfg.seed, "ofh-net/fabric"));
         SimNet {
             fabric: Fabric {
@@ -577,6 +821,7 @@ impl SimNet {
                 windows: Vec::new(),
                 egress: Vec::new(),
                 current_udp_inbound: None,
+                closing: None,
                 rng,
                 cfg,
                 taps: Vec::new(),
@@ -649,6 +894,13 @@ impl SimNet {
     /// Traffic counters so far.
     pub fn counters(&self) -> Counters {
         self.fabric.counters
+    }
+
+    /// Connections still open in the fabric (sessions neither side has
+    /// closed yet). Diagnostic: the chaos harness checks a fault schedule
+    /// does not inflate this beyond the fault-free run's count.
+    pub fn live_connections(&self) -> usize {
+        self.fabric.conns.len()
     }
 
     /// Egress accounting for an agent — the Appendix A.3 sandboxing audit:
@@ -801,7 +1053,14 @@ impl SimNet {
                 self.with_agent(server_id, |a, ctx| {
                     decision = a.on_tcp_open(ctx, ConnToken(conn), dst_sock.port, client_sock);
                 });
-                let response_lost = self.fabric.roll(self.fabric.cfg.fault.drop_chance);
+                let response_lost = if self.fabric.cfg.faults.is_none() {
+                    false
+                } else {
+                    self.fabric.fault_response_lost(dst_sock)
+                };
+                if response_lost {
+                    self.fabric.counters.tcp_handshake_drops += 1;
+                }
                 let Some(c) = self.fabric.conns.get_mut(conn) else {
                     return;
                 };
@@ -854,8 +1113,12 @@ impl SimNet {
                     self.with_agent(client, |a, ctx| a.on_tcp_established(ctx, ConnToken(conn)));
                 } else {
                     self.fabric.counters.conns_refused += 1;
-                    self.fabric.conns.remove(conn);
+                    let c = self.fabric.conns.remove(conn).expect("conn checked above");
+                    // Keep tag/peer answerable during the callback so a
+                    // retrying client can recover its target.
+                    self.fabric.closing = Some((conn, c.tag, c.server_sock));
                     self.with_agent(client, |a, ctx| a.on_tcp_refused(ctx, ConnToken(conn)));
+                    self.fabric.closing = None;
                 }
             }
             NetEvent::DataArrive {
@@ -877,6 +1140,19 @@ impl SimNet {
             NetEvent::CloseArrive { conn, to_agent } => {
                 self.with_agent(to_agent, |a, ctx| a.on_tcp_closed(ctx, ConnToken(conn)));
             }
+            NetEvent::ResetTeardown { conn } => {
+                let Some(c) = self.fabric.conns.remove(conn) else {
+                    return;
+                };
+                // Keep tag/peer answerable during the callbacks so resilient
+                // clients (the scanner's grab retry) can recover the target.
+                self.fabric.closing = Some((conn, c.tag, c.server_sock));
+                self.with_agent(c.client, |a, ctx| a.on_tcp_reset(ctx, ConnToken(conn)));
+                if let Some(server) = c.server {
+                    self.with_agent(server, |a, ctx| a.on_tcp_reset(ctx, ConnToken(conn)));
+                }
+                self.fabric.closing = None;
+            }
             NetEvent::ConnTimeout { conn } => {
                 let Some(c) = self.fabric.conns.get(conn) else {
                     return;
@@ -885,9 +1161,11 @@ impl SimNet {
                     return; // outcome already delivered; backstop is stale
                 }
                 let client = c.client;
-                self.fabric.conns.remove(conn);
+                let c = self.fabric.conns.remove(conn).expect("conn checked above");
                 self.fabric.counters.conn_timeouts += 1;
+                self.fabric.closing = Some((conn, c.tag, c.server_sock));
                 self.with_agent(client, |a, ctx| a.on_tcp_timeout(ctx, ConnToken(conn)));
+                self.fabric.closing = None;
             }
             NetEvent::UdpArrive { src, dst, payload } => {
                 let Some(target) = self.fabric.by_addr.get(&dst.addr).copied() else {
@@ -908,6 +1186,7 @@ impl SimNet {
 mod tests {
     use super::*;
     use crate::addr::ip;
+    use crate::fault::{FaultPhase, FaultPlan, FaultScope};
 
     /// A server that accepts on one port with a banner and echoes data back
     /// in upper-case; refuses every other port.
@@ -1182,11 +1461,10 @@ mod tests {
     fn faults_cause_timeouts_deterministically() {
         let cfg = SimNetConfig {
             seed: 7,
-            fault: FaultPlan {
+            faults: FaultSchedule::uniform(FaultPlan {
                 drop_chance: 0.5,
-                corrupt_chance: 0.0,
-                jitter_ms: 0,
-            },
+                ..FaultPlan::NONE
+            }),
             latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
             ..SimNetConfig::default()
         };
@@ -1257,5 +1535,275 @@ mod tests {
         net.run_until(SimTime(10_000));
         let s = net.agent_downcast::<Echo>(server).unwrap();
         assert!(s.seen.is_empty());
+    }
+
+    fn uniform_net(plan: FaultPlan) -> SimNet {
+        SimNet::new(SimNetConfig {
+            seed: 7,
+            faults: FaultSchedule::uniform(plan),
+            latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
+            ..SimNetConfig::default()
+        })
+    }
+
+    /// Client that records a reset distinctly from a close.
+    struct ResetAware {
+        dst: SockAddr,
+        established: bool,
+        reset: bool,
+        closed: bool,
+    }
+
+    impl Agent for ResetAware {
+        fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+            ctx.tcp_connect(self.dst);
+        }
+        fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+            self.established = true;
+            ctx.tcp_send(conn, b"hello".to_vec());
+        }
+        fn on_tcp_reset(&mut self, _ctx: &mut NetCtx<'_>, _conn: ConnToken) {
+            self.reset = true;
+        }
+        fn on_tcp_closed(&mut self, _ctx: &mut NetCtx<'_>, _conn: ConnToken) {
+            self.closed = true;
+        }
+    }
+
+    #[test]
+    fn injected_reset_notifies_both_ends() {
+        // Every segment rolls a reset: the client's "hello" tears the
+        // connection down; client sees on_tcp_reset, server's default
+        // on_tcp_reset falls through to on_tcp_closed.
+        let mut net = uniform_net(FaultPlan {
+            reset_chance: 1.0,
+            ..FaultPlan::NONE
+        });
+        let server_addr = ip(10, 0, 0, 1);
+        let server = net.attach(server_addr, Box::new(Echo::new(23, b"")));
+        let client = net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(ResetAware {
+                dst: SockAddr::new(server_addr, 23),
+                established: false,
+                reset: false,
+                closed: false,
+            }),
+        );
+        net.run_until(SimTime(30_000));
+        let s = net.agent_downcast::<Echo>(server).unwrap();
+        assert!(s.seen.is_empty(), "segment must not be delivered");
+        assert_eq!(s.closed, 1, "server hears the reset via on_tcp_closed");
+        let c = net.agent_downcast::<ResetAware>(client).unwrap();
+        assert!(c.reset && !c.closed);
+        assert!(net.counters().tcp_resets_injected >= 1);
+    }
+
+    #[test]
+    fn rate_limit_manifests_as_refusal() {
+        let mut net = uniform_net(FaultPlan {
+            rate_limit_chance: 1.0,
+            ..FaultPlan::NONE
+        });
+        let server_addr = ip(10, 0, 0, 1);
+        net.attach(server_addr, Box::new(Echo::new(23, b"x")));
+        let client = net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(Client::new(SockAddr::new(server_addr, 23))),
+        );
+        net.run_until(SimTime(30_000));
+        let c = net.agent_downcast::<Client>(client).unwrap();
+        assert!(c.refused && !c.established && !c.timed_out);
+        let counters = net.counters();
+        assert_eq!(counters.tcp_rate_limited, 1);
+        assert_eq!(counters.conns_refused, 1);
+        assert_eq!(counters.conns_established, 0);
+    }
+
+    #[test]
+    fn churned_dark_host_times_out_but_is_observed() {
+        struct Recorder {
+            flows: usize,
+        }
+        impl FlowTap for Recorder {
+            fn observe(&mut self, _obs: &FlowObservation) {
+                self.flows += 1;
+            }
+        }
+        let mut net = uniform_net(FaultPlan {
+            churn_chance: 1.0,
+            ..FaultPlan::NONE
+        });
+        let tap = net.add_tap("10.0.0.0/8".parse().unwrap(), Box::new(Recorder { flows: 0 }));
+        let server_addr = ip(10, 0, 0, 1);
+        net.attach(server_addr, Box::new(Echo::new(23, b"x")));
+        let client = net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(Client::new(SockAddr::new(server_addr, 23))),
+        );
+        net.run_until(SimTime(30_000));
+        let c = net.agent_downcast::<Client>(client).unwrap();
+        assert!(c.timed_out && !c.established, "dark host looks like empty space");
+        assert_eq!(net.counters().churn_suppressed, 1);
+        let rec = net.tap_downcast_mut::<Recorder>(tap).unwrap();
+        assert_eq!(rec.flows, 1, "host-level churn still reaches the wire tap");
+    }
+
+    #[test]
+    fn duplicate_udp_delivers_twice() {
+        struct OneShot {
+            dst: SockAddr,
+        }
+        impl Agent for OneShot {
+            fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+                ctx.udp_send(40_000, self.dst, b"ping".to_vec());
+            }
+        }
+        let mut net = uniform_net(FaultPlan {
+            duplicate_chance: 1.0,
+            ..FaultPlan::NONE
+        });
+        let server_addr = ip(10, 0, 0, 1);
+        let server = net.attach(server_addr, Box::new(Echo::new(23, b"")));
+        net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(OneShot {
+                dst: SockAddr::new(server_addr, 5683),
+            }),
+        );
+        net.run_until(SimTime(10_000));
+        let s = net.agent_downcast::<Echo>(server).unwrap();
+        assert_eq!(s.udp_seen.len(), 2, "duplicate delivery arrives twice");
+        assert!(net.counters().udp_datagrams_duplicated >= 1);
+    }
+
+    #[test]
+    fn outage_window_blacks_out_then_recovers() {
+        struct Retrier {
+            dst: SockAddr,
+            outcomes: Vec<&'static str>,
+        }
+        impl Agent for Retrier {
+            fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+                ctx.tcp_connect(self.dst);
+                ctx.set_timer(SimDuration::from_secs(10), 1);
+            }
+            fn on_tcp_established(&mut self, _ctx: &mut NetCtx<'_>, _conn: ConnToken) {
+                self.outcomes.push("established");
+            }
+            fn on_tcp_timeout(&mut self, _ctx: &mut NetCtx<'_>, _conn: ConnToken) {
+                self.outcomes.push("timeout");
+            }
+            fn on_timer(&mut self, ctx: &mut NetCtx<'_>, _token: u64) {
+                ctx.tcp_connect(self.dst);
+            }
+        }
+        let mut net = SimNet::new(SimNetConfig {
+            seed: 7,
+            faults: FaultSchedule {
+                phases: vec![FaultPhase {
+                    name: "outage".into(),
+                    from_ms: Some(0),
+                    to_ms: Some(5_000),
+                    plan: FaultPlan {
+                        drop_chance: 1.0,
+                        ..FaultPlan::NONE
+                    },
+                    ..FaultPhase::default()
+                }],
+            },
+            latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
+            ..SimNetConfig::default()
+        });
+        let server_addr = ip(10, 0, 0, 1);
+        net.attach(server_addr, Box::new(Echo::new(23, b"x")));
+        let client = net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(Retrier {
+                dst: SockAddr::new(server_addr, 23),
+                outcomes: Vec::new(),
+            }),
+        );
+        net.run_until(SimTime(60_000));
+        let c = net.agent_downcast::<Retrier>(client).unwrap();
+        assert_eq!(
+            c.outcomes,
+            vec!["timeout", "established"],
+            "blackout swallows the first attempt; the retry after the window lands"
+        );
+        assert_eq!(net.counters().tcp_handshake_drops, 1);
+    }
+
+    #[test]
+    fn scoped_phase_only_hits_matching_port() {
+        let mut net = SimNet::new(SimNetConfig {
+            seed: 7,
+            faults: FaultSchedule {
+                phases: vec![FaultPhase {
+                    name: "telnet-only".into(),
+                    scope: FaultScope {
+                        ports: vec![23],
+                        ..FaultScope::default()
+                    },
+                    plan: FaultPlan {
+                        drop_chance: 1.0,
+                        ..FaultPlan::NONE
+                    },
+                    from_ms: Some(0),
+                    to_ms: Some(600_000),
+                    ..FaultPhase::default()
+                }],
+            },
+            latency: LatencyModel::Fixed(SimDuration::from_millis(10)),
+            ..SimNetConfig::default()
+        });
+        let server_addr = ip(10, 0, 0, 1);
+        net.attach(server_addr, Box::new(Echo::new(80, b"ok")));
+        let telnet = net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(Client::new(SockAddr::new(server_addr, 23))),
+        );
+        let http = net.attach(
+            ip(10, 0, 0, 3),
+            Box::new(Client::new(SockAddr::new(server_addr, 80))),
+        );
+        net.run_until(SimTime(30_000));
+        assert!(net.agent_downcast::<Client>(telnet).unwrap().timed_out);
+        assert!(net.agent_downcast::<Client>(http).unwrap().established);
+    }
+
+    #[test]
+    fn jitter_never_reorders_within_a_connection() {
+        // 40 back-to-back segments under heavy jitter must arrive in order
+        // (the per-conn FIFO clamp); see also crates/net/tests/fault_props.rs.
+        struct Burst {
+            dst: SockAddr,
+        }
+        impl Agent for Burst {
+            fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+                ctx.tcp_connect(self.dst);
+            }
+            fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+                for i in 0..40u8 {
+                    ctx.tcp_send(conn, vec![i]);
+                }
+            }
+        }
+        let mut net = uniform_net(FaultPlan {
+            jitter_ms: 500,
+            ..FaultPlan::NONE
+        });
+        let server_addr = ip(10, 0, 0, 1);
+        let server = net.attach(server_addr, Box::new(Echo::new(23, b"")));
+        net.attach(
+            ip(10, 0, 0, 2),
+            Box::new(Burst {
+                dst: SockAddr::new(server_addr, 23),
+            }),
+        );
+        net.run_until(SimTime(60_000));
+        let s = net.agent_downcast::<Echo>(server).unwrap();
+        let order: Vec<u8> = s.seen.iter().map(|m| m[0]).collect();
+        assert_eq!(order, (0..40).collect::<Vec<u8>>());
     }
 }

@@ -60,6 +60,61 @@ pub struct ScannerConfig {
     pub shard: ShardSpec,
 }
 
+/// ZGrab-style bounded retry policy for interrupted application-layer grabs.
+///
+/// ZMap's SYN phase stays stateless — a lost first-attempt SYN is
+/// indistinguishable from empty address space and is *never* retried (the
+/// paper's ~2% scan loss). But once a host has answered and a grab is in
+/// flight, an injected reset or a retry-connect failure is a known-responsive
+/// host worth re-contacting: the scanner reconnects after a deterministic
+/// exponential backoff (`min(base · 2^(attempt-1), cap)` plus seeded jitter),
+/// up to `attempts` retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry connects per target after the first attempt (0 = off).
+    pub attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on the exponential backoff, in milliseconds.
+    pub cap_ms: u64,
+    /// Uniform jitter in `[0, jitter_ms]` added to each backoff, drawn from
+    /// the scanner's dedicated retry RNG stream.
+    pub jitter_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 2,
+            base_ms: 500,
+            cap_ms: 4_000,
+            jitter_ms: 250,
+        }
+    }
+}
+
+/// Degradation accounting for one scanner: what the faults took and what the
+/// retry machinery got back. `first_attempt_losses - retries_recovered` is
+/// the net grab loss, non-negative by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanResilience {
+    /// First-attempt grabs interrupted by an injected reset or blackout.
+    pub first_attempt_losses: u64,
+    /// Retry connects actually issued.
+    pub retries_issued: u64,
+    /// Grabs recorded on a retry attempt — losses clawed back.
+    pub retries_recovered: u64,
+}
+
+impl ScanResilience {
+    /// Fold another scanner's counters into this one (cross-shard merge).
+    pub fn absorb(&mut self, other: &ScanResilience) {
+        self.first_attempt_losses += other.first_attempt_losses;
+        self.retries_issued += other.retries_issued;
+        self.retries_recovered += other.retries_recovered;
+    }
+}
+
 impl ScannerConfig {
     /// A full-coverage sweep with paper-faithful ports for `protocol`.
     pub fn full(protocol: Protocol, base: Ipv4Addr, size: u64, start_at: SimTime, seed: u64) -> Self {
@@ -104,6 +159,16 @@ struct Grab {
     port: u16,
     buf: Vec<u8>,
     followed_up: bool,
+    /// 0 for the original sweep probe; n for the n-th retry connect.
+    attempt: u8,
+}
+
+/// A scheduled retry connect, parked until its backoff timer fires.
+struct RetryEntry {
+    sweep: u32,
+    addr: Ipv4Addr,
+    port: u16,
+    attempt: u8,
 }
 
 /// Remembers which addresses the scanner's UDP sweeps probed, so a response
@@ -128,6 +193,10 @@ struct PortTracker {
 /// network past the expected completion time, then read [`Scanner::results`].
 pub struct Scanner {
     pub results: ScanResults,
+    /// Retry/backoff policy for interrupted grabs (ZGrab behaviour).
+    pub retry: RetryPolicy,
+    /// Degradation accounting: losses, retries, recoveries.
+    pub resilience: ScanResilience,
     sweeps: Vec<Sweep>,
     /// Grabs in progress — created on `on_tcp_established`, so the table
     /// only ever holds responsive hosts, not the millions of probes into
@@ -139,11 +208,22 @@ pub struct Scanner {
     /// [`probe::ProbeTemplates`]).
     templates: probe::ProbeTemplates,
     rng: StdRng,
+    /// Dedicated stream for backoff jitter, so retries never perturb the
+    /// sampling draw sequence (which must stay a pure function of targets).
+    retry_rng: StdRng,
+    /// Parked retries, keyed by the id carried in the retry timer token.
+    retries: FastMap<u64, RetryEntry>,
+    next_retry_id: u64,
     message_id: u16,
     active_sweeps: usize,
 }
 
 const DEADLINE_BIT: u64 = 1 << 63;
+const RETRY_BIT: u64 = 1 << 62;
+
+/// The sweep index occupies the tag's low bits; the retry attempt rides in
+/// the high bits so established connections know which attempt they are.
+const TAG_ATTEMPT_SHIFT: u64 = 48;
 
 impl Scanner {
     pub fn new(source: impl Into<String>, configs: Vec<ScannerConfig>) -> Scanner {
@@ -162,14 +242,25 @@ impl Scanner {
         let udp_track = Self::build_udp_tracker(&sweeps);
         Scanner {
             results: ScanResults::new(source),
+            retry: RetryPolicy::default(),
+            resilience: ScanResilience::default(),
             sweeps,
             grabs: FastMap::default(),
             udp_track,
             templates: probe::ProbeTemplates::new(),
             rng: StdRng::seed_from_u64(ofh_net::rng::derive_seed(seed, "scanner")),
+            retry_rng: StdRng::seed_from_u64(ofh_net::rng::derive_seed(seed, "scanner/retry")),
+            retries: FastMap::default(),
+            next_retry_id: 0,
             message_id: 1,
             active_sweeps: active,
         }
+    }
+
+    /// In-flight grabs plus parked retries — must be zero once the network
+    /// has drained past the scan's end (the chaos harness asserts this).
+    pub fn leaked_state(&self) -> u64 {
+        (self.grabs.len() + self.retries.len()) as u64
     }
 
     /// Port-indexed UDP probe tracking when ports are unambiguous, exact
@@ -313,10 +404,68 @@ impl Scanner {
         ofh_obs::count_l("scan.probe.sent", protocol.name(), batch as u64);
     }
 
+    /// Park a retry connect for `attempt` (1-based) against a target that
+    /// already proved responsive, after the policy's backoff plus jitter.
+    fn schedule_retry(
+        &mut self,
+        ctx: &mut NetCtx<'_>,
+        sweep: usize,
+        addr: Ipv4Addr,
+        port: u16,
+        attempt: u8,
+    ) {
+        let shift = u32::from(attempt.saturating_sub(1)).min(16);
+        let backoff = self
+            .retry
+            .base_ms
+            .saturating_mul(1 << shift)
+            .min(self.retry.cap_ms);
+        let jitter = if self.retry.jitter_ms > 0 {
+            self.retry_rng.gen_range(0..=self.retry.jitter_ms)
+        } else {
+            0
+        };
+        let id = self.next_retry_id;
+        self.next_retry_id += 1;
+        self.retries.insert(
+            id,
+            RetryEntry {
+                sweep: sweep as u32,
+                addr,
+                port,
+                attempt,
+            },
+        );
+        ctx.set_timer(SimDuration::from_millis(backoff + jitter), RETRY_BIT | id);
+    }
+
+    /// A connect that was itself a retry failed (refused / timed out /
+    /// rate-limited). First-attempt failures never reach here: they carry
+    /// attempt 0 and stay stateless, exactly like ZMap.
+    fn retry_connect_failure(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        let Some(tag) = ctx.conn_tag(conn) else {
+            return;
+        };
+        let attempt = (tag >> TAG_ATTEMPT_SHIFT) as u8;
+        if attempt == 0 {
+            return;
+        }
+        let Some(peer) = ctx.conn_peer(conn) else {
+            return;
+        };
+        if u32::from(attempt) < self.retry.attempts {
+            let sweep = (tag & 0xFFFF_FFFF) as usize;
+            self.schedule_retry(ctx, sweep, peer.addr, peer.port, attempt + 1);
+        }
+    }
+
     fn finalize(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, close: bool) {
         let Some(grab) = self.grabs.remove(&conn) else {
             return;
         };
+        if grab.attempt > 0 {
+            self.resilience.retries_recovered += 1;
+        }
         let protocol = self.sweeps[grab.sweep].cfg.protocol;
         ofh_obs::count_l("scan.response.recorded", protocol.name(), 1);
         ofh_obs::observe_l("scan.response_bytes", protocol.name(), grab.buf.len() as u64);
@@ -365,6 +514,15 @@ impl Agent for Scanner {
             self.finalize(ctx, conn, true);
             return;
         }
+        if token & RETRY_BIT != 0 {
+            let Some(e) = self.retries.remove(&(token & !RETRY_BIT)) else {
+                return;
+            };
+            self.resilience.retries_issued += 1;
+            let tag = u64::from(e.sweep) | (u64::from(e.attempt) << TAG_ATTEMPT_SHIFT);
+            ctx.tcp_connect_tagged(SockAddr::new(e.addr, e.port), tag);
+            return;
+        }
         let sweep_idx = token as usize;
         self.issue_batch(ctx, sweep_idx);
         if !self.sweeps[sweep_idx].exhausted {
@@ -374,12 +532,14 @@ impl Agent for Scanner {
     }
 
     fn on_tcp_established(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
-        // Recover the probe context from the connection itself (sweep from
-        // the tag, target from the peer) — a responsive host is the rare
-        // case, so this is where the grab record is created.
-        let Some(sweep_idx) = ctx.conn_tag(conn).map(|t| t as usize) else {
+        // Recover the probe context from the connection itself (sweep and
+        // attempt from the tag, target from the peer) — a responsive host is
+        // the rare case, so this is where the grab record is created.
+        let Some(tag) = ctx.conn_tag(conn) else {
             return;
         };
+        let sweep_idx = (tag & 0xFFFF_FFFF) as usize;
+        let attempt = (tag >> TAG_ATTEMPT_SHIFT) as u8;
         let Some(peer) = ctx.conn_peer(conn) else {
             return;
         };
@@ -392,6 +552,7 @@ impl Agent for Scanner {
                 port: peer.port,
                 buf: Vec::new(),
                 followed_up: false,
+                attempt,
             },
         );
         let cfg = &self.sweeps[sweep_idx].cfg;
@@ -417,12 +578,36 @@ impl Agent for Scanner {
         }
     }
 
-    // Refused / timed-out probes carry no scanner-side state (the grab is
-    // only created on establishment), so the default no-ops suffice.
+    // First-attempt refused / timed-out probes carry no scanner-side state
+    // (the grab is only created on establishment); only connects that were
+    // themselves retries are followed up.
+
+    fn on_tcp_refused(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.retry_connect_failure(ctx, conn);
+    }
+
+    fn on_tcp_timeout(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        self.retry_connect_failure(ctx, conn);
+    }
 
     fn on_tcp_closed(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
         // Peer closed first: record what we have.
         self.finalize(ctx, conn, false);
+    }
+
+    fn on_tcp_reset(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken) {
+        // The network tore the grab down mid-flight (injected reset or
+        // blackout). The host already proved responsive, so unlike a lost
+        // SYN this is a loss worth recovering: reconnect after backoff.
+        let Some(grab) = self.grabs.remove(&conn) else {
+            return;
+        };
+        if grab.attempt == 0 {
+            self.resilience.first_attempt_losses += 1;
+        }
+        if u32::from(grab.attempt) < self.retry.attempts {
+            self.schedule_retry(ctx, grab.sweep, grab.addr, grab.port, grab.attempt + 1);
+        }
     }
 
     fn on_udp(&mut self, ctx: &mut NetCtx<'_>, _local_port: u16, peer: SockAddr, payload: &Payload) {
@@ -610,6 +795,49 @@ mod tests {
         let b = run();
         assert_eq!(a, b, "sampling must be deterministic");
         assert!(a > 16 && a < 48, "coverage {a} should be ~half");
+    }
+
+    #[test]
+    fn resets_are_retried_and_recovered() {
+        use ofh_net::{FaultPlan, FaultSchedule};
+        let run = || {
+            let mut net = SimNet::new(SimNetConfig {
+                // Aggressive mid-grab resets: every grab is likely
+                // interrupted at least once, so the retry path is exercised
+                // heavily while two attempts still recover almost everything.
+                faults: FaultSchedule::uniform(FaultPlan {
+                    reset_chance: 0.3,
+                    ..FaultPlan::NONE
+                }),
+                ..SimNetConfig::default()
+            });
+            for i in 0..24u32 {
+                net.attach(
+                    Ipv4Addr::from(u32::from(ip(16, 4, 0, 1)) + i),
+                    Box::new(TelnetDevice::new("BusyBox login:", Some(Misconfig::TelnetNoAuth), 23)),
+                );
+            }
+            let cfg = ScannerConfig {
+                batch: 64,
+                ports: vec![23],
+                ..ScannerConfig::full(Protocol::Telnet, ip(16, 4, 0, 0), 256, SimTime::ZERO, 1)
+            };
+            let end = Scanner::estimated_end(&cfg) + SimDuration::from_secs(30);
+            let sid = net.attach(ip(16, 3, 0, 1), Box::new(Scanner::new("ZMap Scan", vec![cfg])));
+            net.run_until(end);
+            let s = net.agent_downcast::<Scanner>(sid).unwrap();
+            assert_eq!(s.leaked_state(), 0, "grabs or retries leaked");
+            (s.resilience, s.results.len())
+        };
+        let (r, found) = run();
+        assert!(r.first_attempt_losses > 0, "faults never bit: {r:?}");
+        assert!(r.retries_issued > 0 && r.retries_recovered > 0, "{r:?}");
+        assert!(r.retries_recovered <= r.retries_issued, "{r:?}");
+        assert!(r.retries_recovered <= r.first_attempt_losses, "{r:?}");
+        // Retries claw back most of the interrupted grabs.
+        assert!(found > 12, "only {found}/24 hosts recorded: {r:?}");
+        // And the whole faulty run is deterministic.
+        assert_eq!(run(), (r, found));
     }
 
     #[test]

@@ -28,6 +28,14 @@ pub struct TelescopeSummary {
     pub rows: Vec<DailyProtocolStats>,
     pub total_daily_avg: f64,
     pub total_unique_sources: usize,
+    /// Calendar length of the aggregation window, in days.
+    pub span_days: f64,
+    /// Days the telescope was actually listening (span minus scheduled
+    /// outages) — the denominator of every daily average.
+    pub effective_days: f64,
+    /// Distinct wall-clock hours with at least one studied-protocol record:
+    /// the observed (as opposed to scheduled) coverage of the window.
+    pub covered_hours: u64,
 }
 
 impl TelescopeSummary {
@@ -40,9 +48,30 @@ impl TelescopeSummary {
         to_day: u64,
         known_scanners: &BTreeSet<Ipv4Addr>,
     ) -> TelescopeSummary {
-        let days = (to_day - from_day).max(1) as f64;
+        Self::compute_gap_aware(telescope, from_day, to_day, known_scanners, 0)
+    }
+
+    /// Gap-tolerant aggregation: like [`compute`](Self::compute), but daily
+    /// averages divide by the *effective* listening time — the calendar span
+    /// minus `outage_minutes` of scheduled collector downtime. Averaging an
+    /// outage-riddled capture over the full span would silently underestimate
+    /// every rate; discounting dead time keeps Table 8 comparable between
+    /// fault-free and degraded runs.
+    pub fn compute_gap_aware(
+        telescope: &Telescope,
+        from_day: u64,
+        to_day: u64,
+        known_scanners: &BTreeSet<Ipv4Addr>,
+        outage_minutes: u64,
+    ) -> TelescopeSummary {
+        let span_days = (to_day - from_day).max(1) as f64;
+        // Never divide by less than one hour, even if the schedule claims the
+        // whole window was dark.
+        let effective_days = (span_days - outage_minutes as f64 / 1_440.0).max(1.0 / 24.0);
+        let days = effective_days;
         let mut counts: BTreeMap<Protocol, u64> = BTreeMap::new();
         let mut sources: BTreeMap<Protocol, BTreeSet<Ipv4Addr>> = BTreeMap::new();
+        let mut hours: BTreeSet<u64> = BTreeSet::new();
         for rec in telescope.records_in_days(from_day, to_day) {
             let Some(proto) = rec.target_protocol() else {
                 continue;
@@ -52,6 +81,7 @@ impl TelescopeSummary {
             }
             *counts.entry(proto).or_insert(0) += rec.packet_cnt as u64;
             sources.entry(proto).or_default().insert(rec.src_ip);
+            hours.insert(rec.time.0 / 3_600_000);
         }
         let mut rows: Vec<DailyProtocolStats> = Protocol::SCANNED
             .iter()
@@ -82,6 +112,9 @@ impl TelescopeSummary {
             rows,
             total_daily_avg,
             total_unique_sources: all_sources.len(),
+            span_days,
+            effective_days,
+            covered_hours: hours.len() as u64,
         }
     }
 
@@ -150,5 +183,25 @@ mod tests {
         }
         let summary = TelescopeSummary::compute(&t, 0, 4, &BTreeSet::new());
         assert_eq!(summary.row(Protocol::Telnet).unwrap().daily_avg_count, 1.0);
+        assert_eq!(summary.span_days, 4.0);
+        assert_eq!(summary.effective_days, 4.0);
+        assert_eq!(summary.covered_hours, 4);
+    }
+
+    #[test]
+    fn outage_time_is_discounted_from_daily_averages() {
+        let mut t = Telescope::new(GeoDb::new());
+        // Records on days 0..3 only; day 3 was a scheduled full-day outage.
+        for day in 0..3u64 {
+            observe(&mut t, ip(9, 0, 0, 1), 23, day * 86_400_000 + 10);
+        }
+        let gapless = TelescopeSummary::compute(&t, 0, 4, &BTreeSet::new());
+        assert_eq!(gapless.row(Protocol::Telnet).unwrap().daily_avg_count, 0.75);
+        let aware = TelescopeSummary::compute_gap_aware(&t, 0, 4, &BTreeSet::new(), 1_440);
+        assert_eq!(aware.effective_days, 3.0);
+        assert_eq!(aware.row(Protocol::Telnet).unwrap().daily_avg_count, 1.0);
+        // The denominator never collapses below one hour.
+        let dark = TelescopeSummary::compute_gap_aware(&t, 0, 4, &BTreeSet::new(), 100_000);
+        assert_eq!(dark.effective_days, 1.0 / 24.0);
     }
 }

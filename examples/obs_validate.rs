@@ -37,6 +37,38 @@ fn validate_metrics(path: &str) -> Result<(), String> {
     let snap: MetricsSnapshot =
         serde_json::from_str(&text).map_err(|e| format!("{path}: parse: {e}"))?;
     snap.validate().map_err(|e| format!("{path}: {e}"))?;
+    // The fault/retry accounting lives in the deterministic counter section
+    // — present on every run (zero-valued when fault-free) and internally
+    // consistent.
+    let counter = |name: &str| -> Result<u64, String> {
+        snap.counters
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("{path}: missing deterministic counter {name:?}"))
+    };
+    for name in [
+        "net.udp.dropped",
+        "net.udp.corrupted",
+        "net.udp.duplicated",
+        "net.fault.handshake_drops",
+        "net.fault.rate_limited",
+        "net.fault.resets_injected",
+        "net.fault.churn_suppressed",
+        "honeypot.conns_shed",
+        "fingerprint.retry.issued",
+        "fingerprint.retry.recovered",
+    ] {
+        counter(name)?;
+    }
+    let losses = counter("scan.retry.first_attempt_losses")?;
+    let issued = counter("scan.retry.issued")?;
+    let recovered = counter("scan.retry.recovered")?;
+    if recovered > issued || recovered > losses {
+        return Err(format!(
+            "{path}: retry accounting inconsistent: \
+             {recovered} recovered vs {issued} issued / {losses} first-attempt losses"
+        ));
+    }
     println!(
         "{path}: ok (schema v{}, seed {}, {} shards, {} counters, {} gauges, {} histograms)",
         snap.schema_version,

@@ -32,6 +32,11 @@ fn usage() -> &'static str {
      OPTIONS:\n\
        --preset quick|standard|full   scale preset (default: quick)\n\
        --seed N                       master seed (default: 7)\n\
+       --faults none|lossy|hostile|FILE.json\n\
+                                      fault schedule: a named preset or a JSON\n\
+                                      schedule file (see examples/faults_brownout.json;\n\
+                                      default: none). Same schedule + seed + preset\n\
+                                      prints identical bytes at any worker count.\n\
        --workers N                    shard worker threads; 0 = one per core\n\
                                       (default: 1 — any value prints identical bytes)\n\
        --metrics-out FILE             write the metrics snapshot (JSON, versioned schema)\n\
@@ -44,6 +49,7 @@ struct Args {
     preset: String,
     seed: u64,
     workers: usize,
+    faults: String,
     summary: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
@@ -58,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         preset: "quick".into(),
         seed: 7,
         workers: 1,
+        faults: "none".into(),
         summary: false,
         metrics_out: None,
         trace_out: None,
@@ -80,6 +87,9 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--workers needs a value")?
                     .parse()
                     .map_err(|_| "--workers must be an integer")?;
+            }
+            "--faults" => {
+                out.faults = args.next().ok_or("--faults needs a value")?;
             }
             "--metrics-out" => {
                 out.metrics_out = Some(args.next().ok_or("--metrics-out needs a path")?);
@@ -170,6 +180,9 @@ fn run() -> Result<(), String> {
     }
     let mut cfg = config_for(&args.preset, args.seed)?;
     cfg.workers = args.workers;
+    // Resolve and validate the fault schedule up front: a bad schedule is a
+    // clean startup error, never a mid-run panic.
+    cfg.faults = ofh_core::faults_from_arg(&args.faults)?;
     eprintln!(
         "running {} preset (seed {}) — deterministic, ~{}",
         args.preset,

@@ -1,0 +1,115 @@
+//! The chaos harness: the quick preset under the LOSSY and outage-bearing
+//! (hostile) schedules must stay byte-reproducible across worker counts and
+//! repeated runs, leak no per-connection state, keep its degradation
+//! accounting self-consistent, and land its headline counts within the
+//! DESIGN.md §11 tolerance bands of the fault-free run.
+
+use ofh_core::{Study, StudyConfig, StudyReport};
+use ofh_net::FaultSchedule;
+use openforhire_suite as _;
+
+fn run(faults: FaultSchedule, seed: u64, workers: usize) -> StudyReport {
+    let mut cfg = StudyConfig::quick(seed);
+    cfg.faults = faults;
+    cfg.workers = workers;
+    Study::new(cfg).run()
+}
+
+/// The shared acceptance checks: no leaks, self-consistent accounting, and
+/// Tables 4/5/7 headline counts within `band` of the fault-free run.
+fn assert_resilient(faulty: &StudyReport, clean: &StudyReport, band: f64) {
+    let r = &faulty.resilience;
+    assert_eq!(r.leaked_connections, 0, "leaked per-connection state");
+    assert!(
+        r.scan_retries_recovered <= r.scan_retries_issued,
+        "recovered {} > issued {}",
+        r.scan_retries_recovered,
+        r.scan_retries_issued
+    );
+    assert!(
+        r.scan_retries_recovered <= r.scan_first_attempt_losses,
+        "recovered {} > losses {}",
+        r.scan_retries_recovered,
+        r.scan_first_attempt_losses
+    );
+    // first-attempt losses − retries recovered = net losses; underflow here
+    // would mean the accounting identity broke.
+    assert_eq!(
+        r.scan_net_losses(),
+        r.scan_first_attempt_losses - r.scan_retries_recovered
+    );
+    assert!(
+        r.fingerprint_retries_recovered <= r.fingerprint_retries_issued,
+        "fingerprint recovered {} > issued {}",
+        r.fingerprint_retries_recovered,
+        r.fingerprint_retries_issued
+    );
+    for (name, f, c) in [
+        (
+            "Table 4 zmap exposed",
+            faulty.table4.total_zmap() as f64,
+            clean.table4.total_zmap() as f64,
+        ),
+        (
+            "Table 5 misconfigured",
+            faulty.table5.total as f64,
+            clean.table5.total as f64,
+        ),
+        (
+            "Table 7 attack events",
+            faulty.table7.total_events as f64,
+            clean.table7.total_events as f64,
+        ),
+    ] {
+        assert!(f > 0.0, "{name} collapsed to zero under faults");
+        assert!(
+            (f - c).abs() <= c * band,
+            "{name}: {f} vs fault-free {c} exceeds the ±{:.0}% band",
+            band * 100.0
+        );
+    }
+}
+
+#[test]
+fn lossy_schedule_is_deterministic_and_bounded() {
+    let clean = run(FaultSchedule::none(), 7, 1);
+    let a = run(FaultSchedule::lossy(), 7, 1);
+    let b = run(FaultSchedule::lossy(), 7, 8);
+    let c = run(FaultSchedule::lossy(), 7, 1);
+    let golden = a.render_full();
+    assert_eq!(golden, b.render_full(), "workers 1 vs 8 diverged under LOSSY");
+    assert_eq!(golden, c.render_full(), "repeated run diverged under LOSSY");
+    assert!(
+        a.resilience.scan_first_attempt_losses > 0,
+        "LOSSY never exercised the retry path"
+    );
+    assert_resilient(&a, &clean, 0.10);
+}
+
+#[test]
+fn outage_schedule_is_deterministic_and_bounded() {
+    let clean = run(FaultSchedule::none(), 7, 1);
+    let a = run(FaultSchedule::hostile(), 7, 1);
+    let b = run(FaultSchedule::hostile(), 7, 8);
+    assert_eq!(
+        a.render_full(),
+        b.render_full(),
+        "workers 1 vs 8 diverged under the outage schedule"
+    );
+    // The blackout and churn phases actually fired…
+    assert_eq!(a.resilience.outage_minutes, 360);
+    assert!(a.resilience.churn_suppressed > 0, "churn phase never bit");
+    assert!(a.resilience.tcp_rate_limited > 0, "rate-limit phase never bit");
+    // …and the gap-aware Table 8 discounted the dead air.
+    assert!(a.table8.effective_days < a.table8.span_days);
+    assert_eq!(clean.table8.effective_days, clean.table8.span_days);
+    assert_resilient(&a, &clean, 0.25);
+}
+
+#[test]
+fn seeds_differ_but_each_is_reproducible() {
+    let a = run(FaultSchedule::hostile(), 11, 2);
+    let b = run(FaultSchedule::hostile(), 11, 4);
+    assert_eq!(a.render_full(), b.render_full(), "seed 11 not worker-invariant");
+    assert_eq!(a.resilience.leaked_connections, 0);
+}

@@ -4,14 +4,14 @@
 
 use ofh_core::wire::Protocol;
 use ofh_core::{Study, StudyConfig};
-use ofh_net::FaultPlan;
+use ofh_net::{FaultPlan, FaultSchedule};
 use openforhire_suite as _;
 
 #[test]
 fn lossy_network_degrades_gracefully() {
     let clean = Study::new(StudyConfig::quick(9)).run();
     let lossy = Study::new(StudyConfig {
-        fault: FaultPlan::LOSSY,
+        faults: FaultSchedule::lossy(),
         ..StudyConfig::quick(9)
     })
     .run();
@@ -36,6 +36,14 @@ fn lossy_network_degrades_gracefully() {
     assert!(lossy.table7.total_events > 0);
     assert!(lossy.telescope.total_records() > 0);
     assert!(lossy.infected.total > 0);
+
+    // Degradation accounting: the clean run reports all-zero resilience;
+    // the lossy run's identity holds by construction.
+    assert_eq!(clean.resilience.scan_retries_issued, 0);
+    assert_eq!(clean.resilience.tcp_handshake_drops, 0);
+    assert!(
+        lossy.resilience.scan_retries_recovered <= lossy.resilience.scan_first_attempt_losses
+    );
 }
 
 #[test]
@@ -43,11 +51,12 @@ fn extreme_loss_still_terminates() {
     // A 30%-loss Internet is nearly unusable, but the simulation must
     // neither hang nor panic.
     let report = Study::new(StudyConfig {
-        fault: FaultPlan {
+        faults: FaultSchedule::uniform(FaultPlan {
             drop_chance: 0.3,
             corrupt_chance: 0.01,
             jitter_ms: 200,
-        },
+            ..FaultPlan::NONE
+        }),
         ..StudyConfig::quick(5)
     })
     .run();
