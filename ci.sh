@@ -33,6 +33,20 @@ echo "==> chaos smoke: hostile schedule, workers 1 vs 8, byte-for-byte"
 cmp "$OBS_TMP/chaos_w1.txt" "$OBS_TMP/chaos_w8.txt"
 echo "    reports identical under faults at workers 1 and 8"
 
+echo "==> paper-scale smoke: 2^32 universe preset + event-core test suites"
+# paper-smoke is the down-sampled twin of paper-scale: the full IPv4 address
+# space with a CI-sized population, exercising the indexed target space, the
+# timer wheel and the streaming (first-touch) host population end to end.
+# Workers 1 vs 4 must still be byte-for-byte.
+./target/release/openforhire study --preset paper-smoke --workers 1 \
+    > "$OBS_TMP/paper_w1.txt"
+./target/release/openforhire study --preset paper-smoke --workers 4 \
+    > "$OBS_TMP/paper_w4.txt"
+cmp "$OBS_TMP/paper_w1.txt" "$OBS_TMP/paper_w4.txt"
+echo "    paper-smoke reports identical at workers 1 and 4"
+cargo test --release -q -p ofh-net --test wheel_props --test lazy_hosts
+cargo test --release -q --test parallel_determinism implicit_population_matches_eager
+
 echo "==> bench suite, smoke mode (every body runs once, no timing)"
 cargo bench -p ofh-bench -- --test
 

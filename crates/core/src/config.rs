@@ -6,6 +6,27 @@ use ofh_devices::Universe;
 use ofh_net::{FaultSchedule, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+/// How device hosts come to exist inside each shard's simulation.
+///
+/// Both modes produce byte-identical reports (the equivalence suite in
+/// `tests/parallel_determinism.rs` pins this): device agents are boot-inert
+/// and their state is a pure function of the generation record, so whether
+/// an agent is allocated up front or on first touch is unobservable. The
+/// mode is therefore a pure execution knob, excluded from the serialized
+/// config like `workers`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PopulationMode {
+    /// Streaming population: non-infected devices and wild honeypots live in
+    /// a struct-of-arrays arena and materialize as agents only when traffic
+    /// first reaches them (`ofh_net::HostSpawner`). The only mode that is
+    /// feasible at paper scale.
+    #[default]
+    Implicit,
+    /// Every owned host is attached eagerly at shard start — the original
+    /// behaviour, retained as the differential baseline.
+    Eager,
+}
+
 /// Configuration of a full study run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StudyConfig {
@@ -50,6 +71,10 @@ pub struct StudyConfig {
     /// serialized config.
     #[serde(skip)]
     pub obs: ofh_obs::ObsConfig,
+    /// Host materialization strategy (see [`PopulationMode`]). A pure
+    /// execution knob: implicit and eager runs print identical bytes.
+    #[serde(skip)]
+    pub population: PopulationMode,
 }
 
 impl StudyConfig {
@@ -68,6 +93,7 @@ impl StudyConfig {
             shards: 16,
             workers: 1,
             obs: ofh_obs::ObsConfig::default(),
+            population: PopulationMode::Implicit,
         }
     }
 
@@ -86,6 +112,7 @@ impl StudyConfig {
             shards: 16,
             workers: 1,
             obs: ofh_obs::ObsConfig::default(),
+            population: PopulationMode::Implicit,
         }
     }
 
@@ -104,6 +131,43 @@ impl StudyConfig {
             shards: 16,
             workers: 1,
             obs: ofh_obs::ObsConfig::default(),
+            population: PopulationMode::Implicit,
+        }
+    }
+
+    /// Paper-scale preset: the full 2^32 IPv4 address space with over a
+    /// million occupied hosts (scan scale 1:14 of the paper's 14.4M exposed
+    /// population). Only viable with the streaming population and the
+    /// indexed scan-target mode (both engage automatically); minutes in
+    /// release builds with all cores.
+    pub fn paper_scale(seed: u64) -> StudyConfig {
+        StudyConfig {
+            seed,
+            universe: Universe::new(Ipv4Addr::new(0, 0, 0, 0), 32),
+            scan_scale: 14,
+            hp_scale: 8,
+            month_days: 30,
+            faults: FaultSchedule::none(),
+            run_dataset_providers: true,
+            infected_oversample: 1,
+            shards: 16,
+            workers: 0,
+            obs: ofh_obs::ObsConfig::default(),
+            population: PopulationMode::Implicit,
+        }
+    }
+
+    /// Paper-smoke preset: the same 2^32 address plan as
+    /// [`Self::paper_scale`] — every paper-scale code path (streaming hosts,
+    /// indexed sweeps, 32-bit offsets) — but down-sampled to quick-preset
+    /// scales so CI can cover it in seconds.
+    pub fn paper_smoke(seed: u64) -> StudyConfig {
+        StudyConfig {
+            scan_scale: 16_384,
+            hp_scale: 256,
+            infected_oversample: 32,
+            workers: 1,
+            ..StudyConfig::paper_scale(seed)
         }
     }
 
@@ -190,6 +254,25 @@ mod tests {
         StudyConfig::quick(1).validate().unwrap();
         StudyConfig::standard(1).validate().unwrap();
         StudyConfig::full(1).validate().unwrap();
+        StudyConfig::paper_scale(1).validate().unwrap();
+        StudyConfig::paper_smoke(1).validate().unwrap();
+    }
+
+    #[test]
+    fn paper_presets_span_whole_ipv4() {
+        let cfg = StudyConfig::paper_scale(1);
+        assert_eq!(cfg.universe.size(), 1u64 << 32);
+        assert_eq!(cfg.population, PopulationMode::Implicit);
+        // The occupied population must clear the paper-scale bar (≥1M).
+        let exposed: u64 = ofh_wire::Protocol::SCANNED
+            .iter()
+            .map(|&p| ofh_devices::population::paper_exposed(p) / cfg.scan_scale)
+            .sum();
+        assert!(exposed >= 1_000_000, "only {exposed} hosts at paper scale");
+        // The smoke preset keeps the address plan but not the cost.
+        let smoke = StudyConfig::paper_smoke(1);
+        assert_eq!(smoke.universe, cfg.universe);
+        assert!(smoke.scan_scale > cfg.scan_scale * 100);
     }
 
     #[test]

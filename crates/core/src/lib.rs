@@ -29,7 +29,7 @@ pub mod oracles;
 pub mod report;
 pub mod study;
 
-pub use config::{faults_from_arg, StudyConfig};
+pub use config::{faults_from_arg, PopulationMode, StudyConfig};
 pub use report::{ResilienceReport, StudyReport};
 pub use study::Study;
 

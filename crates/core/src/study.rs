@@ -37,6 +37,7 @@ use ofh_analysis::table5::Table5;
 use ofh_analysis::table7::Table7;
 use ofh_attack::plan::{AttackPlan, HoneypotSet, PlanConfig};
 use ofh_attack::{AttackerAgent, InfectedDevice};
+use ofh_devices::arena::HostArena;
 use ofh_devices::population::{Population, PopulationBuilder, PopulationSpec};
 use ofh_fingerprint::{engine, FingerprintProber, FingerprintReport, SignatureDb};
 use ofh_honeypots::{
@@ -46,13 +47,13 @@ use ofh_honeypots::{
 use ofh_intel::{Country, GeoDb};
 use ofh_net::rng::rng_for;
 use ofh_net::sim::Counters;
-use ofh_net::{AgentId, ShardSpec, SimNet, SimNetConfig, SimTime};
+use ofh_net::{Agent, AgentId, HostSpawner, ShardSpec, SimNet, SimNetConfig, SimTime};
 use ofh_obs::{MetricRegistry, MetricsSnapshot, ProfileNode, ShardObs, Stopwatch, TraceLog};
-use ofh_scan::{datasets, scan_start, ScanResults, Scanner, ScannerConfig};
+use ofh_scan::{datasets, scan_start, ScanResults, Scanner, ScannerConfig, TargetSpace};
 use ofh_telescope::{Telescope, TelescopeSummary};
 use rand::Rng;
 
-use crate::config::StudyConfig;
+use crate::config::{PopulationMode, StudyConfig};
 use crate::oracles::Oracles;
 use crate::report::StudyReport;
 
@@ -70,6 +71,114 @@ struct ShardInputs<'a> {
     honeypots: HoneypotSet,
     infected_tasks: &'a BTreeMap<usize, Vec<ofh_attack::Task>>,
     geo: &'a GeoDb,
+    /// Sparse scan-target index for paper-scale universes (`None` keeps the
+    /// dense range walk). The `Arc` inside makes per-sweep clones free.
+    scan_targets: Option<TargetSpace>,
+}
+
+/// The streaming host population of one shard: non-infected devices live in
+/// a struct-of-arrays [`HostArena`], wild honeypots in a sorted parallel
+/// list. Occupancy is a binary search; agents materialize on first touch
+/// (see [`ofh_net::HostSpawner`] for the contract this satisfies). Infected
+/// devices are *excluded* — their `on_boot` schedules bot tasks, so they
+/// must exist from simulation start and stay eagerly attached.
+struct ShardSpawner {
+    arena: HostArena,
+    wild: Vec<(u32, WildHoneypot)>,
+}
+
+impl ShardSpawner {
+    fn build(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardSpawner {
+        let arena = HostArena::from_records(
+            inputs
+                .population
+                .records
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| spec.owns(r.addr) && !inputs.infected_tasks.contains_key(i))
+                .map(|(_, r)| r),
+            |_| true,
+        );
+        let mut wild: Vec<(u32, WildHoneypot)> = inputs
+            .wild
+            .iter()
+            .filter(|&&(addr, _)| spec.owns(addr))
+            .map(|&(addr, family)| (u32::from(addr), family))
+            .collect();
+        wild.sort_unstable_by_key(|&(addr, _)| addr);
+        ShardSpawner { arena, wild }
+    }
+
+    fn wild_family(&self, addr: Ipv4Addr) -> Option<WildHoneypot> {
+        self.wild
+            .binary_search_by_key(&u32::from(addr), |&(a, _)| a)
+            .ok()
+            .map(|i| self.wild[i].1)
+    }
+}
+
+impl HostSpawner for ShardSpawner {
+    fn occupied(&self, addr: Ipv4Addr) -> bool {
+        self.arena.contains(addr) || self.wild_family(addr).is_some()
+    }
+
+    fn spawn(&mut self, addr: Ipv4Addr) -> Option<Box<dyn Agent>> {
+        if let Some(slot) = self.arena.lookup(addr) {
+            return Some(self.arena.build_agent(slot));
+        }
+        self.wild_family(addr)
+            .map(|family| Box::new(WildHoneypotAgent::new(family)) as Box<dyn Agent>)
+    }
+}
+
+/// Build the sparse scan-target index for a paper-scale universe: every
+/// occupied address (devices, wild honeypots, the lab, attackers, the
+/// scanning hosts) plus a deterministic stride sample of the telescope's
+/// dark space, as offsets from the universe base. ~10^6 entries stand in
+/// for 2^32 addresses; sweeps permute over index positions instead.
+fn build_scan_index(
+    cfg: &StudyConfig,
+    population: &Population,
+    wild: &[(Ipv4Addr, WildHoneypot)],
+    plan: &AttackPlan,
+    honeypots: &HoneypotSet,
+) -> TargetSpace {
+    let universe = cfg.universe;
+    let base = u32::from(universe.cidr().first());
+    let rel = |addr: Ipv4Addr| u32::from(addr).wrapping_sub(base);
+
+    let mut offsets: Vec<u32> = Vec::with_capacity(population.records.len() + wild.len() + 8_192);
+    offsets.extend(population.records.iter().map(|r| rel(r.addr)));
+    offsets.extend(wild.iter().map(|&(addr, _)| rel(addr)));
+    for addr in [
+        honeypots.hostage,
+        honeypots.upot,
+        honeypots.conpot,
+        honeypots.thingpot,
+        honeypots.cowrie,
+        honeypots.dionaea,
+    ] {
+        offsets.push(rel(addr));
+    }
+    offsets.extend(plan.actors.iter().map(|a| rel(a.addr)));
+    // The four scanning/probing hosts scan each other too, as on the real
+    // Internet.
+    let scanner = rel(universe.scanner_addr());
+    offsets.extend((0..4).map(|i| scanner + i));
+    // Dark space, sampled at a stride that yields 4,096 telescope-visible
+    // probes per sweep regardless of universe size (bits >= 28 here, so the
+    // shift is in 8..=12).
+    let dark = universe.dark_space();
+    let dark_first = u64::from(rel(dark.first()));
+    let stride = 1u64 << (universe.bits - 20);
+    let mut o = 0u64;
+    while o < dark.len() {
+        offsets.push((dark_first + o) as u32);
+        o += stride;
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+    TargetSpace::index(offsets)
 }
 
 /// Everything one shard's simulation produces.
@@ -186,6 +295,12 @@ impl Study {
         let workers = cfg.worker_threads();
         progress("simulating shards");
         let simulate_sw = Stopwatch::start();
+        // Paper-scale universes switch the sweeps to the sparse target
+        // index: a dense walk of 2^32 addresses per sweep replica is
+        // intractable, and the occupied set plus a dark-space sample is all
+        // a probe can ever hit.
+        let scan_targets = (universe.bits >= 28)
+            .then(|| build_scan_index(cfg, &population, &wild, &plan, &honeypots));
         let inputs = ShardInputs {
             cfg,
             population: &population,
@@ -194,6 +309,7 @@ impl Study {
             honeypots,
             infected_tasks: &infected_tasks,
             geo: &geo,
+            scan_targets,
         };
         let mut outputs: Vec<(u32, ShardOutput)> = if workers == 1 {
             ShardSpec::all(cfg.shards)
@@ -442,23 +558,44 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
     );
 
     // Devices the shard owns — infected ones get their bot schedules.
-    for (i, record) in inputs.population.records.iter().enumerate() {
-        if !spec.owns(record.addr) {
-            continue;
-        }
-        let agent = record.build_agent();
-        match inputs.infected_tasks.get(&i) {
-            Some(tasks) => {
-                net.attach(record.addr, Box::new(InfectedDevice::new(agent, tasks.clone())));
+    match cfg.population {
+        PopulationMode::Eager => {
+            for (i, record) in inputs.population.records.iter().enumerate() {
+                if !spec.owns(record.addr) {
+                    continue;
+                }
+                let agent = record.build_agent();
+                match inputs.infected_tasks.get(&i) {
+                    Some(tasks) => {
+                        net.attach(record.addr, Box::new(InfectedDevice::new(agent, tasks.clone())));
+                    }
+                    None => {
+                        net.attach(record.addr, agent);
+                    }
+                }
             }
-            None => {
-                net.attach(record.addr, agent);
+            for &(addr, family) in inputs.wild {
+                if spec.owns(addr) {
+                    net.attach(addr, Box::new(WildHoneypotAgent::new(family)));
+                }
             }
         }
-    }
-    for &(addr, family) in inputs.wild {
-        if spec.owns(addr) {
-            net.attach(addr, Box::new(WildHoneypotAgent::new(family)));
+        PopulationMode::Implicit => {
+            // Only infected devices exist from the start (their boot
+            // schedules the bot tasks); everything else streams out of the
+            // shard's arena on first touch.
+            for (i, record) in inputs.population.records.iter().enumerate() {
+                if !spec.owns(record.addr) {
+                    continue;
+                }
+                if let Some(tasks) = inputs.infected_tasks.get(&i) {
+                    net.attach(
+                        record.addr,
+                        Box::new(InfectedDevice::new(record.build_agent(), tasks.clone())),
+                    );
+                }
+            }
+            net.set_spawner(Box::new(ShardSpawner::build(inputs, spec)));
         }
     }
 
@@ -494,6 +631,9 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
                 spec.seed(cfg.seed ^ 0x5A4D_4150, "scan"),
             );
             c.shard = spec;
+            if let Some(ts) = &inputs.scan_targets {
+                c.targets = ts.clone();
+            }
             c
         })
         .collect();
@@ -510,6 +650,9 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
         let shard_cfgs = |mut cfgs: Vec<ScannerConfig>| {
             for c in &mut cfgs {
                 c.shard = spec;
+                if let Some(ts) = &inputs.scan_targets {
+                    c.targets = ts.clone();
+                }
             }
             cfgs
         };

@@ -26,6 +26,7 @@
 //! pipeline never reads it; every reported number is re-measured from
 //! network interactions.
 
+pub mod arena;
 pub mod credentials;
 pub mod endpoints;
 pub mod misconfig;
@@ -34,6 +35,7 @@ pub mod profiles;
 pub mod types;
 pub mod universe;
 
+pub use arena::HostArena;
 pub use misconfig::Misconfig;
 pub use population::{DeviceRecord, PopulationBuilder, PopulationSpec};
 pub use profiles::{DeviceProfile, PROFILES};

@@ -3,16 +3,24 @@
 //! Events are ordered by (time, sequence number): ties in simulated time are
 //! broken by insertion order, which keeps the simulation deterministic without
 //! requiring every producer to pick unique timestamps.
+//!
+//! Since the paper-scale rework the queue is backed by a hierarchical timer
+//! wheel ([`crate::wheel::TimerWheel`]) — `O(1)` schedule, near-`O(1)` pop —
+//! instead of a binary heap. The heap survives as [`HeapQueue`], the oracle
+//! the differential property suite (`tests/wheel_props.rs`) checks the wheel
+//! against, and as the ablation baseline in the `hotpath` bench.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
+use crate::fasthash::FastSet;
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 
 /// A scheduled event carrying a payload of type `E`.
 #[derive(Debug)]
 struct Scheduled<E> {
-    at: SimTime,
+    at: u64,
     seq: u64,
     payload: E,
 }
@@ -39,28 +47,91 @@ impl<E> PartialOrd for Scheduled<E> {
     }
 }
 
-/// A deterministic earliest-first event queue.
+/// The retained binary-heap priority queue: the differential-testing oracle
+/// for [`TimerWheel`] and the bench baseline it is measured against.
 ///
-/// ## Two-lane design
+/// Same contract as the wheel: items ordered by `(tick, seq)`, caller-
+/// assigned unique seqs, `cancel` by seq of a still-pending item.
+#[derive(Debug)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: FastSet<u64>,
+    len: usize,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapQueue<E> {
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            cancelled: FastSet::default(),
+            len: 0,
+        }
+    }
+
+    pub fn insert(&mut self, tick: u64, seq: u64, payload: E) {
+        self.heap.push(Scheduled { at: tick, seq, payload });
+        self.len += 1;
+    }
+
+    /// Cancel a pending item by seq (same lazy-tombstone contract as the
+    /// wheel: the item must be scheduled and not yet popped or cancelled).
+    pub fn cancel(&mut self, seq: u64) {
+        if self.cancelled.insert(seq) {
+            self.len -= 1;
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<(u64, u64, E)> {
+        loop {
+            let ev = self.heap.pop()?;
+            if !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.len -= 1;
+            return Some((ev.at, ev.seq, ev.payload));
+        }
+    }
+
+    pub fn peek(&mut self) -> Option<(u64, u64)> {
+        loop {
+            let ev = self.heap.peek()?;
+            if !self.cancelled.is_empty() && self.cancelled.contains(&ev.seq) {
+                let ev = self.heap.pop().expect("peeked");
+                self.cancelled.remove(&ev.seq);
+                continue;
+            }
+            return Some((ev.at, ev.seq));
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A deterministic earliest-first event queue, backed by a hierarchical
+/// timer wheel.
 ///
-/// Most simulator events are scheduled in nondecreasing timestamp order —
-/// the dominant case is the fixed-delay connection-timeout backstop, which
-/// fires `syn_timeout` after a clock that never runs backwards. Keeping
-/// those in a FIFO lane ([`VecDeque`]) instead of the binary heap makes
-/// both ends O(1) and shrinks the heap to the events that genuinely arrive
-/// out of order (variable-latency deliveries), cutting its depth.
-///
-/// Routing is automatic: a scheduled event whose `(at, seq)` is `>=` the
-/// FIFO's tail is appended there, everything else goes to the heap. Each
-/// lane is individually sorted (the FIFO by construction, the heap by
-/// heap order), so popping the smaller of the two heads merges them into
-/// the exact global `(time, seq)` order — the observable pop sequence is
-/// identical to a single-heap queue, which the determinism harness checks.
+/// The queue owns the two pieces of state the wheel delegates to its caller:
+/// the strictly-increasing sequence counter (the deterministic tie-break for
+/// same-tick events) and the simulation clock, to which past schedules are
+/// clamped so time never runs backwards. The observable pop sequence is the
+/// exact global `(time, seq)` order — byte-identical to the binary-heap
+/// implementation it replaced, which `tests/wheel_props.rs` proves by
+/// differential testing against [`HeapQueue`].
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    /// Monotone lane: `(at, seq)` strictly increasing front-to-back.
-    fifo: VecDeque<Scheduled<E>>,
+    wheel: TimerWheel<E>,
     next_seq: u64,
     now: SimTime,
 }
@@ -74,8 +145,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(1024),
-            fifo: VecDeque::with_capacity(1024),
+            wheel: TimerWheel::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -94,81 +164,52 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `payload` at absolute time `at`. Events scheduled in the past
-    /// are clamped to `now` (they run next, in scheduling order).
-    pub fn schedule(&mut self, at: SimTime, payload: E) {
+    /// are clamped to `now` (they run next, in scheduling order). Returns the
+    /// event's sequence number, usable with [`Self::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> u64 {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        // seq is strictly increasing, so `at >= tail.at` keeps the FIFO
-        // lane sorted by (at, seq).
-        match self.fifo.back() {
-            Some(tail) if at < tail.at => self.heap.push(Scheduled { at, seq, payload }),
-            _ => self.fifo.push_back(Scheduled { at, seq, payload }),
-        }
+        self.wheel.insert(at.0, seq, payload);
+        seq
     }
 
-    /// Whether the FIFO lane's head is the global minimum. `None` if both
-    /// lanes are empty.
-    #[inline]
-    fn front_is_fifo(&self) -> Option<bool> {
-        match (self.fifo.front(), self.heap.peek()) {
-            (Some(f), Some(h)) => Some((f.at, f.seq) < (h.at, h.seq)),
-            (Some(_), None) => Some(true),
-            (None, Some(_)) => Some(false),
-            (None, None) => None,
-        }
+    /// Cancel a scheduled event by the seq [`Self::schedule`] returned. The
+    /// event must still be pending (not popped, not already cancelled).
+    pub fn cancel(&mut self, seq: u64) {
+        self.wheel.cancel(seq);
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let ev = if self.front_is_fifo()? {
-            self.fifo.pop_front()?
-        } else {
-            self.heap.pop()?
-        };
-        debug_assert!(ev.at >= self.now);
-        self.now = ev.at;
-        Some((ev.at, ev.payload))
+        let (tick, _seq, payload) = self.wheel.pop()?;
+        debug_assert!(tick >= self.now.0);
+        self.now = SimTime(tick);
+        Some((self.now, payload))
     }
 
     /// Pop the earliest event if its timestamp is `<= deadline`, advancing
-    /// the clock. Fuses [`Self::peek_time`] + [`Self::pop`] into one heap
-    /// access for the simulator's `run_until` loop.
+    /// the clock.
     pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        let from_fifo = self.front_is_fifo()?;
-        let head = if from_fifo {
-            self.fifo.front()?
-        } else {
-            self.heap.peek()?
-        };
-        if head.at > deadline {
+        let (tick, _) = self.wheel.peek()?;
+        if tick > deadline.0 {
             return None;
         }
-        let ev = if from_fifo {
-            self.fifo.pop_front()?
-        } else {
-            self.heap.pop()?
-        };
-        self.now = ev.at;
-        Some((ev.at, ev.payload))
+        self.pop()
     }
 
-    /// Timestamp of the next event without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        match (self.fifo.front(), self.heap.peek()) {
-            (Some(f), Some(h)) => Some(f.at.min(h.at)),
-            (Some(f), None) => Some(f.at),
-            (None, Some(h)) => Some(h.at),
-            (None, None) => None,
-        }
+    /// Timestamp of the next event without popping it. `&mut` because the
+    /// wheel prunes cancelled items while locating the minimum.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.wheel.peek().map(|(tick, _)| SimTime(tick))
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len() + self.fifo.len()
+        self.wheel.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.fifo.is_empty()
+        self.wheel.is_empty()
     }
 }
 
@@ -229,5 +270,31 @@ mod tests {
         let mut q: EventQueue<()> = EventQueue::new();
         q.advance_to(SimTime(10));
         q.advance_to(SimTime(5));
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), "a");
+        let doomed = q.schedule(SimTime(20), "b");
+        q.schedule(SimTime(30), "c");
+        q.cancel(doomed);
+        assert_eq!(q.len(), 2);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "c"]);
+    }
+
+    #[test]
+    fn schedule_after_advance_lands_in_far_window() {
+        // advance_to moves the clock without popping; later schedules must
+        // still order correctly across wheel levels.
+        let mut q = EventQueue::new();
+        q.advance_to(SimTime::ZERO + SimDuration::from_days(31));
+        let day31 = q.now();
+        q.schedule(day31 + SimDuration::from_days(30), "month-end");
+        q.schedule(day31 + SimDuration::from_millis(1), "soon");
+        q.schedule(day31, "now");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["now", "soon", "month-end"]);
     }
 }

@@ -70,14 +70,17 @@ pub mod shard;
 pub mod sim;
 pub mod slab;
 pub mod time;
+pub mod wheel;
 
 pub use addr::{ip, ipu, SockAddr};
 pub use agent::{Agent, AgentId, ConnToken, NetCtx, TcpDecision};
+pub use event::{EventQueue, HeapQueue};
 pub use cidr::{Cidr, CidrSet};
 pub use fasthash::{FastMap, FastSet};
 pub use fault::{churn_dark, Direction, FaultPhase, FaultPlan, FaultSchedule, FaultScope, Ramp};
 pub use packet::{FlowKind, FlowObservation, Payload, PayloadBuilder, Transport};
 pub use shard::{shard_of, ShardSpec};
-pub use sim::{EgressStats, LatencyModel, SimNet, SimNetConfig};
+pub use sim::{EgressStats, HostSpawner, LatencyModel, SimNet, SimNetConfig};
 pub use slab::Slab;
 pub use time::{SimDate, SimDuration, SimTime, SIM_EPOCH_DATE};
+pub use wheel::TimerWheel;

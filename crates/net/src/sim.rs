@@ -228,6 +228,32 @@ enum NetEvent {
     },
 }
 
+/// Deterministic source of implicitly-populated hosts.
+///
+/// At paper scale the universe holds millions of occupied addresses; eagerly
+/// attaching an agent per host would allocate the whole population up front.
+/// A spawner instead answers occupancy queries as a pure function of the
+/// address and materializes the agent only when traffic *reaches* the host
+/// (first touch). The contract that keeps the simulation byte-identical to
+/// an eager universe:
+///
+/// * [`Self::occupied`] is a pure, stable function of the address — it must
+///   answer identically every time, and must never consult simulation state.
+/// * [`Self::spawn`] is called at most once per address (the fabric caches
+///   the materialized agent) and must be deterministic: same address, same
+///   agent state.
+/// * Spawned agents must not override [`Agent::on_boot`] with effects —
+///   first touch runs the boot hook at materialization time, not at t=0, so
+///   only boot-inert agents (plain devices, wild honeypots) may be implicit.
+///   Hosts with boot-time behaviour (infected devices scheduling bot tasks)
+///   stay eagerly attached.
+pub trait HostSpawner {
+    /// Whether an implicit host exists at `addr`. Must be stable.
+    fn occupied(&self, addr: Ipv4Addr) -> bool;
+    /// Materialize the host's agent. Called at most once per address.
+    fn spawn(&mut self, addr: Ipv4Addr) -> Option<Box<dyn Agent>>;
+}
+
 /// The network fabric: everything except the agents themselves. Split out so
 /// an agent callback can mutate the fabric (send packets, set timers) while
 /// the simulator holds the agent itself mutably.
@@ -254,6 +280,9 @@ pub struct Fabric {
     /// the target back — without keeping the slab slot alive (a callback may
     /// legitimately open new connections that reuse it).
     closing: Option<(u64, u64, SockAddr)>,
+    /// Implicit-population source: consulted on `by_addr` misses for
+    /// occupancy, and drained into `by_addr` on first touch.
+    spawner: Option<Box<dyn HostSpawner>>,
     pub(crate) rng: StdRng,
     cfg: SimNetConfig,
     taps: Vec<(Cidr, Box<dyn FlowTap>)>,
@@ -467,7 +496,7 @@ impl Fabric {
         self.queue
             .schedule(now + self.cfg.syn_timeout, NetEvent::ConnTimeout { conn: id });
         match verdict {
-            SynVerdict::Deliver if self.by_addr.contains_key(&dst.addr) => {
+            SynVerdict::Deliver if self.host_present(dst.addr) => {
                 self.queue
                     .schedule(now + latency, NetEvent::SynArrive { conn: id });
             }
@@ -645,7 +674,7 @@ impl Fabric {
             &payload,
             spoofed,
         );
-        if !self.by_addr.contains_key(&dst.addr) {
+        if !self.host_present(dst.addr) {
             return;
         }
         let latency = self.cfg.latency.one_way(src.addr, dst.addr) + jitter;
@@ -686,6 +715,15 @@ impl Fabric {
         let now = self.queue.now();
         self.queue
             .schedule(now + delay, NetEvent::Timer { agent, token });
+    }
+
+    /// Whether a host exists at `addr` — attached, or still implicit in the
+    /// spawner. Occupancy checks (deciding whether a probe will reach a
+    /// host at all) must **not** materialize the host; only traffic that is
+    /// actually delivered does, in [`SimNet::resolve_host`].
+    fn host_present(&self, addr: Ipv4Addr) -> bool {
+        self.by_addr.contains_key(&addr)
+            || self.spawner.as_ref().is_some_and(|s| s.occupied(addr))
     }
 
     /// Evaluate the fault schedule for an outbound SYN toward `dst`.
@@ -800,6 +838,9 @@ pub struct SimNet {
     fabric: Fabric,
     agents: Vec<Option<Box<dyn Agent>>>,
     addrs: Vec<Ipv4Addr>,
+    /// Implicit hosts materialized by first touch (diagnostic; the arena
+    /// tests assert untouched addresses never materialize).
+    materialized: u64,
     /// Sim-hour the events-per-hour accumulator below belongs to.
     obs_hour: u64,
     /// Events processed so far within `obs_hour`.
@@ -822,6 +863,7 @@ impl SimNet {
                 egress: Vec::new(),
                 current_udp_inbound: None,
                 closing: None,
+                spawner: None,
                 rng,
                 cfg,
                 taps: Vec::new(),
@@ -835,6 +877,7 @@ impl SimNet {
             },
             agents: Vec::new(),
             addrs: Vec::new(),
+            materialized: 0,
             obs_hour: 0,
             obs_hour_events: 0,
         }
@@ -844,9 +887,29 @@ impl SimNet {
     /// the population builders guarantee distinct addresses.
     pub fn attach(&mut self, addr: Ipv4Addr, agent: Box<dyn Agent>) -> AgentId {
         assert!(
-            !self.fabric.by_addr.contains_key(&addr),
+            !self.fabric.host_present(addr),
             "address {addr} is already occupied"
         );
+        let id = self.register(addr, agent);
+        let now = self.fabric.queue.now();
+        self.fabric.queue.schedule(now, NetEvent::Boot { agent: id });
+        id
+    }
+
+    /// Install the implicit-population source. Addresses the spawner claims
+    /// must be disjoint from every [`Self::attach`]ed address.
+    pub fn set_spawner(&mut self, spawner: Box<dyn HostSpawner>) {
+        self.fabric.spawner = Some(spawner);
+    }
+
+    /// How many implicit hosts have been materialized by first touch so far.
+    pub fn materialized_count(&self) -> u64 {
+        self.materialized
+    }
+
+    /// Allocate the per-agent state rows (the struct-of-arrays side of a
+    /// host: TTL, SYN window, egress stats, address map entry).
+    fn register(&mut self, addr: Ipv4Addr, agent: Box<dyn Agent>) -> AgentId {
         let id = AgentId(self.agents.len() as u32);
         self.agents.push(Some(agent));
         self.addrs.push(addr);
@@ -854,9 +917,26 @@ impl SimNet {
         self.fabric.windows.push(65_535);
         self.fabric.egress.push(EgressStats::default());
         self.fabric.by_addr.insert(addr, id);
-        let now = self.fabric.queue.now();
-        self.fabric.queue.schedule(now, NetEvent::Boot { agent: id });
         id
+    }
+
+    /// The agent at `addr`, materializing an implicit host on first touch.
+    /// Called from delivery paths only (SYN and UDP arrivals): occupancy
+    /// was already decided at send time, so a `None` here means the address
+    /// is genuinely empty.
+    fn resolve_host(&mut self, addr: Ipv4Addr) -> Option<AgentId> {
+        if let Some(id) = self.fabric.by_addr.get(&addr).copied() {
+            return Some(id);
+        }
+        let agent = self.fabric.spawner.as_mut()?.spawn(addr)?;
+        self.materialized += 1;
+        let id = self.register(addr, agent);
+        // First touch substitutes for t=0 attachment: run the boot hook
+        // inline, before the packet that woke the host is delivered. The
+        // spawner contract keeps this equivalent to an eager attach (boot-
+        // inert agents only), so no Boot event enters the queue.
+        self.with_agent(id, |a, ctx| a.on_boot(ctx));
+        Some(id)
     }
 
     /// Register a passive observation tap over `range`.
@@ -1046,7 +1126,7 @@ impl SimNet {
                     return;
                 };
                 let (dst_sock, client_sock) = (c.server_sock, c.client_sock);
-                let Some(server_id) = self.fabric.by_addr.get(&dst_sock.addr).copied() else {
+                let Some(server_id) = self.resolve_host(dst_sock.addr) else {
                     return; // host vanished; client times out
                 };
                 let mut decision = TcpDecision::Refuse;
@@ -1168,7 +1248,7 @@ impl SimNet {
                 self.fabric.closing = None;
             }
             NetEvent::UdpArrive { src, dst, payload } => {
-                let Some(target) = self.fabric.by_addr.get(&dst.addr).copied() else {
+                let Some(target) = self.resolve_host(dst.addr) else {
                     return;
                 };
                 self.fabric.current_udp_inbound = Some((target, src));

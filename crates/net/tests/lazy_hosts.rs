@@ -1,0 +1,255 @@
+//! The implicit (first-touch) host population at the fabric level.
+//!
+//! A [`HostSpawner`] answers occupancy as a pure function of the address and
+//! materializes agents only when traffic is actually delivered. These tests
+//! pin the contract the paper-scale streaming population rests on:
+//!
+//! * first-touch generation is idempotent — probing the same address twice
+//!   materializes once and yields byte-identical responses, and two
+//!   independent simulations spawn identical device state;
+//! * occupancy checks never materialize — probes suppressed in flight
+//!   (chaos-schedule churn marking the host dark) leave the host implicit.
+
+use std::cell::Cell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use ofh_net::{
+    ip, Agent, ConnToken, FaultPhase, FaultPlan, FaultSchedule, HostSpawner, NetCtx, Payload,
+    SimDuration, SimNet, SimNetConfig, SimTime, SockAddr, TcpDecision,
+};
+
+/// A banner server whose banner is derived from its address — a stand-in for
+/// "device state generated deterministically from seed + address".
+struct AddrBanner {
+    banner: Vec<u8>,
+}
+
+impl Agent for AddrBanner {
+    fn on_tcp_open(
+        &mut self,
+        _ctx: &mut NetCtx<'_>,
+        _conn: ConnToken,
+        port: u16,
+        _peer: SockAddr,
+    ) -> TcpDecision {
+        if port == 23 {
+            TcpDecision::accept_with(self.banner.clone())
+        } else {
+            TcpDecision::Refuse
+        }
+    }
+}
+
+/// Spawner over one /24: every address with last octet >= 100 is an
+/// [`AddrBanner`] host. Counts spawn calls to prove at-most-once.
+struct TestSpawner {
+    spawns: Rc<Cell<u32>>,
+}
+
+fn spawner_owns(addr: Ipv4Addr) -> bool {
+    addr.octets()[..3] == [10, 0, 0] && addr.octets()[3] >= 100
+}
+
+impl HostSpawner for TestSpawner {
+    fn occupied(&self, addr: Ipv4Addr) -> bool {
+        spawner_owns(addr)
+    }
+
+    fn spawn(&mut self, addr: Ipv4Addr) -> Option<Box<dyn Agent>> {
+        if !spawner_owns(addr) {
+            return None;
+        }
+        self.spawns.set(self.spawns.get() + 1);
+        Some(Box::new(AddrBanner {
+            banner: format!("device-{}\r\n", addr).into_bytes(),
+        }))
+    }
+}
+
+/// A client that connects to each target twice in sequence and records the
+/// first payload of every connection.
+struct Prober {
+    targets: Vec<SockAddr>,
+    next: usize,
+    banners: Vec<Vec<u8>>,
+    timeouts: usize,
+}
+
+impl Prober {
+    fn new(targets: Vec<SockAddr>) -> Self {
+        Prober {
+            targets,
+            next: 0,
+            banners: Vec::new(),
+            timeouts: 0,
+        }
+    }
+
+    fn fire_next(&mut self, ctx: &mut NetCtx<'_>) {
+        if let Some(&dst) = self.targets.get(self.next) {
+            self.next += 1;
+            ctx.tcp_connect(dst);
+        }
+    }
+}
+
+impl Agent for Prober {
+    fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+        self.fire_next(ctx);
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut NetCtx<'_>, conn: ConnToken, data: &Payload) {
+        self.banners.push(data.to_vec());
+        ctx.tcp_close(conn);
+        self.fire_next(ctx);
+    }
+
+    fn on_tcp_timeout(&mut self, ctx: &mut NetCtx<'_>, _conn: ConnToken) {
+        self.timeouts += 1;
+        self.fire_next(ctx);
+    }
+
+    fn on_tcp_refused(&mut self, ctx: &mut NetCtx<'_>, _conn: ConnToken) {
+        self.fire_next(ctx);
+    }
+}
+
+fn run_probe(cfg: SimNetConfig, targets: Vec<SockAddr>) -> (SimNet, ofh_net::AgentId, Rc<Cell<u32>>) {
+    let spawns = Rc::new(Cell::new(0));
+    let mut net = SimNet::new(cfg);
+    net.set_spawner(Box::new(TestSpawner {
+        spawns: Rc::clone(&spawns),
+    }));
+    let prober = net.attach(ip(10, 0, 0, 1), Box::new(Prober::new(targets)));
+    net.run_until(SimTime(600_000));
+    (net, prober, spawns)
+}
+
+#[test]
+fn first_touch_is_idempotent_within_a_run() {
+    // Probe the same implicit host twice: one spawn, identical banners.
+    let dst = SockAddr::new(ip(10, 0, 0, 150), 23);
+    let (net, prober, spawns) = run_probe(SimNetConfig::default(), vec![dst, dst]);
+    let prober = net.agent_downcast::<Prober>(prober).unwrap();
+    assert_eq!(prober.banners.len(), 2, "both probes answered");
+    assert_eq!(prober.banners[0], prober.banners[1], "same device state twice");
+    assert_eq!(spawns.get(), 1, "spawn called at most once per address");
+    assert_eq!(net.materialized_count(), 1);
+}
+
+#[test]
+fn first_touch_matches_across_runs_and_orders() {
+    // Two runs touching the same address via different probe orders yield
+    // the same device state: generation depends only on the address.
+    let a = SockAddr::new(ip(10, 0, 0, 150), 23);
+    let b = SockAddr::new(ip(10, 0, 0, 200), 23);
+    let (net1, p1, _) = run_probe(SimNetConfig::default(), vec![a, b]);
+    let (net2, p2, _) = run_probe(SimNetConfig::default(), vec![b, a]);
+    let banners1 = &net1.agent_downcast::<Prober>(p1).unwrap().banners;
+    let banners2 = &net2.agent_downcast::<Prober>(p2).unwrap().banners;
+    assert_eq!(banners1.len(), 2);
+    assert_eq!(banners1[0], banners2[1], "host {a:?} state is order-independent");
+    assert_eq!(banners1[1], banners2[0], "host {b:?} state is order-independent");
+}
+
+#[test]
+fn occupancy_checks_do_not_materialize() {
+    // A probe into spawner-owned space materializes exactly the touched
+    // host; probes into empty space (occupancy says no) materialize nothing.
+    let (net, prober, spawns) = run_probe(
+        SimNetConfig::default(),
+        vec![
+            SockAddr::new(ip(10, 0, 0, 50), 23),  // empty: below the spawner range
+            SockAddr::new(ip(10, 0, 0, 150), 23), // implicit host
+        ],
+    );
+    let prober = net.agent_downcast::<Prober>(prober).unwrap();
+    assert_eq!(prober.timeouts, 1, "empty address times out");
+    assert_eq!(prober.banners.len(), 1);
+    assert_eq!(spawns.get(), 1);
+    assert_eq!(net.materialized_count(), 1);
+}
+
+#[test]
+fn churned_dark_host_is_not_materialized() {
+    // Chaos-schedule churn with chance 1.0: every in-scope host is dark in
+    // every slot, so the SYN is suppressed *at the host* without delivery —
+    // and an untouched implicit host must stay implicit.
+    let churn = FaultSchedule {
+        phases: vec![FaultPhase {
+            name: "churn-all".into(),
+            from_ms: None,
+            to_ms: None,
+            scope: Default::default(),
+            plan: FaultPlan {
+                churn_chance: 1.0,
+                ..FaultPlan::NONE
+            },
+            ramp: Default::default(),
+        }],
+    };
+    let cfg = SimNetConfig {
+        faults: churn,
+        ..SimNetConfig::default()
+    };
+    let (net, prober, spawns) = run_probe(cfg, vec![SockAddr::new(ip(10, 0, 0, 150), 23)]);
+    let prober = net.agent_downcast::<Prober>(prober).unwrap();
+    assert_eq!(prober.timeouts, 1, "dark host looks empty to the client");
+    assert!(prober.banners.is_empty());
+    assert_eq!(spawns.get(), 0, "churn on an untouched address must not spawn");
+    assert_eq!(net.materialized_count(), 0);
+    assert_eq!(net.counters().churn_suppressed, 1);
+}
+
+#[test]
+fn udp_first_touch_materializes_once() {
+    struct UdpEcho;
+    impl Agent for UdpEcho {
+        fn on_udp(&mut self, ctx: &mut NetCtx<'_>, port: u16, peer: SockAddr, payload: &Payload) {
+            ctx.udp_send(port, peer, payload.to_vec());
+        }
+    }
+    struct UdpSpawner {
+        spawns: Rc<Cell<u32>>,
+    }
+    impl HostSpawner for UdpSpawner {
+        fn occupied(&self, addr: Ipv4Addr) -> bool {
+            addr == ip(10, 0, 0, 200)
+        }
+        fn spawn(&mut self, addr: Ipv4Addr) -> Option<Box<dyn Agent>> {
+            self.occupied(addr).then(|| {
+                self.spawns.set(self.spawns.get() + 1);
+                Box::new(UdpEcho) as Box<dyn Agent>
+            })
+        }
+    }
+    struct UdpProber {
+        got: usize,
+    }
+    impl Agent for UdpProber {
+        fn on_boot(&mut self, ctx: &mut NetCtx<'_>) {
+            let dst = SockAddr::new(ip(10, 0, 0, 200), 5683);
+            ctx.udp_send(40_000, dst, b"ping".as_slice());
+            ctx.set_timer(SimDuration::from_secs(5), 1);
+        }
+        fn on_timer(&mut self, ctx: &mut NetCtx<'_>, _token: u64) {
+            let dst = SockAddr::new(ip(10, 0, 0, 200), 5683);
+            ctx.udp_send(40_000, dst, b"ping".as_slice());
+        }
+        fn on_udp(&mut self, _ctx: &mut NetCtx<'_>, _port: u16, _peer: SockAddr, _p: &Payload) {
+            self.got += 1;
+        }
+    }
+
+    let spawns = Rc::new(Cell::new(0));
+    let mut net = SimNet::new(SimNetConfig::default());
+    net.set_spawner(Box::new(UdpSpawner {
+        spawns: Rc::clone(&spawns),
+    }));
+    let prober = net.attach(ip(10, 0, 0, 1), Box::new(UdpProber { got: 0 }));
+    net.run_until(SimTime(60_000));
+    assert_eq!(net.agent_downcast::<UdpProber>(prober).unwrap().got, 2);
+    assert_eq!(spawns.get(), 1);
+    assert_eq!(net.materialized_count(), 1);
+}

@@ -36,5 +36,5 @@ pub mod ztag;
 pub use classify::classify_response;
 pub use iterator::AddressPermutation;
 pub use results::{HostRecord, ScanResults};
-pub use scanner::{RetryPolicy, ScanResilience, Scanner, ScannerConfig};
+pub use scanner::{RetryPolicy, ScanResilience, Scanner, ScannerConfig, TargetSpace};
 pub use schedule::scan_start;

@@ -16,6 +16,7 @@
 //! models in [`crate::datasets`]).
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use ofh_net::Payload;
 use ofh_net::{
@@ -29,6 +30,60 @@ use crate::bitset::BitSet;
 use crate::iterator::AddressPermutation;
 use crate::probe;
 use crate::results::{HostRecord, ScanResults};
+
+/// What a sweep permutes over: the whole address range, or a sparse index.
+///
+/// A paper-scale universe spans 2^32 addresses but carries only ~10^6
+/// occupied hosts. Walking the dense range would cost four billion
+/// permutation steps per sweep replica *and* a 512 MB probed-bitset per UDP
+/// port; the index walks only the addresses that can possibly matter —
+/// occupied hosts plus a deterministic stride sample of the telescope's
+/// dark space (so scan-phase background radiation still reaches the tap).
+/// The permutation then runs over index *positions*, keeping ZMap's
+/// subnet-scattering property over whatever the index contains.
+#[derive(Debug, Clone, Default)]
+pub enum TargetSpace {
+    /// Probe every address in `[base, base + size)` (the dense default).
+    #[default]
+    Range,
+    /// Probe only `base + offset` for the listed offsets (sorted, unique).
+    /// Shared by reference: one index serves every sweep of every shard.
+    Index(Arc<Vec<u32>>),
+}
+
+impl TargetSpace {
+    /// An indexed space over sorted, deduplicated offsets.
+    pub fn index(offsets: Vec<u32>) -> TargetSpace {
+        debug_assert!(offsets.windows(2).all(|w| w[0] < w[1]), "index not sorted/unique");
+        TargetSpace::Index(Arc::new(offsets))
+    }
+
+    /// Size of the permutation domain for a range of `size` addresses.
+    pub fn domain(&self, size: u64) -> u64 {
+        match self {
+            TargetSpace::Range => size,
+            TargetSpace::Index(ix) => ix.len() as u64,
+        }
+    }
+
+    /// Address offset at permutation position `pos`, if in domain.
+    #[inline]
+    fn offset_at(&self, pos: u64) -> Option<u32> {
+        match self {
+            TargetSpace::Range => Some(pos as u32),
+            TargetSpace::Index(ix) => ix.get(pos as usize).copied(),
+        }
+    }
+
+    /// Permutation position of address offset `rel` (for bitset tracking).
+    #[inline]
+    fn position_of(&self, rel: u32) -> Option<u64> {
+        match self {
+            TargetSpace::Range => Some(u64::from(rel)),
+            TargetSpace::Index(ix) => ix.binary_search(&rel).ok().map(|i| i as u64),
+        }
+    }
+}
 
 /// Configuration of one sweep.
 #[derive(Debug, Clone)]
@@ -58,6 +113,8 @@ pub struct ScannerConfig {
     /// the full permutation but only issues probes for addresses the shard
     /// owns; `ShardSpec::WHOLE` (the default) probes everything.
     pub shard: ShardSpec,
+    /// The permutation domain: dense range or sparse index (paper scale).
+    pub targets: TargetSpace,
 }
 
 /// ZGrab-style bounded retry policy for interrupted application-layer grabs.
@@ -133,14 +190,25 @@ impl ScannerConfig {
             sample_rate: 1.0,
             seed,
             shard: ShardSpec::WHOLE,
+            targets: TargetSpace::Range,
         }
     }
 
     /// Addresses this sweep will actually consider probing — the shard's
-    /// share of `size`. O(size) when sharded (one hash per address); used
-    /// once per sweep to bound the schedule.
+    /// share of the target domain. O(domain) when sharded (one hash per
+    /// candidate); used once per sweep to bound the schedule.
     pub fn target_count(&self) -> u64 {
-        self.shard.owned_in(self.base, self.size)
+        match &self.targets {
+            TargetSpace::Range => self.shard.owned_in(self.base, self.size),
+            TargetSpace::Index(ix) => {
+                let base = u32::from(self.base);
+                ix.iter()
+                    .filter(|&&rel| {
+                        self.shard.owns(Ipv4Addr::from(base.wrapping_add(rel)))
+                    })
+                    .count() as u64
+            }
+        }
     }
 }
 
@@ -186,7 +254,10 @@ enum UdpTracker {
 struct PortTracker {
     sweep: usize,
     base: u32,
+    /// One bit per *domain position* — index length, not address-range
+    /// size, so a sparse 2^32 sweep tracks probes in kilobytes, not 512 MB.
     probed: BitSet,
+    targets: TargetSpace,
 }
 
 /// The scanning agent. Attach at the scanning host's address, run the
@@ -232,7 +303,9 @@ impl Scanner {
         let sweeps: Vec<Sweep> = configs
             .into_iter()
             .map(|cfg| Sweep {
-                perm: AddressPermutation::new(cfg.size, cfg.seed),
+                // An empty index still builds a 1-element permutation whose
+                // sole position falls outside the domain and is skipped.
+                perm: AddressPermutation::new(cfg.targets.domain(cfg.size).max(1), cfg.seed),
                 cfg,
                 pending_ports: Vec::new(),
                 exhausted: false,
@@ -278,7 +351,8 @@ impl Scanner {
                         PortTracker {
                             sweep: idx,
                             base: u32::from(sweep.cfg.base),
-                            probed: BitSet::new(sweep.cfg.size),
+                            probed: BitSet::new(sweep.cfg.targets.domain(sweep.cfg.size)),
+                            targets: sweep.cfg.targets.clone(),
                         },
                     )
                     .is_some()
@@ -296,7 +370,10 @@ impl Scanner {
         match &mut self.udp_track {
             UdpTracker::ByPort(map) => {
                 if let Some(t) = map.get_mut(&port) {
-                    t.probed.set(u64::from(u32::from(addr).wrapping_sub(t.base)));
+                    let rel = u32::from(addr).wrapping_sub(t.base);
+                    if let Some(pos) = t.targets.position_of(rel) {
+                        t.probed.set(pos);
+                    }
                 }
             }
             UdpTracker::Shared(map) => {
@@ -309,9 +386,9 @@ impl Scanner {
         match &self.udp_track {
             UdpTracker::ByPort(map) => {
                 let t = map.get(&port)?;
-                t.probed
-                    .get(u64::from(u32::from(addr).wrapping_sub(t.base)))
-                    .then_some(t.sweep)
+                let rel = u32::from(addr).wrapping_sub(t.base);
+                let pos = t.targets.position_of(rel)?;
+                t.probed.get(pos).then_some(t.sweep)
             }
             UdpTracker::Shared(map) => map.get(&(addr, port)).copied(),
         }
@@ -344,8 +421,11 @@ impl Scanner {
             if let Some(t) = sweep.pending_ports.pop() {
                 return Some(t);
             }
-            let offset = sweep.perm.next()?;
-            let addr = Ipv4Addr::from(u32::from(sweep.cfg.base).wrapping_add(offset as u32));
+            let pos = sweep.perm.next()?;
+            let Some(rel) = sweep.cfg.targets.offset_at(pos) else {
+                continue;
+            };
+            let addr = Ipv4Addr::from(u32::from(sweep.cfg.base).wrapping_add(rel));
             // Shard filter first: the sampling RNG must only be consulted
             // for owned addresses, so each shard's draw sequence is a pure
             // function of its own targets.
@@ -838,6 +918,95 @@ mod tests {
         assert!(found > 12, "only {found}/24 hosts recorded: {r:?}");
         // And the whole faulty run is deterministic.
         assert_eq!(run(), (r, found));
+    }
+
+    #[test]
+    fn indexed_sweep_probes_exactly_the_index() {
+        // A sparse index over a huge nominal range: probe accounting must
+        // track the index length, never the range size.
+        let mut net = SimNet::new(SimNetConfig::default());
+        net.attach(
+            ip(16, 4, 0, 10),
+            Box::new(TelnetDevice::new("BusyBox login:", Some(Misconfig::TelnetNoAuth), 23)),
+        );
+        let offsets: Vec<u32> = vec![10, 77, 500, 9_999, 4_000_000];
+        let cfg = ScannerConfig {
+            ports: vec![23],
+            targets: TargetSpace::index(offsets.clone()),
+            ..ScannerConfig::full(Protocol::Telnet, ip(16, 4, 0, 0), 1 << 31, SimTime::ZERO, 5)
+        };
+        assert_eq!(cfg.target_count(), offsets.len() as u64);
+        let end = Scanner::estimated_end(&cfg);
+        let sid = net.attach(ip(16, 3, 0, 1), Box::new(Scanner::new("ZMap Scan", vec![cfg])));
+        net.run_until(end);
+        let s = net.agent_downcast::<Scanner>(sid).unwrap();
+        assert_eq!(s.probes_sent(), offsets.len() as u64);
+        assert!(s.all_probes_sent());
+        assert_eq!(s.results.exposed_hosts(Protocol::Telnet), 1);
+        assert!(s.results.records.contains_key(&(ip(16, 4, 0, 10), 23)));
+    }
+
+    #[test]
+    fn indexed_udp_sweep_attributes_responses() {
+        // The UDP probed-set must work through the index mapping: a CoAP
+        // response from an indexed address is attributed; the bitset is
+        // domain-sized (5 bits here), not range-sized.
+        let mut net = SimNet::new(SimNetConfig::default());
+        net.attach(
+            ip(16, 4, 0, 77),
+            Box::new(CoapDevice::new(
+                Some(Misconfig::CoapReflection),
+                vec![ofh_wire::coap::LinkEntry {
+                    path: "/ndm/login".into(),
+                    attrs: vec![],
+                }],
+            )),
+        );
+        let cfg = ScannerConfig {
+            targets: TargetSpace::index(vec![3, 77, 1_000, 65_536, 2_000_000]),
+            ..ScannerConfig::full(Protocol::Coap, ip(16, 4, 0, 0), 1 << 31, SimTime::ZERO, 8)
+        };
+        let end = Scanner::estimated_end(&cfg);
+        let sid = net.attach(ip(16, 3, 0, 1), Box::new(Scanner::new("ZMap Scan", vec![cfg])));
+        net.run_until(end);
+        let s = net.agent_downcast::<Scanner>(sid).unwrap();
+        let rec = s.results.records.get(&(ip(16, 4, 0, 77), 5683)).unwrap();
+        assert_eq!(rec.misconfig(), Some(Misconfig::CoapReflection));
+    }
+
+    #[test]
+    fn indexed_and_range_sweeps_find_the_same_hosts() {
+        // Over a small universe where both modes are feasible, an index
+        // listing every offset is just a reordered full sweep: same hosts.
+        let attach_hosts = |net: &mut SimNet| {
+            for i in [9u32, 33, 200] {
+                net.attach(
+                    Ipv4Addr::from(u32::from(ip(16, 4, 0, 0)) + i),
+                    Box::new(TelnetDevice::new("x", Some(Misconfig::TelnetNoAuth), 23)),
+                );
+            }
+        };
+        let run = |targets: TargetSpace| {
+            let mut net = SimNet::new(SimNetConfig::default());
+            attach_hosts(&mut net);
+            let cfg = ScannerConfig {
+                ports: vec![23],
+                targets,
+                ..ScannerConfig::full(Protocol::Telnet, ip(16, 4, 0, 0), 256, SimTime::ZERO, 3)
+            };
+            let end = Scanner::estimated_end(&cfg);
+            let sid = net.attach(ip(16, 3, 0, 1), Box::new(Scanner::new("ZMap Scan", vec![cfg])));
+            net.run_until(end);
+            let s = net.agent_downcast::<Scanner>(sid).unwrap();
+            let mut addrs: Vec<Ipv4Addr> =
+                s.results.records.keys().map(|&(a, _)| a).collect();
+            addrs.sort_unstable();
+            addrs
+        };
+        let dense = run(TargetSpace::Range);
+        let sparse = run(TargetSpace::index((0..256).collect()));
+        assert_eq!(dense.len(), 3);
+        assert_eq!(dense, sparse);
     }
 
     #[test]

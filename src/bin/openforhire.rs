@@ -30,7 +30,11 @@ fn usage() -> &'static str {
        openforhire export <scan|events|flowtuples>  dump a dataset as JSON lines\n\
      \n\
      OPTIONS:\n\
-       --preset quick|standard|full   scale preset (default: quick)\n\
+       --preset quick|standard|full|paper-scale|paper-smoke\n\
+                                      scale preset (default: quick). paper-scale\n\
+                                      simulates the full 2^32 IPv4 space with >1M\n\
+                                      occupied hosts (release build recommended);\n\
+                                      paper-smoke is its CI-sized twin.\n\
        --seed N                       master seed (default: 7)\n\
        --faults none|lossy|hostile|FILE.json\n\
                                       fault schedule: a named preset or a JSON\n\
@@ -112,7 +116,11 @@ fn config_for(preset: &str, seed: u64) -> Result<StudyConfig, String> {
         "quick" => Ok(StudyConfig::quick(seed)),
         "standard" => Ok(StudyConfig::standard(seed)),
         "full" => Ok(StudyConfig::full(seed)),
-        other => Err(format!("unknown preset {other:?} (quick|standard|full)")),
+        "paper-scale" => Ok(StudyConfig::paper_scale(seed)),
+        "paper-smoke" => Ok(StudyConfig::paper_smoke(seed)),
+        other => Err(format!(
+            "unknown preset {other:?} (quick|standard|full|paper-scale|paper-smoke)"
+        )),
     }
 }
 
@@ -188,8 +196,9 @@ fn run() -> Result<(), String> {
         args.preset,
         args.seed,
         match args.preset.as_str() {
-            "quick" => "1s",
+            "quick" | "paper-smoke" => "1s",
             "standard" => "10s",
+            "paper-scale" => "minutes (use --workers 0)",
             _ => "80s",
         }
     );

@@ -6,7 +6,7 @@
 //! rendered outputs, reporting the first divergent line on failure so a
 //! determinism regression points straight at the table that drifted.
 
-use ofh_core::{Study, StudyConfig, StudyReport};
+use ofh_core::{PopulationMode, Study, StudyConfig, StudyReport};
 
 fn run_quick(seed: u64, workers: usize) -> StudyReport {
     let mut cfg = StudyConfig::quick(seed);
@@ -54,6 +54,37 @@ fn golden_report_workers_1_4_16() {
         let report = run_quick(42, workers).render_full();
         assert_identical_lines("render_full", 1, workers, &golden, &report);
         assert_eq!(golden, report, "golden report mismatch at workers={workers}");
+    }
+}
+
+/// The streaming-population guarantee: hosts materialized on first touch
+/// from the struct-of-arrays arena are indistinguishable from hosts attached
+/// eagerly at shard start. The FULL rendered report must be byte-identical
+/// across both population modes *and* worker counts — the four combinations
+/// below triangulate mode × parallelism.
+#[test]
+fn implicit_population_matches_eager_byte_for_byte() {
+    let run = |mode: PopulationMode, workers: usize| {
+        let mut cfg = StudyConfig::quick(23);
+        cfg.population = mode;
+        cfg.workers = workers;
+        Study::new(cfg).run().render_full()
+    };
+    let golden = run(PopulationMode::Eager, 1);
+    for (mode, workers) in [
+        (PopulationMode::Implicit, 1),
+        (PopulationMode::Eager, 8),
+        (PopulationMode::Implicit, 8),
+    ] {
+        let report = run(mode, workers);
+        assert_identical_lines(
+            &format!("render_full[{mode:?}]"),
+            1,
+            workers,
+            &golden,
+            &report,
+        );
+        assert_eq!(golden, report, "population mode {mode:?} diverged at workers={workers}");
     }
 }
 
