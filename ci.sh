@@ -18,6 +18,9 @@ cargo test --release -q --test parallel_determinism --test determinism -- --test
 echo "==> determinism suite, --test-threads=4 (release)"
 cargo test --release -q --test parallel_determinism --test determinism -- --test-threads=4 --include-ignored
 
+echo "==> steal-determinism suite (release, includes the seeded proptest)"
+cargo test --release -q --test scaling_determinism -- --include-ignored
+
 echo "==> observability artifacts: emit (quick preset) + schema validation"
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
@@ -46,6 +49,30 @@ cmp "$OBS_TMP/paper_w1.txt" "$OBS_TMP/paper_w4.txt"
 echo "    paper-smoke reports identical at workers 1 and 4"
 cargo test --release -q -p ofh-net --test wheel_props --test lazy_hosts
 cargo test --release -q --test parallel_determinism implicit_population_matches_eager
+
+echo "==> scaling-smoke: report bytes invariant across workers at fixed shard counts"
+# Shard count is a semantic knob (16 and 64 are different traces); worker
+# count is a pure execution knob. Golden-diff byte-for-byte at both counts —
+# at 64 the worker axis runs past the old fixed-16 partition so the
+# work-stealing scheduler's chunked steals are on the tested path.
+for SHARDS in 16 64; do
+    ./target/release/openforhire study --preset quick --shards "$SHARDS" --workers 1 \
+        > "$OBS_TMP/scale_s${SHARDS}_w1.txt"
+    WORKERS_AXIS="4"
+    [ "$SHARDS" = "64" ] && WORKERS_AXIS="4 8 32"
+    for W in $WORKERS_AXIS; do
+        ./target/release/openforhire study --preset quick --shards "$SHARDS" --workers "$W" \
+            > "$OBS_TMP/scale_s${SHARDS}_w${W}.txt"
+        cmp "$OBS_TMP/scale_s${SHARDS}_w1.txt" "$OBS_TMP/scale_s${SHARDS}_w${W}.txt"
+    done
+    echo "    shards=$SHARDS: reports identical at workers {1, $WORKERS_AXIS}"
+done
+
+echo "==> scaling curve, bounded mini grid (exercises the bench harness)"
+BENCH_SCALING_MINI=1 BENCH_SCALING_OUT="$OBS_TMP/scaling.json" \
+    cargo bench -q -p ofh-bench --bench scaling
+grep -q '"preset": "quick", "shards": 64' "$OBS_TMP/scaling.json"
+echo "    mini scaling grid written and well-formed"
 
 echo "==> bench suite, smoke mode (every body runs once, no timing)"
 cargo bench -p ofh-bench -- --test

@@ -56,9 +56,12 @@ pub struct StudyConfig {
     /// vanishes; oversampling keeps the *structure* measurable while the
     /// proportion is noted in EXPERIMENTS.md. Use 1 for strict proportions.
     pub infected_oversample: u64,
-    /// Number of deterministic shards the address space is split into.
-    /// This is a *simulation parameter*: changing it changes the (equally
-    /// valid) trace. It is fixed per preset and independent of `workers`.
+    /// Number of deterministic shards the address space is split into: any
+    /// power of two in `1..=4096` (`ofh_net::MAX_SHARDS`). This is a
+    /// *simulation parameter* (a semantic knob): changing it changes the
+    /// (equally valid) trace, so it is serialized with the config — unlike
+    /// `workers`, which must never appear in any output. Presets pick a
+    /// default; `--shards` overrides it.
     pub shards: u32,
     /// Worker threads executing shards. Pure execution knob: any value
     /// (including 0 = one thread per available core) produces the identical
@@ -150,7 +153,9 @@ impl StudyConfig {
             faults: FaultSchedule::none(),
             run_dataset_providers: true,
             infected_oversample: 1,
-            shards: 16,
+            // 64 shards so the 2^32 run keeps speeding up past 16 cores;
+            // per-shard fixed costs stay negligible against >1M hosts.
+            shards: 64,
             workers: 0,
             obs: ofh_obs::ObsConfig::default(),
             population: PopulationMode::Implicit,
@@ -198,8 +203,12 @@ impl StudyConfig {
         if self.scan_scale == 0 || self.hp_scale == 0 || self.infected_oversample == 0 {
             return Err("scales must be nonzero".into());
         }
-        if self.shards == 0 || self.shards > 4_096 {
-            return Err("shards must be in 1..=4096".into());
+        if self.shards == 0 || self.shards > ofh_net::MAX_SHARDS || !self.shards.is_power_of_two() {
+            return Err(format!(
+                "shards must be a power of two in 1..={} (got {})",
+                ofh_net::MAX_SHARDS,
+                self.shards
+            ));
         }
         if self.month_days == 0 || self.month_days > 30 {
             return Err("month_days must be in 1..=30".into());
@@ -273,6 +282,23 @@ mod tests {
         let smoke = StudyConfig::paper_smoke(1);
         assert_eq!(smoke.universe, cfg.universe);
         assert!(smoke.scan_scale > cfg.scan_scale * 100);
+    }
+
+    #[test]
+    fn shard_counts_must_be_powers_of_two() {
+        let mut cfg = StudyConfig::quick(1);
+        for ok in [1u32, 2, 4, 64, 1024, 4096] {
+            cfg.shards = ok;
+            cfg.validate().unwrap();
+        }
+        for bad in [0u32, 3, 17, 48, 4097, 8192] {
+            cfg.shards = bad;
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains("power of two"), "unhelpful error: {err}");
+        }
+        // The paper-scale preset rides the elastic partition at 64.
+        assert_eq!(StudyConfig::paper_scale(1).shards, 64);
+        assert_eq!(StudyConfig::paper_smoke(1).shards, 64);
     }
 
     #[test]

@@ -24,7 +24,6 @@
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 use ofh_analysis::events::AttackDataset;
 use ofh_analysis::figures::{AttackTypeBreakdown, Fig2, Fig3, Fig5, Fig6, Fig8, Fig9};
@@ -71,9 +70,12 @@ struct ShardInputs<'a> {
     honeypots: HoneypotSet,
     infected_tasks: &'a BTreeMap<usize, Vec<ofh_attack::Task>>,
     geo: &'a GeoDb,
-    /// Sparse scan-target index for paper-scale universes (`None` keeps the
-    /// dense range walk). The `Arc` inside makes per-sweep clones free.
-    scan_targets: Option<TargetSpace>,
+    /// Per-shard sparse scan-target indexes for paper-scale universes
+    /// (`None` keeps the dense range walk). Indexed by shard: each shard's
+    /// sweeps walk only the offsets that shard owns, so total permutation
+    /// work stays O(index) at any shard count instead of O(index × shards).
+    /// The `Arc` inside each entry makes per-sweep clones free.
+    scan_targets: Option<Vec<TargetSpace>>,
 }
 
 /// The streaming host population of one shard: non-infected devices live in
@@ -131,18 +133,24 @@ impl HostSpawner for ShardSpawner {
     }
 }
 
-/// Build the sparse scan-target index for a paper-scale universe: every
+/// Build the sparse scan-target indexes for a paper-scale universe: every
 /// occupied address (devices, wild honeypots, the lab, attackers, the
 /// scanning hosts) plus a deterministic stride sample of the telescope's
 /// dark space, as offsets from the universe base. ~10^6 entries stand in
 /// for 2^32 addresses; sweeps permute over index positions instead.
+///
+/// The global index is partitioned by shard ownership up front (one hash
+/// per offset, once), so each shard's scanner replicas permute an
+/// O(index / shards) domain of exclusively-owned targets. The in-sweep
+/// `ShardSpec::owns` filter still runs — it is what keeps the dense-range
+/// presets correct — it just never rejects an indexed target anymore.
 fn build_scan_index(
     cfg: &StudyConfig,
     population: &Population,
     wild: &[(Ipv4Addr, WildHoneypot)],
     plan: &AttackPlan,
     honeypots: &HoneypotSet,
-) -> TargetSpace {
+) -> Vec<TargetSpace> {
     let universe = cfg.universe;
     let base = u32::from(universe.cidr().first());
     let rel = |addr: Ipv4Addr| u32::from(addr).wrapping_sub(base);
@@ -178,7 +186,15 @@ fn build_scan_index(
     }
     offsets.sort_unstable();
     offsets.dedup();
-    TargetSpace::index(offsets)
+    let mut per_shard: Vec<Vec<u32>> =
+        vec![Vec::with_capacity(offsets.len() / cfg.shards as usize + 1); cfg.shards as usize];
+    for off in offsets {
+        let addr = Ipv4Addr::from(base.wrapping_add(off));
+        per_shard[ofh_net::shard_of(addr, cfg.shards) as usize].push(off);
+    }
+    // Each per-shard list inherits the global sort, satisfying the
+    // sorted/unique index contract.
+    per_shard.into_iter().map(TargetSpace::index).collect()
 }
 
 /// Everything one shard's simulation produces.
@@ -316,24 +332,23 @@ impl Study {
                 .map(|spec| (spec.index, run_shard(&inputs, spec)))
                 .collect()
         } else {
-            // Work-stealing by atomic dispenser: which worker runs which
-            // shard is scheduling-dependent, but each shard's simulation is
-            // a pure function of (inputs, spec) and results are re-ordered
-            // by shard index below, so the merge never sees the difference.
-            let next = AtomicU32::new(0);
+            // Work-stealing scheduler: each worker drains a contiguous
+            // block of shards and steals the back half of the fullest
+            // sibling when it runs dry (see `crate::scheduler`). Which
+            // worker runs which shard is scheduling-dependent, but each
+            // shard's simulation is a pure function of (inputs, spec) and
+            // results are re-ordered by shard index below, so the merge
+            // never sees the difference.
+            let scheduler = crate::scheduler::ShardScheduler::new(cfg.shards, workers);
             std::thread::scope(|scope| {
-                let next = &next;
+                let scheduler = &scheduler;
                 let inputs = &inputs;
                 let shards = cfg.shards;
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| {
+                    .map(|worker| {
                         scope.spawn(move || {
                             let mut done = Vec::new();
-                            loop {
-                                let index = next.fetch_add(1, Ordering::Relaxed);
-                                if index >= shards {
-                                    break;
-                                }
+                            while let Some(index) = scheduler.next(worker) {
                                 let spec = ShardSpec { index, count: shards };
                                 done.push((index, run_shard(inputs, spec)));
                             }
@@ -632,7 +647,7 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
             );
             c.shard = spec;
             if let Some(ts) = &inputs.scan_targets {
-                c.targets = ts.clone();
+                c.targets = ts[spec.index as usize].clone();
             }
             c
         })
@@ -651,7 +666,7 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
             for c in &mut cfgs {
                 c.shard = spec;
                 if let Some(ts) = &inputs.scan_targets {
-                    c.targets = ts.clone();
+                    c.targets = ts[spec.index as usize].clone();
                 }
             }
             cfgs

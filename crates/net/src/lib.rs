@@ -79,7 +79,7 @@ pub use cidr::{Cidr, CidrSet};
 pub use fasthash::{FastMap, FastSet};
 pub use fault::{churn_dark, Direction, FaultPhase, FaultPlan, FaultSchedule, FaultScope, Ramp};
 pub use packet::{FlowKind, FlowObservation, Payload, PayloadBuilder, Transport};
-pub use shard::{shard_of, ShardSpec};
+pub use shard::{shard_of, ShardSpec, MAX_SHARDS};
 pub use sim::{EgressStats, HostSpawner, LatencyModel, SimNet, SimNetConfig};
 pub use slab::Slab;
 pub use time::{SimDate, SimDuration, SimTime, SIM_EPOCH_DATE};

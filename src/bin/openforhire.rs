@@ -41,8 +41,13 @@ fn usage() -> &'static str {
                                       schedule file (see examples/faults_brownout.json;\n\
                                       default: none). Same schedule + seed + preset\n\
                                       prints identical bytes at any worker count.\n\
+       --shards N                     shard count: a power of two in 1..=4096\n\
+                                      (default: the preset's — 16, or 64 at paper\n\
+                                      scale). A *semantic* knob: each count is a\n\
+                                      different, equally valid deterministic trace.\n\
        --workers N                    shard worker threads; 0 = one per core\n\
-                                      (default: 1 — any value prints identical bytes)\n\
+                                      (default: 1 — any value prints identical bytes\n\
+                                      at a fixed shard count)\n\
        --metrics-out FILE             write the metrics snapshot (JSON, versioned schema)\n\
        --trace-out FILE               write the sim-time span trace (JSON lines)\n"
 }
@@ -52,6 +57,7 @@ struct Args {
     target: Option<String>,
     preset: String,
     seed: u64,
+    shards: Option<u32>,
     workers: usize,
     faults: String,
     summary: bool,
@@ -67,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         target: None,
         preset: "quick".into(),
         seed: 7,
+        shards: None,
         workers: 1,
         faults: "none".into(),
         summary: false,
@@ -84,6 +91,14 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--seed needs a value")?
                     .parse()
                     .map_err(|_| "--seed must be an integer")?;
+            }
+            "--shards" => {
+                out.shards = Some(
+                    args.next()
+                        .ok_or("--shards needs a value")?
+                        .parse()
+                        .map_err(|_| "--shards must be an integer")?,
+                );
             }
             "--workers" => {
                 out.workers = args
@@ -187,10 +202,15 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let mut cfg = config_for(&args.preset, args.seed)?;
+    if let Some(shards) = args.shards {
+        cfg.shards = shards;
+    }
     cfg.workers = args.workers;
     // Resolve and validate the fault schedule up front: a bad schedule is a
     // clean startup error, never a mid-run panic.
     cfg.faults = ofh_core::faults_from_arg(&args.faults)?;
+    // Validate here so a bad --shards value is a clean startup error too.
+    cfg.validate()?;
     eprintln!(
         "running {} preset (seed {}) — deterministic, ~{}",
         args.preset,

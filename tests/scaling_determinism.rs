@@ -1,0 +1,85 @@
+//! The elastic-sharding contract, from both sides:
+//!
+//! * **Shard count is a semantic knob** — each power-of-two count is a
+//!   different (equally valid) deterministic trace, so nothing here compares
+//!   reports *across* counts byte-for-byte;
+//! * **Worker count is a pure execution knob** — at any *fixed* count the
+//!   rendered report must be byte-identical for every worker count and for
+//!   every rerun, no matter how the work-stealing scheduler shuffles shards
+//!   between threads.
+//!
+//! The quick profile runs at counts well past the old fixed 16 (64 here;
+//! the partition itself is property-tested to 4096 in
+//! `crates/net/tests/shard_props.rs`) so the steal paths — contiguous-block
+//! seeding, chunked steals from stragglers, more workers than shards — all
+//! execute against a real study.
+
+use ofh_core::{Study, StudyConfig};
+use proptest::prelude::*;
+
+fn run_quick(seed: u64, shards: u32, workers: usize) -> String {
+    let mut cfg = StudyConfig::quick(seed);
+    cfg.shards = shards;
+    cfg.workers = workers;
+    Study::new(cfg).run().render_full()
+}
+
+/// First divergent line on failure, so a determinism regression points at
+/// the table that drifted instead of two walls of text.
+fn assert_identical(label: &str, golden: &str, other: &str) {
+    for (i, (lg, lo)) in golden.lines().zip(other.lines()).enumerate() {
+        assert_eq!(lg, lo, "{label}: first divergent line is {}", i + 1);
+    }
+    assert_eq!(golden, other, "{label}: reports differ in length");
+}
+
+/// Shards=64 (four shards per worker at 16 workers, steals at 32): the full
+/// rendered report is byte-identical across worker counts {1, 4, 32}, and a
+/// repeated run at 32 workers — a fresh, differently-interleaved
+/// work-stealing schedule — reproduces the same bytes.
+#[test]
+fn shards_64_report_identical_across_workers_and_reruns() {
+    let golden = run_quick(7, 64, 1);
+    for workers in [4usize, 32] {
+        assert_identical(
+            &format!("shards=64 workers={workers}"),
+            &golden,
+            &run_quick(7, 64, workers),
+        );
+    }
+    assert_identical(
+        "shards=64 workers=32 rerun",
+        &golden,
+        &run_quick(7, 64, 32),
+    );
+}
+
+/// The degenerate single-shard partition still honors the contract: extra
+/// workers have nothing to do (and nothing to break).
+#[test]
+fn single_shard_is_worker_invariant() {
+    let golden = run_quick(5, 1, 1);
+    assert_identical("shards=1 workers=8", &golden, &run_quick(5, 1, 8));
+}
+
+proptest! {
+    // Each case renders the quick study four times; two cases keep the
+    // debug-build suite inside the tier-1 budget while still varying the
+    // seed (ci.sh reruns the suite in release with the full harness).
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// For arbitrary seeds: merged reports at shards=64 are byte-identical
+    /// across workers {1, 4, 32} and across repeated work-stealing runs.
+    /// Eight quick studies per invocation — debug builds skip it and ci.sh
+    /// runs it in release with `--include-ignored`.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow in debug; run with --release")]
+    fn steal_schedule_never_leaks_into_the_report(seed in 1u64..1_000_000) {
+        let golden = run_quick(seed, 64, 1);
+        prop_assert_eq!(&golden, &run_quick(seed, 64, 4), "workers=4, seed {}", seed);
+        let w32_first = run_quick(seed, 64, 32);
+        prop_assert_eq!(&golden, &w32_first, "workers=32, seed {}", seed);
+        let w32_again = run_quick(seed, 64, 32);
+        prop_assert_eq!(&golden, &w32_again, "workers=32 rerun, seed {}", seed);
+    }
+}
