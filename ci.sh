@@ -68,6 +68,29 @@ for SHARDS in 16 64; do
     echo "    shards=$SHARDS: reports identical at workers {1, $WORKERS_AXIS}"
 done
 
+echo "==> store-smoke: columnar store determinism + query engine + latency budget"
+# The store file is a pure function of (seed, shards): paper-smoke written at
+# workers 1 and 4 must be byte-identical. Then the query CLI runs against the
+# written file, the re-rendered Table 4 must match the live study's, and a
+# 10k-query mini workload must hold a (generous) point-lookup p99 budget.
+./target/release/openforhire study --preset paper-smoke --workers 1 \
+    --store-out "$OBS_TMP/paper_w1.store" >/dev/null
+./target/release/openforhire study --preset paper-smoke --workers 4 \
+    --store-out "$OBS_TMP/paper_w4.store" >/dev/null
+cmp "$OBS_TMP/paper_w1.store" "$OBS_TMP/paper_w4.store"
+echo "    paper-smoke stores byte-identical at workers 1 and 4"
+./target/release/openforhire query --store "$OBS_TMP/paper_w1.store" info >/dev/null
+./target/release/openforhire query --store "$OBS_TMP/paper_w1.store" table 4 \
+    > "$OBS_TMP/store_table4.txt"
+./target/release/openforhire table 4 --preset paper-smoke > "$OBS_TMP/live_table4.txt"
+cmp "$OBS_TMP/store_table4.txt" "$OBS_TMP/live_table4.txt"
+echo "    store-derived Table 4 matches the live study render"
+BENCH_QUERY_N=10000 BENCH_QUERY_P99_BUDGET_US=5000 \
+    BENCH_QUERY_OUT="$OBS_TMP/query.json" \
+    cargo bench -q -p ofh-bench --bench query
+grep -q '"class": "point"' "$OBS_TMP/query.json"
+echo "    10k-query mini workload within p99 budget"
+
 echo "==> scaling curve, bounded mini grid (exercises the bench harness)"
 BENCH_SCALING_MINI=1 BENCH_SCALING_OUT="$OBS_TMP/scaling.json" \
     cargo bench -q -p ofh-bench --bench scaling

@@ -153,6 +153,10 @@ fn main() {
     // ---- Payload pool vs Vec clone --------------------------------------
     let datagram = vec![0x42u8; 600];
     h.time("payload/vec_clone_600B", || black_box(&datagram).clone());
+    // 600 B is below POOL_MIN_CAPACITY, so freeze seals this as a plain
+    // shared Vec and the buffer never cycles through the pool (the
+    // builder still pays one pool probe in new(); the per-size policy
+    // comparison is the payload_crossover grid below).
     h.time("payload/pooled_roundtrip_600B", || {
         let mut b = PayloadBuilder::new();
         b.extend_from_slice(black_box(&datagram));
@@ -160,6 +164,44 @@ fn main() {
     });
     let shared: Payload = datagram.clone().into();
     h.time("payload/shared_clone_600B", || black_box(&shared).clone());
+
+    // ---- Pool crossover grid --------------------------------------------
+    // Both payload paths at each size: `plain` allocates a fresh Vec and
+    // seals it shared; `pool` recycles a pooled buffer (reserving
+    // POOL_MIN_CAPACITY keeps the build pool-eligible at every size, so
+    // the grid measures the mechanism, not freeze's policy). The recorded
+    // crossover — the first size where the pool wins — is what
+    // POOL_MIN_CAPACITY is set from.
+    let grid_sizes: [usize; 6] = [64, 256, 1024, 4096, 16384, 65536 - 64];
+    let mut crossover_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &size in &grid_sizes {
+        let data = vec![0x42u8; size];
+        let plain_name = format!("payload/plain_roundtrip_{size}B");
+        let pool_name = format!("payload/pool_roundtrip_{size}B");
+        h.time(&plain_name, || Payload::from(black_box(&data).clone()));
+        h.time(&pool_name, || {
+            let mut b = PayloadBuilder::new();
+            b.reserve(ofh_net::POOL_MIN_CAPACITY.max(black_box(&data).len()));
+            b.extend_from_slice(&data);
+            b.freeze()
+        });
+        if let (Some(plain), Some(pool)) =
+            (bench_ns(&h, &plain_name), bench_ns(&h, &pool_name))
+        {
+            crossover_rows.push((size, plain, pool));
+        }
+    }
+    let crossover_b = crossover_rows
+        .iter()
+        .find(|(_, plain, pool)| pool < plain)
+        .map(|&(size, _, _)| size);
+    if !h.smoke {
+        println!(
+            "bench payload: pool wins from {} (POOL_MIN_CAPACITY = {})",
+            crossover_b.map_or("never".into(), |s| format!("{s} B")),
+            ofh_net::POOL_MIN_CAPACITY
+        );
+    }
 
     // ---- Probe templates vs per-address encodes -------------------------
     let templates = probe::ProbeTemplates::new();
@@ -350,6 +392,27 @@ fn main() {
     json.push_str(&format!(
         "  \"payload_pool\": {{ \"hits\": {hits}, \"misses\": {misses} }},\n"
     ));
+    {
+        // The per-size plain-vs-pool grid and the measured crossover the
+        // POOL_MIN_CAPACITY threshold is set from.
+        json.push_str("  \"payload_crossover\": {\n");
+        json.push_str(&format!(
+            "    \"pool_min_capacity\": {},\n",
+            ofh_net::POOL_MIN_CAPACITY
+        ));
+        json.push_str(&format!(
+            "    \"pool_wins_from_bytes\": {},\n",
+            crossover_b.map_or("null".into(), |s| s.to_string())
+        ));
+        json.push_str("    \"grid\": [\n");
+        for (i, (size, plain, pool)) in crossover_rows.iter().enumerate() {
+            let comma = if i + 1 == crossover_rows.len() { "" } else { "," };
+            json.push_str(&format!(
+                "      {{ \"bytes\": {size}, \"plain_ns\": {plain:.1}, \"pool_ns\": {pool:.1} }}{comma}\n"
+            ));
+        }
+        json.push_str("    ]\n  },\n");
+    }
     if let Some((off, on, pct)) = obs_overhead {
         json.push_str(&format!(
             "  \"obs_overhead\": {{ \"quick_run_obs_off_s\": {off:.3}, \"quick_run_obs_on_s\": {on:.3}, \"overhead_pct\": {pct:.2} }},\n"

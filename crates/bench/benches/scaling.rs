@@ -15,7 +15,10 @@
 //!   16 workers only at shards ≥ 64) at a small fixed per-shard cost,
 //!   visible in the `workers=1` rows.
 //! * `host_cores` bounds every curve: on a 1-core container all curves are
-//!   flat and the grid only records scheduler overhead.
+//!   flat and the grid only records scheduler overhead. Cells whose
+//!   effective worker count (`min(workers, shards)`) exceeds `host_cores`
+//!   are marked `flat_curve_expected: true` so curve consumers don't read
+//!   their `speedup_x` as a regression.
 //!
 //! Modes: `cargo bench -p ofh-bench --bench scaling` times the full grid;
 //! `BENCH_SCALING_MINI=1` runs a bounded 2×2 quick-only grid (CI exercises
@@ -34,6 +37,12 @@ struct Cell {
     workers: usize,
     wall_s: f64,
     speedup_x: f64,
+    /// True when this cell cannot beat the `workers=1` row: its effective
+    /// worker count (workers capped at shards) exceeds the host's cores,
+    /// so the extra threads time-slice one another. On a 1-core host every
+    /// multi-worker cell carries this flag — `speedup_x` there records
+    /// scheduler overhead, not a scaling defect.
+    flat_curve_expected: bool,
 }
 
 fn preset_cfg(preset: &str, seed: u64) -> StudyConfig {
@@ -95,10 +104,12 @@ fn main() {
             let wall_s = time_cell(preset, shards, workers, reps);
             let base = *base_s.get_or_insert(wall_s);
             let speedup_x = base / wall_s.max(1e-9);
+            let flat_curve_expected = workers.min(shards as usize) > cores;
+            let note = if flat_curve_expected { "  [flat curve expected]" } else { "" };
             println!(
-                "bench scaling/{preset}/shards={shards}/workers={workers:<3} {wall_s:>8.3} s  ({speedup_x:.2}x vs workers=1)"
+                "bench scaling/{preset}/shards={shards}/workers={workers:<3} {wall_s:>8.3} s  ({speedup_x:.2}x vs workers=1){note}"
             );
-            cells.push(Cell { preset, shards, workers, wall_s, speedup_x });
+            cells.push(Cell { preset, shards, workers, wall_s, speedup_x, flat_curve_expected });
         }
     }
 
@@ -125,14 +136,19 @@ fn main() {
         "  \"note\": \"speedup_x is vs the workers=1 row of the same (preset, shards); \
          shard count is a semantic knob (different trace per count), workers a pure \
          execution knob (identical bytes per count). Curves cannot rise past \
-         min(host_cores, shards) — on a 1-core host every curve is flat.\",\n",
+         min(host_cores, shards) — cells where the effective worker count exceeds \
+         host_cores carry flat_curve_expected: true, and on a 1-core host that is \
+         every multi-worker cell (wall clock may even rise with workers there, \
+         which is scheduler overhead, not a scaling defect). --workers 0 \
+         auto-selects min(host_cores, shards), so auto runs never enter the \
+         flat region.\",\n",
     );
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 == cells.len() { "" } else { "," };
         json.push_str(&format!(
-            "    {{ \"preset\": \"{}\", \"shards\": {}, \"workers\": {}, \"wall_s\": {:.3}, \"speedup_x\": {:.2} }}{comma}\n",
-            c.preset, c.shards, c.workers, c.wall_s, c.speedup_x
+            "    {{ \"preset\": \"{}\", \"shards\": {}, \"workers\": {}, \"wall_s\": {:.3}, \"speedup_x\": {:.2}, \"flat_curve_expected\": {} }}{comma}\n",
+            c.preset, c.shards, c.workers, c.wall_s, c.speedup_x, c.flat_curve_expected
         ));
     }
     json.push_str("  ],\n");

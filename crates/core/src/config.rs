@@ -187,7 +187,10 @@ impl StudyConfig {
     }
 
     /// Resolved worker-thread count: `workers` capped at the shard count
-    /// (extra threads would idle), with 0 meaning one per available core.
+    /// (extra threads would idle). `0` means auto: `min(host cores,
+    /// shards)` — never more threads than cores, since past that point
+    /// extra workers only add scheduler contention (BENCH_scaling.json
+    /// records the flat curve on a 1-core host).
     pub fn worker_threads(&self) -> usize {
         let requested = if self.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -314,9 +317,13 @@ mod tests {
         assert_eq!(cfg.worker_threads(), 1);
         cfg.workers = 64; // capped at the shard count
         assert_eq!(cfg.worker_threads(), 16);
-        cfg.workers = 0; // auto: at least one, never more than shards
-        let auto = cfg.worker_threads();
-        assert!((1..=16).contains(&auto));
+        // Auto (0) resolves to exactly min(host cores, shards): on a
+        // 1-core host that is 1 worker no matter the shard count.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        cfg.workers = 0;
+        assert_eq!(cfg.worker_threads(), cores.min(16));
+        cfg.shards = 2; // shards below the core count cap auto too
+        assert_eq!(cfg.worker_threads(), cores.min(2));
         cfg.shards = 0;
         assert!(cfg.validate().is_err());
     }

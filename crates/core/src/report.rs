@@ -163,8 +163,20 @@ pub struct StudyReport {
     pub dataset: AttackDataset,
     /// The telescope capture.
     pub telescope: Telescope,
+    /// The geolocation database the analysis resolved countries/ASNs with
+    /// (device space + attacker space). Carried so downstream consumers —
+    /// the columnar store above all — annotate addresses identically.
+    pub geo: ofh_intel::GeoDb,
+    /// The reverse-DNS oracle, the source-classification ground the store
+    /// and Table 7 share.
+    pub rdns: ofh_intel::ReverseDns,
     /// The (unfiltered) ZMap scan results.
     pub zmap_results: ScanResults,
+    /// The Project Sonar dataset stand-in (empty when dataset providers are
+    /// disabled). Kept so the columnar store serializes all three sources.
+    pub sonar_results: ScanResults,
+    /// The Shodan dataset stand-in (ditto).
+    pub shodan_results: ScanResults,
     /// Diagnostics.
     pub population_size: usize,
     pub wild_honeypot_count: usize,
@@ -178,6 +190,41 @@ pub struct StudyReport {
 }
 
 impl StudyReport {
+    /// The borrowed inputs `ofh_store` serializes. The honeypot filter is
+    /// passed in (rather than recomputed here) so callers can reuse one
+    /// set across store builds and their own analysis.
+    pub fn store_input<'a>(
+        &'a self,
+        honeypot_filter: &'a std::collections::BTreeSet<std::net::Ipv4Addr>,
+    ) -> ofh_store::StoreInput<'a> {
+        ofh_store::StoreInput {
+            seed: self.config.seed,
+            shards: self.config.shards,
+            zmap: &self.zmap_results,
+            sonar: &self.sonar_results,
+            shodan: &self.shodan_results,
+            honeypot_filter,
+            dataset: &self.dataset,
+            rdns: &self.rdns,
+            telescope: &self.telescope,
+            geo: &self.geo,
+        }
+    }
+
+    /// Serialize the study into columnar store bytes (deterministic: a
+    /// pure function of (seed, shards), independent of worker count).
+    pub fn build_store(&self) -> Vec<u8> {
+        let filter = self.fingerprint.filter_set();
+        ofh_store::build_store(&self.store_input(&filter))
+    }
+
+    /// Build and write the columnar store to `path` (`--store-out`).
+    /// Returns the byte count.
+    pub fn write_store(&self, path: &std::path::Path) -> std::io::Result<u64> {
+        let filter = self.fingerprint.filter_set();
+        ofh_store::write_store(path, &self.store_input(&filter))
+    }
+
     /// Render the Table 6 analogue from the fingerprint report.
     pub fn render_table6(&self) -> String {
         let counts = self.fingerprint.counts();

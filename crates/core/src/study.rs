@@ -533,7 +533,11 @@ impl Study {
             resilience,
             dataset,
             telescope,
+            geo,
+            rdns: oracles.rdns,
             zmap_results,
+            sonar_results,
+            shodan_results,
             population_size: population.records.len(),
             wild_honeypot_count: wild.len(),
             counters,

@@ -32,6 +32,16 @@ const POOL_MAX_BUFFERS: usize = 64;
 /// Oversized buffers are not pooled (a pathological giant payload must not
 /// pin its allocation forever).
 const POOL_MAX_CAPACITY: usize = 64 * 1024;
+/// Buffers below this capacity skip the pool entirely: for small payloads
+/// the allocator is faster than the pool's thread-local free-list round
+/// trip plus the `Drop`-to-pool plumbing, so [`PayloadBuilder::freeze`]
+/// seals sub-threshold builds as a plain shared `Vec` and [`pool_give`]
+/// drops sub-threshold returns. The `payload_crossover` grid in
+/// `BENCH_hotpath.json` measures both paths per size; on the reference
+/// 1-core container the pool first wins at 4096 B (e.g. 74 ns vs the
+/// allocator's 92 ns), while at 1 KiB and below the allocator is 20–30%
+/// faster — hence this value.
+pub const POOL_MIN_CAPACITY: usize = 4096;
 
 static POOL_HITS: AtomicU64 = AtomicU64::new(0);
 static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
@@ -57,7 +67,7 @@ fn pool_take() -> Vec<u8> {
 }
 
 fn pool_give(buf: Vec<u8>) {
-    if buf.capacity() == 0 || buf.capacity() > POOL_MAX_CAPACITY {
+    if buf.capacity() < POOL_MIN_CAPACITY || buf.capacity() > POOL_MAX_CAPACITY {
         return;
     }
     FREE_BUFFERS.with(|p| {
@@ -193,9 +203,14 @@ impl From<&str> for Payload {
     }
 }
 
-/// Copies through a pooled buffer — for borrowed slices of unknown origin.
+/// Copies borrowed slices of unknown origin. Sub-threshold copies go
+/// straight to a plain shared `Vec` — not even a pool probe — since the
+/// allocator wins below the crossover; larger ones recycle a pooled buffer.
 impl From<&[u8]> for Payload {
     fn from(s: &[u8]) -> Payload {
+        if s.len() < POOL_MIN_CAPACITY {
+            return Payload(Repr::Shared(Arc::new(s.to_vec())));
+        }
         let mut b = PayloadBuilder::new();
         b.extend_from_slice(s);
         b.freeze()
@@ -249,9 +264,15 @@ impl PayloadBuilder {
         PayloadBuilder { buf: pool_take() }
     }
 
-    /// Seal into an immutable, cheaply cloneable payload. The buffer returns
-    /// to the pool when the last clone drops.
+    /// Seal into an immutable, cheaply cloneable payload. Buffers with at
+    /// least [`POOL_MIN_CAPACITY`] return to the pool when the last clone
+    /// drops; smaller builds become plain shared `Vec`s, since below the
+    /// crossover the pool round trip costs more than the allocation it
+    /// would save.
     pub fn freeze(self) -> Payload {
+        if self.buf.capacity() < POOL_MIN_CAPACITY {
+            return Payload(Repr::Shared(Arc::new(self.buf)));
+        }
         Payload(Repr::Pooled(Arc::new(PoolBuf { data: self.buf })))
     }
 }
@@ -379,17 +400,38 @@ mod tests {
     #[test]
     fn pooled_buffers_are_reused() {
         // Drain this thread's pool so the test owns its state, then check
-        // that freeze → drop → new round-trips the same buffer.
+        // that freeze → drop → new round-trips the same buffer. The build
+        // must reach POOL_MIN_CAPACITY to be pool-eligible.
         for _ in 0..POOL_MAX_BUFFERS {
             drop(PayloadBuilder::new());
         }
         let (h0, _) = Payload::pool_stats();
         let mut b = PayloadBuilder::new();
+        b.reserve(POOL_MIN_CAPACITY);
         b.extend_from_slice(b"recycled");
         drop(b.freeze());
         drop(PayloadBuilder::new());
         let (h1, _) = Payload::pool_stats();
         assert!(h1 > h0, "second builder must hit the pool");
+    }
+
+    #[test]
+    fn small_builds_skip_the_pool() {
+        // Sub-threshold payloads seal as plain shared Vecs: dropping them
+        // must not stock the pool, so the next builder misses.
+        for _ in 0..POOL_MAX_BUFFERS {
+            drop(PayloadBuilder::new());
+        }
+        let mut b = PayloadBuilder::new();
+        b.extend_from_slice(b"tiny");
+        assert!(b.capacity() < POOL_MIN_CAPACITY, "test premise");
+        let p = b.freeze();
+        assert_eq!(&*p, b"tiny");
+        drop(p);
+        let (h0, _) = Payload::pool_stats();
+        drop(PayloadBuilder::new());
+        let (h1, _) = Payload::pool_stats();
+        assert_eq!(h1, h0, "small buffer must not have entered the pool");
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Read-only memory mapping of a store file.
+//!
+//! The query engine never materializes columns: every read resolves into
+//! the kernel's page cache through one shared mapping, so N query threads
+//! over one [`Mmap`] cost one copy of the file in memory, not N. The
+//! mapping is created once at open time and stays immutable — [`Mmap`] is
+//! `Send + Sync` by construction (`PROT_READ`, private mapping, no
+//! interior mutability), which is what lets `Arc<StoreReader>` fan out
+//! across a thread pool without locks on the read path.
+//!
+//! The syscall surface is three symbols (`mmap`/`munmap` and the file
+//! descriptor from `std`), declared directly against the C library `std`
+//! already links — no external crate. Non-Unix targets (and empty files)
+//! fall back to reading the file into an owned buffer; everything above
+//! this module only sees `&[u8]`.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut u8,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        pub fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+}
+
+/// A read-only view of a whole file.
+#[derive(Debug)]
+pub enum Mmap {
+    /// A live `mmap(2)` region (unmapped on drop).
+    #[cfg(unix)]
+    Mapped { ptr: *mut u8, len: usize },
+    /// Owned fallback: empty files, non-Unix targets, or mmap failure.
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is immutable (PROT_READ, MAP_PRIVATE, file opened
+// read-only) and the raw pointer is only ever dereferenced through `&self`.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only. Falls back to an owned read if the mapping is
+    /// impossible (zero-length file, exotic filesystem, non-Unix target).
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Ok(Mmap::Owned(Vec::new()));
+        }
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 && !ptr.is_null() {
+                return Ok(Mmap::Mapped { ptr, len });
+            }
+            // fall through to the owned read
+        }
+        Self::read_owned(file)
+    }
+
+    fn read_owned(file: &File) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::new();
+        let mut f = file.try_clone()?;
+        f.read_to_end(&mut buf)?;
+        Ok(Mmap::Owned(buf))
+    }
+
+    /// Whether this view is a real kernel mapping (diagnostics only).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            Mmap::Mapped { .. } => true,
+            Mmap::Owned(_) => false,
+        }
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            // SAFETY: ptr/len came from a successful mmap that lives until
+            // drop; the region is never written or remapped.
+            Mmap::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Mmap::Owned(v) => v.as_slice(),
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Mmap::Mapped { ptr, len } = self {
+            // SAFETY: exact (ptr, len) pair returned by mmap above.
+            unsafe { sys::munmap(*ptr, *len) };
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let path = std::env::temp_dir().join(format!("ofh_mmap_test_{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"columnar").unwrap();
+        f.sync_all().unwrap();
+        let ro = File::open(&path).unwrap();
+        let m = Mmap::map(&ro).unwrap();
+        assert_eq!(&m[..], b"columnar");
+        #[cfg(unix)]
+        assert!(m.is_mapped());
+        drop(m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_owned() {
+        let path = std::env::temp_dir().join(format!("ofh_mmap_empty_{}", std::process::id()));
+        File::create(&path).unwrap();
+        let ro = File::open(&path).unwrap();
+        let m = Mmap::map(&ro).unwrap();
+        assert!(m.is_empty());
+        assert!(!m.is_mapped());
+        drop(m);
+        std::fs::remove_file(&path).ok();
+    }
+}

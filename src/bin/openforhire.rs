@@ -5,11 +5,14 @@
 //! openforhire table  <4|5|6|7|8|10|12|13> [--preset ...] [--seed N]
 //! openforhire figure <2|3|4|5|6|7|8|9>    [--preset ...] [--seed N]
 //! openforhire export <scan|events|flowtuples> [--preset ...] [--seed N]
+//! openforhire query  --store FILE <info|table N|host ADDR|count ...|range ...>
 //! ```
 //!
-//! Any command additionally accepts `--metrics-out FILE` (versioned
-//! `metrics.json` snapshot) and `--trace-out FILE` (sim-time span trace as
-//! JSON lines).
+//! Any study-running command additionally accepts `--metrics-out FILE`
+//! (versioned `metrics.json` snapshot), `--trace-out FILE` (sim-time span
+//! trace as JSON lines) and `--store-out FILE` (columnar study store; see
+//! DESIGN.md §14). `query` runs against a previously written store without
+//! re-running the study.
 //!
 //! Everything is deterministic: the same preset and seed always print the
 //! same bytes — including the metrics snapshot (outside its `host` section)
@@ -28,6 +31,21 @@ fn usage() -> &'static str {
        openforhire table <4|5|6|7|8|10|12|13>  print one table\n\
        openforhire figure <2|3|4|5|6|7|8|9>    print one figure's data\n\
        openforhire export <scan|events|flowtuples>  dump a dataset as JSON lines\n\
+       openforhire query --store FILE <QUERY>       query a written store (no re-run)\n\
+     \n\
+     QUERIES (for `openforhire query`):\n\
+       info                                    store layout & provenance\n\
+       table <4|5|7>                           re-render a study table from the store\n\
+       host <ADDR>                             all scan records of one IPv4 address\n\
+       count scan  [--source S] [--protocol P] [--misconfig M] [--country CC]\n\
+       count events [--honeypot H] [--protocol P] [--attack-type T] [--class C]\n\
+       count telescope [--protocol P] [--country CC]\n\
+       range <START_MS> <END_MS> [--honeypot H]  count events in a sim-time window\n\
+     \n\
+       Filter values are exact dictionary labels (unknown labels count 0):\n\
+       sources \"ZMap Scan\"|\"Project Sonar\"|\"Shodan\", protocols capitalized\n\
+       (\"Telnet\"), --class malicious|scanning_service|unknown, --misconfig\n\
+       variant names (e.g. TelnetNoAuth).\n\
      \n\
      OPTIONS:\n\
        --preset quick|standard|full|paper-scale|paper-smoke\n\
@@ -45,11 +63,15 @@ fn usage() -> &'static str {
                                       (default: the preset's — 16, or 64 at paper\n\
                                       scale). A *semantic* knob: each count is a\n\
                                       different, equally valid deterministic trace.\n\
-       --workers N                    shard worker threads; 0 = one per core\n\
-                                      (default: 1 — any value prints identical bytes\n\
-                                      at a fixed shard count)\n\
+       --workers N                    shard worker threads; 0 = auto: min(host\n\
+                                      cores, shards) — more workers than either\n\
+                                      can only add contention (default: 1 — any\n\
+                                      value prints identical bytes at a fixed\n\
+                                      shard count)\n\
        --metrics-out FILE             write the metrics snapshot (JSON, versioned schema)\n\
-       --trace-out FILE               write the sim-time span trace (JSON lines)\n"
+       --trace-out FILE               write the sim-time span trace (JSON lines)\n\
+       --store-out FILE               write the columnar study store (deterministic:\n\
+                                      byte-identical at any worker count)\n"
 }
 
 struct Args {
@@ -63,6 +85,7 @@ struct Args {
     summary: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    store_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -79,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         summary: false,
         metrics_out: None,
         trace_out: None,
+        store_out: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -115,6 +139,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace-out" => {
                 out.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            "--store-out" => {
+                out.store_out = Some(args.next().ok_or("--store-out needs a path")?);
             }
             "--summary" => out.summary = true,
             other if !other.starts_with('-') && out.target.is_none() => {
@@ -195,7 +222,112 @@ fn export(report: &StudyReport, which: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse and run `openforhire query --store FILE <QUERY>` against a store
+/// file written by a previous `--store-out` run. No study is executed.
+fn run_query(argv: &[String]) -> Result<(), String> {
+    use ofh_store::{Query, StoreReader};
+
+    let mut store_path: Option<String> = None;
+    let mut words: Vec<String> = Vec::new();
+    let mut filters: Vec<(String, String)> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => {
+                store_path = Some(it.next().ok_or("--store needs a path")?.clone());
+            }
+            flag if flag.starts_with("--") => {
+                let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                filters.push((flag[2..].to_string(), value.clone()));
+            }
+            word => words.push(word.to_string()),
+        }
+    }
+    let store_path = store_path.ok_or("query needs --store FILE")?;
+    // Pull an optional label filter out of the `--flag value` pairs,
+    // rejecting anything the chosen query doesn't understand.
+    let mut take = |name: &str| -> Option<String> {
+        filters
+            .iter()
+            .position(|(k, _)| k == name)
+            .map(|i| filters.remove(i).1)
+    };
+
+    let query = match words.first().map(String::as_str) {
+        Some("info") => Query::Info,
+        Some("table") => {
+            let n: u8 = words
+                .get(1)
+                .ok_or("table: which one? (4|5|7)")?
+                .parse()
+                .map_err(|_| "table number must be 4, 5 or 7")?;
+            Query::Table(n)
+        }
+        Some("host") => {
+            let addr = words
+                .get(1)
+                .ok_or("host: which address?")?
+                .parse()
+                .map_err(|_| "host takes an IPv4 address")?;
+            Query::HostLookup { addr }
+        }
+        Some("count") => match words.get(1).map(String::as_str) {
+            Some("scan") => Query::CountScan {
+                source: take("source"),
+                protocol: take("protocol"),
+                misconfig: take("misconfig"),
+                country: take("country"),
+            },
+            Some("events") => Query::CountEvents {
+                honeypot: take("honeypot"),
+                protocol: take("protocol"),
+                attack_type: take("attack-type"),
+                class: take("class"),
+            },
+            Some("telescope") => Query::CountTelescope {
+                protocol: take("protocol"),
+                country: take("country"),
+            },
+            _ => return Err("count: scan, events or telescope?".into()),
+        },
+        Some("range") => {
+            let parse_ms = |i: usize, what: &str| -> Result<u64, String> {
+                words
+                    .get(i)
+                    .ok_or(format!("range needs {what}"))?
+                    .parse()
+                    .map_err(|_| format!("range {what} must be integer milliseconds"))
+            };
+            Query::EventsInRange {
+                start_ms: parse_ms(1, "START_MS")?,
+                end_ms: parse_ms(2, "END_MS")?,
+                honeypot: take("honeypot"),
+            }
+        }
+        _ => return Err(format!("query: what? \n\n{}", usage())),
+    };
+    if let Some((flag, _)) = filters.first() {
+        return Err(format!("--{flag} does not apply to this query"));
+    }
+
+    let reader = StoreReader::open(std::path::Path::new(&store_path))
+        .map_err(|e| format!("opening {store_path}: {e}"))?;
+    let answer = reader
+        .execute(&query)
+        .map_err(|e| format!("query failed: {e}"))?;
+    println!("{}", answer.render());
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
+    // `query` has its own grammar (label filters, positional queries), so it
+    // never goes through the study-argument parser.
+    {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.first().map(String::as_str) == Some("query") {
+            return run_query(&argv[1..]);
+        }
+    }
     let args = parse_args().map_err(|e| format!("{e}\n\n{}", usage()))?;
     if args.command == "help" || args.command == "--help" {
         println!("{}", usage());
@@ -239,6 +371,12 @@ fn run() -> Result<(), String> {
             report.trace.total_emitted,
             report.trace.total_dropped
         );
+    }
+    if let Some(path) = &args.store_out {
+        let bytes = report
+            .write_store(std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote columnar store to {path} ({bytes} bytes)");
     }
     match args.command.as_str() {
         "study" => {

@@ -1,0 +1,62 @@
+//! The store's determinism promise: the columnar file is a pure function
+//! of (seed, shards). Worker count — a pure execution knob everywhere else
+//! in the engine — must not leak into a single byte of the store, and the
+//! file must survive a write → mmap → query round trip intact.
+
+use ofh_core::{Study, StudyConfig, StudyReport};
+use ofh_store::{Answer, Query, StoreReader};
+
+fn run_quick(seed: u64, workers: usize) -> StudyReport {
+    let mut cfg = StudyConfig::quick(seed);
+    cfg.workers = workers;
+    Study::new(cfg).run()
+}
+
+/// Workers 1 vs 4: identical store bytes (the in-memory build path).
+#[test]
+fn store_bytes_identical_across_worker_counts() {
+    let a = run_quick(7, 1).build_store();
+    let b = run_quick(7, 4).build_store();
+    if a != b {
+        let first = a.iter().zip(&b).position(|(x, y)| x != y);
+        panic!(
+            "store bytes diverge between workers 1 and 4: lengths {} vs {}, first difference at offset {:?}",
+            a.len(),
+            b.len(),
+            first
+        );
+    }
+}
+
+/// The full disk path: `write_store` at workers 1 vs 4 produces identical
+/// files, and reopening one through the mmap reader yields the same tables
+/// the in-memory report renders. (ci.sh re-checks this with `cmp` through
+/// the CLI's `--store-out`.)
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run with --release")]
+fn written_store_identical_and_queryable() {
+    let dir = std::env::temp_dir();
+    let p1 = dir.join("ofh_test_store_w1.store");
+    let p4 = dir.join("ofh_test_store_w4.store");
+    let report = run_quick(42, 1);
+    report.write_store(&p1).expect("write workers=1 store");
+    run_quick(42, 4).write_store(&p4).expect("write workers=4 store");
+
+    let b1 = std::fs::read(&p1).expect("read back");
+    let b4 = std::fs::read(&p4).expect("read back");
+    assert_eq!(b1, b4, "written stores differ between workers 1 and 4");
+
+    let reader = StoreReader::open(&p1).expect("open store");
+    for (n, expected) in [
+        (4u8, report.table4.render()),
+        (5, report.table5.render()),
+        (7, report.table7.render()),
+    ] {
+        match reader.execute(&Query::Table(n)).expect("table renders") {
+            Answer::Rendered(s) => assert_eq!(s, expected, "table {n} diverged via mmap"),
+            other => panic!("expected rendered table, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p4);
+}
