@@ -91,6 +91,31 @@ BENCH_QUERY_N=10000 BENCH_QUERY_P99_BUDGET_US=5000 \
 grep -q '"class": "point"' "$OBS_TMP/query.json"
 echo "    10k-query mini workload within p99 budget"
 
+echo "==> obs-gate: regression sentinel + flight recorder smoke"
+# Regression sentinel: two same-seed paper-smoke runs at different worker
+# counts must produce snapshots whose deterministic sections are
+# byte-identical — `obsdiff` exits 0. Perturbing one deterministic counter
+# must flip it to a nonzero exit. Then a fault-windowed run with the flight
+# recorder armed must leave per-shard flight-*.jsonl dumps behind.
+./target/release/openforhire study --preset paper-smoke --workers 1 \
+    --metrics-out "$OBS_TMP/obs_a.json" >/dev/null
+./target/release/openforhire study --preset paper-smoke --workers 4 \
+    --metrics-out "$OBS_TMP/obs_b.json" >/dev/null
+./target/release/openforhire obsdiff "$OBS_TMP/obs_a.json" "$OBS_TMP/obs_b.json"
+echo "    same-seed snapshots: deterministic sections identical (exit 0)"
+sed 's/"net.events_processed":[0-9]*/"net.events_processed":1/' \
+    "$OBS_TMP/obs_a.json" > "$OBS_TMP/obs_perturbed.json"
+if ./target/release/openforhire obsdiff "$OBS_TMP/obs_a.json" "$OBS_TMP/obs_perturbed.json" \
+    > /dev/null 2>&1; then
+    echo "    ERROR: obsdiff accepted a perturbed deterministic counter" >&2
+    exit 1
+fi
+echo "    perturbed deterministic counter rejected (nonzero exit)"
+./target/release/openforhire study --preset quick --faults hostile \
+    --flight-dir "$OBS_TMP/flight" --summary >/dev/null 2>&1
+ls "$OBS_TMP"/flight/flight-*.jsonl >/dev/null
+echo "    fault-window run left flight-recorder dumps in --flight-dir"
+
 echo "==> scaling curve, bounded mini grid (exercises the bench harness)"
 BENCH_SCALING_MINI=1 BENCH_SCALING_OUT="$OBS_TMP/scaling.json" \
     cargo bench -q -p ofh-bench --bench scaling

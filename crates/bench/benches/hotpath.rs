@@ -293,6 +293,48 @@ fn main() {
         Some((best_off, best_on, pct))
     };
 
+    // ---- Live telemetry + flight recorder overhead ----------------------
+    // The v2 additions measured on top of default observability: heartbeat
+    // reporter at a deliberately aggressive 100 ms interval, the --live-out
+    // JSONL stream, and an armed flight recorder (ring pushes on every span
+    // plus the panic hook installed). Same paired-median protocol as
+    // obs_overhead; budget < 3%.
+    let obs_live_overhead = if h.smoke {
+        None
+    } else {
+        let tmp = std::env::temp_dir().join(format!("ofh-bench-live-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).ok();
+        let live_cfg = || ofh_core::obs::ObsConfig {
+            heartbeat: true,
+            heartbeat_ms: 100,
+            live_out: Some(tmp.join("live.jsonl").to_string_lossy().into_owned()),
+            flight_dir: Some(tmp.to_string_lossy().into_owned()),
+            ..ofh_core::obs::ObsConfig::default()
+        };
+        let (mut best_off, mut best_on) = (f64::MAX, f64::MAX);
+        let mut deltas = Vec::new();
+        for i in 0..9 {
+            let (off, on) = if i % 2 == 0 {
+                let off = study_run_s(ofh_core::obs::ObsConfig::default(), "none");
+                (off, study_run_s(live_cfg(), "none"))
+            } else {
+                let on = study_run_s(live_cfg(), "none");
+                (study_run_s(ofh_core::obs::ObsConfig::default(), "none"), on)
+            };
+            best_off = best_off.min(off);
+            best_on = best_on.min(on);
+            deltas.push(on - off);
+        }
+        std::fs::remove_dir_all(&tmp).ok();
+        deltas.sort_by(f64::total_cmp);
+        let median_delta = deltas[deltas.len() / 2];
+        let pct = 100.0 * median_delta / best_off;
+        println!(
+            "bench hotpath/obs_live_overhead: base {best_off:.3} s | live+flight {best_on:.3} s | median-pair {pct:+.2}%"
+        );
+        Some((best_off, best_on, pct))
+    };
+
     // ---- Fault overhead --------------------------------------------------
     // What running under an *active* fault schedule costs, measured in the
     // same run: quick preset with the hostile preset schedule vs the none
@@ -416,6 +458,12 @@ fn main() {
     if let Some((off, on, pct)) = obs_overhead {
         json.push_str(&format!(
             "  \"obs_overhead\": {{ \"quick_run_obs_off_s\": {off:.3}, \"quick_run_obs_on_s\": {on:.3}, \"overhead_pct\": {pct:.2} }},\n"
+        ));
+    }
+    if let Some((off, on, pct)) = obs_live_overhead {
+        // Heartbeat + live stream + armed flight recorder vs default obs.
+        json.push_str(&format!(
+            "  \"obs_live_overhead\": {{ \"quick_run_live_off_s\": {off:.3}, \"quick_run_live_on_s\": {on:.3}, \"overhead_pct\": {pct:.2} }},\n"
         ));
     }
     if let Some((none_s, hostile_s, pct)) = fault_overhead {

@@ -78,6 +78,13 @@ pub struct StudyConfig {
     /// execution knob: implicit and eager runs print identical bytes.
     #[serde(skip)]
     pub population: PopulationMode,
+    /// Name of the preset this config was built from — run identity for
+    /// artifacts (the snapshot's `preset` field, the trace header). Not
+    /// serialized with the config: it names the constructor, it does not
+    /// configure anything, and two configs differing only in provenance
+    /// must stay byte-identical.
+    #[serde(skip)]
+    pub preset: String,
 }
 
 impl StudyConfig {
@@ -97,6 +104,7 @@ impl StudyConfig {
             workers: 1,
             obs: ofh_obs::ObsConfig::default(),
             population: PopulationMode::Implicit,
+            preset: "quick".into(),
         }
     }
 
@@ -116,6 +124,7 @@ impl StudyConfig {
             workers: 1,
             obs: ofh_obs::ObsConfig::default(),
             population: PopulationMode::Implicit,
+            preset: "standard".into(),
         }
     }
 
@@ -135,6 +144,7 @@ impl StudyConfig {
             workers: 1,
             obs: ofh_obs::ObsConfig::default(),
             population: PopulationMode::Implicit,
+            preset: "full".into(),
         }
     }
 
@@ -159,6 +169,7 @@ impl StudyConfig {
             workers: 0,
             obs: ofh_obs::ObsConfig::default(),
             population: PopulationMode::Implicit,
+            preset: "paper-scale".into(),
         }
     }
 
@@ -172,6 +183,7 @@ impl StudyConfig {
             hp_scale: 256,
             infected_oversample: 32,
             workers: 1,
+            preset: "paper-smoke".into(),
             ..StudyConfig::paper_scale(seed)
         }
     }

@@ -200,6 +200,7 @@ impl StudyReport {
         ofh_store::StoreInput {
             seed: self.config.seed,
             shards: self.config.shards,
+            preset: &self.config.preset,
             zmap: &self.zmap_results,
             sonar: &self.sonar_results,
             shodan: &self.shodan_results,

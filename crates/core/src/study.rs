@@ -76,6 +76,11 @@ struct ShardInputs<'a> {
     /// work stays O(index) at any shard count instead of O(index × shards).
     /// The `Arc` inside each entry makes per-sweep clones free.
     scan_targets: Option<Vec<TargetSpace>>,
+    /// Live-telemetry progress cells (one per shard), present only when the
+    /// run asked for a heartbeat or a `--live-out` stream. Volatile: the
+    /// reporter thread samples these racily; nothing deterministic reads
+    /// them.
+    live: Option<std::sync::Arc<ofh_obs::LiveProgress>>,
 }
 
 /// The streaming host population of one shard: non-infected devices live in
@@ -317,6 +322,30 @@ impl Study {
         // a probe can ever hit.
         let scan_targets = (universe.bits >= 28)
             .then(|| build_scan_index(cfg, &population, &wild, &plan, &honeypots));
+        // Live telemetry and the flight recorder are armed here, not in the
+        // shards: the reporter is one process-wide thread sampling every
+        // shard's progress cell, and the panic hook is process-wide state.
+        if cfg.obs.enabled && cfg.obs.flight_dir.is_some() {
+            ofh_obs::install_panic_hook();
+        }
+        let live = cfg.obs.live_requested().then(|| {
+            std::sync::Arc::new(ofh_obs::LiveProgress::new(
+                cfg.shards,
+                cfg.study_end().as_millis(),
+            ))
+        });
+        let reporter = live.as_ref().map(|lp| {
+            ofh_obs::Reporter::spawn(
+                lp.clone(),
+                ofh_obs::ReporterOptions {
+                    heartbeat: cfg.obs.heartbeat,
+                    interval_ms: cfg.obs.heartbeat_ms,
+                    live_out: cfg.obs.live_out.as_ref().map(std::path::PathBuf::from),
+                    preset: cfg.preset.clone(),
+                    shards: cfg.shards,
+                },
+            )
+        });
         let inputs = ShardInputs {
             cfg,
             population: &population,
@@ -326,7 +355,9 @@ impl Study {
             infected_tasks: &infected_tasks,
             geo: &geo,
             scan_targets,
+            live,
         };
+        let mut steals_total: u64 = 0;
         let mut outputs: Vec<(u32, ShardOutput)> = if workers == 1 {
             ShardSpec::all(cfg.shards)
                 .map(|spec| (spec.index, run_shard(&inputs, spec)))
@@ -340,7 +371,7 @@ impl Study {
             // results are re-ordered by shard index below, so the merge
             // never sees the difference.
             let scheduler = crate::scheduler::ShardScheduler::new(cfg.shards, workers);
-            std::thread::scope(|scope| {
+            let outputs = std::thread::scope(|scope| {
                 let scheduler = &scheduler;
                 let inputs = &inputs;
                 let shards = cfg.shards;
@@ -351,6 +382,13 @@ impl Study {
                             while let Some(index) = scheduler.next(worker) {
                                 let spec = ShardSpec { index, count: shards };
                                 done.push((index, run_shard(inputs, spec)));
+                                // Keep the reporter's steal count current.
+                                if let Some(lp) = &inputs.live {
+                                    lp.steals.store(
+                                        scheduler.steals(),
+                                        std::sync::atomic::Ordering::Relaxed,
+                                    );
+                                }
                             }
                             done
                         })
@@ -360,8 +398,13 @@ impl Study {
                     .into_iter()
                     .flat_map(|h| h.join().expect("shard worker panicked"))
                     .collect()
-            })
+            });
+            steals_total = scheduler.steals();
+            outputs
         };
+        if let Some(r) = reporter {
+            r.stop();
+        }
         outputs.sort_by_key(|(index, _)| *index);
         let mut simulate_node = ProfileNode::new("simulate");
         simulate_node.wall_ns = simulate_sw.elapsed().as_nanos() as u64;
@@ -504,12 +547,18 @@ impl Study {
         profile.push_child(simulate_node);
         profile.push_child(merge_node);
         profile.push_child(analysis_node);
-        let mut metrics =
-            MetricsSnapshot::from_registry(cfg.seed, cfg.shards, &registry, per_shard_events);
+        let mut metrics = MetricsSnapshot::from_registry(
+            cfg.seed,
+            cfg.shards,
+            &cfg.preset,
+            &registry,
+            per_shard_events,
+        );
         let (pool_hits, pool_misses) = ofh_net::Payload::pool_stats();
         metrics.host.workers = workers as u64;
         metrics.host.pool_hits = pool_hits;
         metrics.host.pool_misses = pool_misses;
+        metrics.host.steals = steals_total;
         metrics.host.profile = profile;
 
         StudyReport {
@@ -560,7 +609,13 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
     let obs_guard = cfg
         .obs
         .enabled
-        .then(|| ofh_obs::install(ShardObs::new(cfg.obs.trace_capacity)));
+        .then(|| ofh_obs::install(ShardObs::for_shard(spec.index, &cfg.obs)));
+    // Point this thread's live-telemetry cell at this shard for the
+    // duration of its simulation (cells and shards are 1:1; threads take a
+    // cell when they pick a shard up and drop it when done).
+    if let Some(lp) = &inputs.live {
+        ofh_obs::live::set_cell(Some(lp.cells[spec.index as usize].clone()));
+    }
     let shard_sw = Stopwatch::start();
     let mut profile = ProfileNode::new(format!("shard-{:02}", spec.index));
     let phase_sw = Stopwatch::start();
@@ -814,6 +869,11 @@ fn run_shard(inputs: &ShardInputs<'_>, spec: ShardSpec) -> ShardOutput {
 
     profile.push_child(phase_sw.leaf("extract"));
     profile.wall_ns = shard_sw.elapsed().as_nanos() as u64;
+
+    if let Some(lp) = &inputs.live {
+        lp.mark_done(spec.index);
+        ofh_obs::live::set_cell(None);
+    }
 
     ShardOutput {
         zmap,

@@ -140,6 +140,7 @@ impl ConnGate {
     pub fn try_admit(&mut self) -> bool {
         if self.live >= self.max_live {
             self.shed += 1;
+            ofh_obs::live::shed(1);
             return false;
         }
         self.live += 1;

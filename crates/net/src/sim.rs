@@ -845,12 +845,32 @@ pub struct SimNet {
     obs_hour: u64,
     /// Events processed so far within `obs_hour`.
     obs_hour_events: u64,
+    /// Sorted sim-times (ms) at which a scheduled fault phase opens or
+    /// closes. Each crossing records a flight-recorder entry and triggers a
+    /// dump, so a run that survives a brownout still leaves a post-mortem
+    /// artifact. Empty for fault-free runs — the per-event cost is then a
+    /// single always-false bounds check.
+    fault_transitions: Vec<u64>,
+    /// Index of the next un-crossed entry in `fault_transitions`.
+    next_fault_transition: usize,
 }
 
 impl SimNet {
     pub fn new(cfg: SimNetConfig) -> Self {
         cfg.faults.validate().expect("invalid fault schedule");
         let rng = StdRng::seed_from_u64(rng::derive_seed(cfg.seed, "ofh-net/fabric"));
+        let mut fault_transitions: Vec<u64> = cfg
+            .faults
+            .phases
+            .iter()
+            .flat_map(|p| {
+                let (from, to) = p.window();
+                [from, to]
+            })
+            .filter(|&t| t > 0 && t < u64::MAX)
+            .collect();
+        fault_transitions.sort_unstable();
+        fault_transitions.dedup();
         SimNet {
             fabric: Fabric {
                 queue: EventQueue::new(),
@@ -880,6 +900,8 @@ impl SimNet {
             materialized: 0,
             obs_hour: 0,
             obs_hour_events: 0,
+            fault_transitions,
+            next_fault_transition: 0,
         }
     }
 
@@ -930,6 +952,7 @@ impl SimNet {
         }
         let agent = self.fabric.spawner.as_mut()?.spawn(addr)?;
         self.materialized += 1;
+        ofh_obs::live::spawned(1);
         let id = self.register(addr, agent);
         // First touch substitutes for t=0 attachment: run the boot hook
         // inline, before the packet that woke the host is delivered. The
@@ -1006,15 +1029,47 @@ impl SimNet {
     /// Keyed on sim-time, so the histogram is deterministic.
     #[inline]
     fn note_event(&mut self) {
-        let hour = self.fabric.queue.now().0 / 3_600_000;
+        let now = self.fabric.queue.now().0;
+        if self.next_fault_transition < self.fault_transitions.len()
+            && now >= self.fault_transitions[self.next_fault_transition]
+        {
+            self.on_fault_transition(now);
+        }
+        let hour = now / 3_600_000;
         if hour != self.obs_hour {
             if self.obs_hour_events > 0 {
                 ofh_obs::observe("net.events_per_hour", self.obs_hour_events);
+                ofh_obs::flight(now, "metric.events_per_hour", "net", self.obs_hour_events, 0);
             }
+            // Live progress publishes at hour granularity, never per event:
+            // the cells stay off the hot path and the reporter's racy reads
+            // see monotone counters.
+            ofh_obs::live::tick(now, self.fabric.counters.events_processed);
             self.obs_hour = hour;
             self.obs_hour_events = 0;
         }
         self.obs_hour_events += 1;
+    }
+
+    /// A scheduled fault phase just opened or closed: record the crossing
+    /// and dump this shard's flight ring (cold; at most a handful of
+    /// crossings per run).
+    #[cold]
+    fn on_fault_transition(&mut self, now: u64) {
+        while self.next_fault_transition < self.fault_transitions.len()
+            && now >= self.fault_transitions[self.next_fault_transition]
+        {
+            let at = self.fault_transitions[self.next_fault_transition];
+            self.next_fault_transition += 1;
+            ofh_obs::flight(
+                now,
+                "fault.window",
+                "transition",
+                self.next_fault_transition as u64,
+                at,
+            );
+        }
+        ofh_obs::dump_flight("fault-window");
     }
 
     /// Flush the locally-accumulated observability — the partial

@@ -13,6 +13,19 @@
 //!    wall-clock timers building a stage → shard → phase tree with an
 //!    explicit `wall_ns` / `cpu_ns` split.
 //!
+//! v2 adds three *explicitly volatile* companions, quarantined from the
+//! deterministic artifacts exactly like the host section of the snapshot:
+//!
+//! 4. **Live telemetry** ([`live`]) — lock-free per-shard progress cells
+//!    sampled by a reporter thread into heartbeat lines and an optional
+//!    `--live-out` JSONL stream.
+//! 5. **Flight recorder** ([`recorder`]) — a bounded per-shard ring of
+//!    recent activity, dumped to `flight-<shard>.jsonl` by the panic hook
+//!    or at chaos-engine fault windows.
+//! 6. **Regression sentinel** ([`diff`]) — cross-run snapshot diffing
+//!    behind `openforhire obsdiff`: exact on deterministic sections,
+//!    threshold on volatile ones.
+//!
 //! ## Recording model
 //!
 //! Instrumented code calls the free functions ([`count`], [`observe`],
@@ -28,19 +41,36 @@
 //! The *only* wall-clock reads live in [`Stopwatch`], whose results feed the
 //! profile tree — explicitly outside the determinism contract.
 
+pub mod diff;
+pub mod live;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 pub mod snapshot;
 pub mod trace;
 
-pub use metrics::{bucket_index, bucket_lower_bound, key_string, Histogram, MetricKey, MetricRegistry};
+pub use diff::{diff_snapshots, DiffOptions, SnapshotDiff};
+pub use live::{LiveProgress, LiveSample, Reporter, ReporterOptions, DEFAULT_HEARTBEAT_MS};
+pub use metrics::{
+    bucket_index, bucket_lower_bound, key_string, AtomicHistogram, Histogram, MetricKey,
+    MetricRegistry,
+};
 pub use profile::{ProfileNode, Stopwatch};
+pub use recorder::{
+    install_panic_hook, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY,
+    FLIGHT_SCHEMA_VERSION,
+};
 pub use snapshot::{HistogramSnapshot, HostStats, MetricsSnapshot, SCHEMA_VERSION};
 pub use trace::{Span, TraceLog, TraceRing, DEFAULT_TRACE_CAPACITY, TRACE_SCHEMA_VERSION};
 
 use std::cell::RefCell;
+use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
+
+/// Shard id used for the coordinator thread's `ShardObs` (setup / merge /
+/// analysis stages) — its flight dump, if any, is `flight-main.jsonl`.
+pub const COORDINATOR_SHARD: u32 = u32::MAX;
 
 /// Observability configuration — an execution knob, not a simulation
 /// parameter. It is excluded from config serialization (`#[serde(skip)]` at
@@ -53,6 +83,18 @@ pub struct ObsConfig {
     pub enabled: bool,
     /// Per-shard trace ring capacity (spans kept per shard).
     pub trace_capacity: usize,
+    /// Emit periodic `[live]` heartbeat lines to stderr while a study runs.
+    pub heartbeat: bool,
+    /// Heartbeat/live-stream sampling interval in wall-clock milliseconds.
+    pub heartbeat_ms: u64,
+    /// When set, stream live telemetry samples as JSONL to this path
+    /// (volatile artifact: wall-clock sampled, never byte-compared).
+    pub live_out: Option<String>,
+    /// When set, flight-recorder dumps (`flight-<shard>.jsonl`) land in
+    /// this directory and the process panic hook is armed.
+    pub flight_dir: Option<String>,
+    /// Per-shard flight-recorder ring capacity (events kept per shard).
+    pub flight_capacity: usize,
 }
 
 impl Default for ObsConfig {
@@ -60,6 +102,11 @@ impl Default for ObsConfig {
         ObsConfig {
             enabled: true,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            heartbeat: false,
+            heartbeat_ms: DEFAULT_HEARTBEAT_MS,
+            live_out: None,
+            flight_dir: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -69,17 +116,34 @@ impl ObsConfig {
     pub fn disabled() -> ObsConfig {
         ObsConfig {
             enabled: false,
-            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            ..ObsConfig::default()
         }
+    }
+
+    /// Is any live-telemetry output (heartbeat or JSONL stream) requested?
+    pub fn live_requested(&self) -> bool {
+        self.enabled && (self.heartbeat || self.live_out.is_some())
     }
 }
 
-/// One shard's observability state: its private metric registry and trace
-/// ring. Also used (with an idle ring) for the coordinator's global stages.
+/// One shard's observability state: its private metric registry, trace
+/// ring, and flight-recorder ring. Also used (with idle rings) for the
+/// coordinator's global stages.
+///
+/// The flight-dump directory lives *here*, per installed `ShardObs`, not in
+/// process-global state: parallel tests run whole studies concurrently, and
+/// a global dump directory would let one test's panic scribble into
+/// another's artifacts.
 #[derive(Debug, Default)]
 pub struct ShardObs {
     pub metrics: MetricRegistry,
     pub trace: TraceRing,
+    pub flight: FlightRecorder,
+    /// Which shard this state belongs to ([`COORDINATOR_SHARD`] for the
+    /// coordinator thread). Names the flight dump file.
+    pub shard: u32,
+    /// Where this shard's flight dumps go; `None` disables dumping.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl ShardObs {
@@ -87,6 +151,21 @@ impl ShardObs {
         ShardObs {
             metrics: MetricRegistry::new(),
             trace: TraceRing::new(trace_capacity),
+            flight: FlightRecorder::default(),
+            shard: COORDINATOR_SHARD,
+            flight_dir: None,
+        }
+    }
+
+    /// The full-fat constructor used by the study loop: shard identity plus
+    /// every capacity/path knob from the config.
+    pub fn for_shard(shard: u32, cfg: &ObsConfig) -> ShardObs {
+        ShardObs {
+            metrics: MetricRegistry::new(),
+            trace: TraceRing::new(cfg.trace_capacity),
+            flight: FlightRecorder::new(cfg.flight_capacity),
+            shard,
+            flight_dir: cfg.flight_dir.as_ref().map(PathBuf::from),
         }
     }
 }
@@ -219,8 +298,53 @@ pub fn span(
             port,
             bytes,
             seq: 0,
-        })
+        });
+        // Spans double as flight-recorder entries: the ring then holds the
+        // shard's most recent activity when a panic or fault-window dump
+        // fires, at the cost of one extra ring store.
+        o.flight.push(FlightEvent {
+            sim_ms: start_ms,
+            kind,
+            label,
+            a: dst as u64,
+            b: bytes as u64,
+        });
     });
+}
+
+/// Record a raw flight-recorder entry (metric delta, fault transition, …)
+/// without emitting a tracing span. No-op when nothing is installed.
+#[inline]
+pub fn flight(sim_ms: u64, kind: &'static str, label: &'static str, a: u64, b: u64) {
+    with_obs(|o| o.flight.push(FlightEvent { sim_ms, kind, label, a, b }));
+}
+
+/// Dump the current thread's flight ring to
+/// `<flight_dir>/flight-<shard>.jsonl` (`flight-main.jsonl` for the
+/// coordinator), returning the path written. `None` when no `ShardObs` is
+/// installed, no dump directory is configured, or the ring is empty.
+///
+/// Called by the panic hook (on the panicking thread, so the thread-local
+/// state is directly reachable) and by the chaos engine at fault-window
+/// transitions.
+pub fn dump_flight(reason: &str) -> Option<PathBuf> {
+    CURRENT.with(|c| {
+        let slot = c.try_borrow().ok()?;
+        let obs = slot.as_ref()?;
+        let dir = obs.flight_dir.as_ref()?;
+        if obs.flight.is_empty() {
+            return None;
+        }
+        let name = if obs.shard == COORDINATOR_SHARD {
+            "flight-main.jsonl".to_string()
+        } else {
+            format!("flight-{:04}.jsonl", obs.shard)
+        };
+        let path = dir.join(name);
+        std::fs::create_dir_all(dir).ok()?;
+        std::fs::write(&path, obs.flight.to_jsonl(obs.shard, reason)).ok()?;
+        Some(path)
+    })
 }
 
 #[cfg(test)]
@@ -291,6 +415,67 @@ mod tests {
         let d = ObsConfig::default();
         assert!(d.enabled);
         assert_eq!(d.trace_capacity, DEFAULT_TRACE_CAPACITY);
+        assert_eq!(d.flight_capacity, DEFAULT_FLIGHT_CAPACITY);
+        assert!(!d.heartbeat && d.live_out.is_none() && d.flight_dir.is_none());
+        assert!(!d.live_requested(), "live output is opt-in");
         assert!(!ObsConfig::disabled().enabled);
+        let live = ObsConfig { heartbeat: true, ..ObsConfig::default() };
+        assert!(live.live_requested());
+        assert!(!ObsConfig { enabled: false, ..live }.live_requested());
+    }
+
+    #[test]
+    fn spans_feed_the_flight_ring() {
+        let guard = install(ShardObs::for_shard(3, &ObsConfig::default()));
+        span("scan.probe", "telnet", 10, 11, 1, 2, 23, 4);
+        flight(12, "metric.events", "hour", 500, 0);
+        let obs = guard.finish();
+        assert_eq!(obs.flight.recorded(), 2);
+        let kinds: Vec<&str> = obs.flight.iter_ordered().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["scan.probe", "metric.events"]);
+    }
+
+    #[test]
+    fn dump_flight_writes_per_shard_file() {
+        let dir = std::env::temp_dir().join(format!("ofh-flight-{}", std::process::id()));
+        let cfg = ObsConfig {
+            flight_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ObsConfig::default()
+        };
+        // No ShardObs installed: no dump.
+        assert!(dump_flight("panic").is_none());
+        let guard = install(ShardObs::for_shard(7, &cfg));
+        // Empty ring: still no dump.
+        assert!(dump_flight("panic").is_none());
+        flight(42, "metric.events", "hour", 9, 0);
+        let path = dump_flight("fault-window").expect("dump written");
+        assert!(path.ends_with("flight-0007.jsonl"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"reason\":\"fault-window\""));
+        assert!(text.contains("\"sim_ms\":42"));
+        drop(guard.finish());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panic_hook_dumps_the_panicking_threads_ring() {
+        install_panic_hook();
+        install_panic_hook(); // idempotent
+        let dir = std::env::temp_dir().join(format!("ofh-panic-{}", std::process::id()));
+        let cfg = ObsConfig {
+            flight_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ObsConfig::default()
+        };
+        let dir2 = dir.clone();
+        let handle = std::thread::spawn(move || {
+            let _guard = install(ShardObs::for_shard(5, &cfg));
+            flight(1, "metric.events", "hour", 1, 0);
+            panic!("flight-recorder smoke");
+        });
+        assert!(handle.join().is_err());
+        let dumped = dir2.join("flight-0005.jsonl");
+        let text = std::fs::read_to_string(&dumped).expect("panic hook wrote dump");
+        assert!(text.contains("\"reason\":\"panic\""));
+        std::fs::remove_dir_all(&dir2).ok();
     }
 }

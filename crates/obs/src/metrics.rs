@@ -17,6 +17,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A metric key: a static metric name plus an optional static label
 /// (protocol, honeypot family, …). The empty label means "unlabeled".
@@ -172,6 +173,83 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         for (&idx, &n) in &other.buckets {
             *self.buckets.entry(idx).or_insert(0) += n;
+        }
+    }
+}
+
+/// A lock-free histogram with the same log-linear bucket layout as
+/// [`Histogram`], for recording from many threads at once (the QueryEngine
+/// records wall-clock query latencies through a shared `&self`).
+///
+/// All updates are relaxed atomics: the histogram is *volatile* by
+/// construction (it measures wall time), so cross-field consistency under
+/// concurrent snapshots is not required — only that every recorded value
+/// lands in exactly one bucket and the count/sum totals match the records.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; 256],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; 256],
+        }
+    }
+}
+
+impl AtomicHistogram {
+    pub fn new() -> AtomicHistogram {
+        AtomicHistogram::default()
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating, to match `Histogram::record` — `fetch_add` would wrap.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v) as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Materialize into a plain [`Histogram`] (empty stays empty, with
+    /// `min` normalized back to 0).
+    pub fn snapshot(&self) -> Histogram {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return Histogram::default();
+        }
+        Histogram {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, n)| {
+                    let n = n.load(Ordering::Relaxed);
+                    (n > 0).then_some((idx as u8, n))
+                })
+                .collect(),
         }
     }
 }
@@ -352,5 +430,38 @@ mod tests {
     fn key_strings() {
         assert_eq!(key_string(&("scan.probe.sent", "telnet")), "scan.probe.sent{telnet}");
         assert_eq!(key_string(&("net.events", "")), "net.events");
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_histogram() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = Histogram::default();
+        for v in [0u64, 1, 15, 16, 100, 1_000_000, u64::MAX] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+        assert_eq!(atomic.count(), 7);
+        assert_eq!(AtomicHistogram::new().snapshot(), Histogram::default());
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_records_all_land() {
+        let h = std::sync::Arc::new(AtomicHistogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 3999);
+        assert_eq!(snap.buckets.values().sum::<u64>(), 4000);
     }
 }

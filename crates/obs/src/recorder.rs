@@ -1,0 +1,192 @@
+//! The flight recorder: a bounded per-shard ring of recent activity —
+//! spans, batched metric deltas, fault-window transitions — continuously
+//! overwritten at near-zero cost, and dumped to `flight-<shard>.jsonl`
+//! when something goes wrong.
+//!
+//! Two dump triggers:
+//!
+//! 1. **Panic.** [`install_panic_hook`] chains a hook that dumps the
+//!    *panicking thread's* ring. The hook runs on the thread that
+//!    panicked, so the thread-local [`crate::ShardObs`] (and with it the
+//!    ring) is directly reachable — no cross-thread synchronization, no
+//!    locks that might themselves be poisoned.
+//! 2. **Fault windows.** The chaos engine calls [`crate::dump_flight`]
+//!    when a scheduled fault phase opens or closes, so a run that
+//!    *survives* a brownout still leaves a post-mortem artifact of what
+//!    the shard was doing around the window.
+//!
+//! Recording costs one branch plus a ring store; a run that never dumps
+//! pays nothing else. The dump itself is volatile (it happens when the
+//! wall-clock world intervenes) and is never part of any deterministic
+//! artifact.
+
+/// Schema version stamped into every flight-recorder line.
+pub const FLIGHT_SCHEMA_VERSION: u32 = 1;
+
+/// Default ring capacity (events kept per shard).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// One compact flight-recorder entry. The `a`/`b` payload fields are
+/// kind-specific (span: destination address / bytes; metric: value /
+/// auxiliary; fault: phase index / 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Sim-time of the event, milliseconds since the simulation epoch.
+    pub sim_ms: u64,
+    /// Entry kind, e.g. `scan.probe`, `metric.events_per_hour`,
+    /// `fault.window`.
+    pub kind: &'static str,
+    /// Kind-specific label (protocol, phase transition, …).
+    pub label: &'static str,
+    pub a: u64,
+    pub b: u64,
+}
+
+/// A bounded ring of [`FlightEvent`]s: O(1) push, keeps the newest
+/// `capacity` entries (same discipline as [`crate::TraceRing`]).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    events: Vec<FlightEvent>,
+    capacity: usize,
+    /// Index the next push overwrites once the ring is full.
+    head: usize,
+    /// Total events ever pushed.
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, event: FlightEvent) {
+        self.recorded += 1;
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Total events pushed over the ring's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The retained events, oldest first. Non-consuming — a panic dump
+    /// must not disturb the ring it is reading.
+    pub fn iter_ordered(&self) -> impl Iterator<Item = &FlightEvent> {
+        let pivot = self.head.min(self.events.len());
+        self.events[pivot..].iter().chain(self.events[..pivot].iter())
+    }
+
+    /// Render the ring as JSONL: a header naming the shard and the dump
+    /// reason, then one line per retained event, oldest first.
+    pub fn to_jsonl(&self, shard: u32, reason: &str) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 96);
+        out.push_str(&format!(
+            "{{\"v\":{FLIGHT_SCHEMA_VERSION},\"kind\":\"flight.header\",\"shard\":{shard},\
+             \"reason\":\"{reason}\",\"recorded\":{},\"kept\":{}}}\n",
+            self.recorded,
+            self.events.len()
+        ));
+        for e in self.iter_ordered() {
+            out.push_str(&format!(
+                "{{\"v\":{FLIGHT_SCHEMA_VERSION},\"kind\":\"{}\",\"label\":\"{}\",\
+                 \"sim_ms\":{},\"a\":{},\"b\":{}}}\n",
+                e.kind, e.label, e.sim_ms, e.a, e.b
+            ));
+        }
+        out
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+/// Install the panic-dump hook (once per process; subsequent calls are
+/// no-ops). The hook dumps the panicking thread's flight ring via
+/// [`crate::dump_flight`] — a no-op unless that thread has a `ShardObs`
+/// with a dump directory installed — then defers to the previous hook, so
+/// default backtrace printing (and any test harness hook) is preserved.
+pub fn install_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(path) = crate::dump_flight("panic") {
+                eprintln!("[flight] dumped recent activity to {}", path.display());
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> FlightEvent {
+        FlightEvent { sim_ms: t, kind: "test", label: "x", a: t * 2, b: 0 }
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_order() {
+        let mut r = FlightRecorder::new(4);
+        for t in 0..10 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.len(), 4);
+        let times: Vec<u64> = r.iter_ordered().map(|e| e.sim_ms).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+        // Non-consuming: a second read sees the same thing.
+        let again: Vec<u64> = r.iter_ordered().map(|e| e.sim_ms).collect();
+        assert_eq!(again, times);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let mut r = FlightRecorder::new(8);
+        r.push(ev(42));
+        let text = r.to_jsonl(3, "panic");
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"flight.header\""));
+        assert!(header.contains("\"shard\":3"));
+        assert!(header.contains("\"reason\":\"panic\""));
+        assert!(header.contains("\"recorded\":1"));
+        let line = lines.next().unwrap();
+        assert!(line.contains("\"sim_ms\":42"));
+        assert!(line.contains("\"a\":84"));
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn under_capacity_keeps_all() {
+        let mut r = FlightRecorder::new(100);
+        r.push(ev(5));
+        r.push(ev(3));
+        assert_eq!(r.len(), 2);
+        let times: Vec<u64> = r.iter_ordered().map(|e| e.sim_ms).collect();
+        assert_eq!(times, vec![5, 3], "emission order, not time order");
+    }
+}

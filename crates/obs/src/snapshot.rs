@@ -18,7 +18,11 @@ use crate::profile::ProfileNode;
 
 /// Version of the snapshot schema. Bump on any change to the serialized
 /// shape (field added/removed/renamed, bucket layout change).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: deterministic section gains `preset`; the volatile host section
+/// gains `steals` (work-stealing count — scheduler-timing dependent) and
+/// `latency` (wall-clock query-latency histograms from the QueryEngine).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Serializable summary of one histogram.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -66,8 +70,14 @@ pub struct HostStats {
     pub pool_hits: u64,
     /// Payload buffer pool misses.
     pub pool_misses: u64,
+    /// Shards executed by work-stealing rather than their home worker.
+    /// Depends on scheduler timing, hence volatile.
+    pub steals: u64,
     /// Wall-clock profile tree (stage → shard → phase).
     pub profile: ProfileNode,
+    /// Wall-clock latency histograms, keyed by operation class (e.g.
+    /// `query.host`, `query.range`). Values in nanoseconds.
+    pub latency: BTreeMap<String, HistogramSnapshot>,
 }
 
 /// A full metrics snapshot, as written to `--metrics-out`.
@@ -79,6 +89,9 @@ pub struct MetricsSnapshot {
     pub seed: u64,
     /// The run's shard count (a simulation parameter).
     pub shards: u32,
+    /// Name of the preset (or preset family) that configured the run —
+    /// deterministic run identity, like `seed` and `shards`.
+    pub preset: String,
     /// Counters, keyed `name` or `name{label}`.
     pub counters: BTreeMap<String, u64>,
     /// High-water-mark gauges, merged with `max` across shards.
@@ -97,6 +110,7 @@ impl MetricsSnapshot {
     pub fn from_registry(
         seed: u64,
         shards: u32,
+        preset: &str,
         registry: &MetricRegistry,
         per_shard_events: Vec<u64>,
     ) -> MetricsSnapshot {
@@ -104,6 +118,7 @@ impl MetricsSnapshot {
             schema_version: SCHEMA_VERSION,
             seed,
             shards,
+            preset: preset.to_string(),
             counters: registry
                 .counters()
                 .iter()
@@ -132,7 +147,9 @@ impl MetricsSnapshot {
         self.host.workers = 0;
         self.host.pool_hits = 0;
         self.host.pool_misses = 0;
+        self.host.steals = 0;
         self.host.profile.zero_wall_clock();
+        self.host.latency.clear();
     }
 
     /// Check this snapshot against the schema this build understands.
@@ -143,7 +160,11 @@ impl MetricsSnapshot {
                 self.schema_version
             ));
         }
-        if self.per_shard_events.len() != self.shards as usize {
+        // Study snapshots carry one entry per shard; query-engine snapshots
+        // carry none at all (there is no event loop behind them), so an
+        // empty vector is also well-formed.
+        if !self.per_shard_events.is_empty() && self.per_shard_events.len() != self.shards as usize
+        {
             return Err(format!(
                 "per_shard_events has {} entries for {} shards",
                 self.per_shard_events.len(),
@@ -167,8 +188,8 @@ impl MetricsSnapshot {
     pub fn render_summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "metrics (schema v{}, seed {}, {} shards)\n",
-            self.schema_version, self.seed, self.shards
+            "metrics (schema v{}, preset {}, seed {}, {} shards)\n",
+            self.schema_version, self.preset, self.seed, self.shards
         ));
         if !self.counters.is_empty() {
             out.push_str("  counters:\n");
@@ -240,10 +261,17 @@ mod tests {
         for v in [40u64, 60, 600, 1500] {
             reg.observe("net.udp_bytes", "", v);
         }
-        let mut snap = MetricsSnapshot::from_registry(7, 16, &reg, vec![1; 16]);
+        let mut snap = MetricsSnapshot::from_registry(7, 16, "quick", &reg, vec![1; 16]);
         snap.host.workers = 8;
         snap.host.pool_hits = 999;
+        snap.host.steals = 3;
         snap.host.profile = ProfileNode::leaf("study", std::time::Duration::from_millis(3));
+        let mut lat = Histogram::default();
+        lat.record(1_500);
+        lat.record(90_000);
+        snap.host
+            .latency
+            .insert("query.host".into(), HistogramSnapshot::from_histogram(&lat));
         snap
     }
 
@@ -278,9 +306,21 @@ mod tests {
         snap.zero_wall_clock();
         assert_eq!(snap.host.workers, 0);
         assert_eq!(snap.host.pool_hits, 0);
+        assert_eq!(snap.host.steals, 0);
+        assert!(snap.host.latency.is_empty());
         assert_eq!(snap.host.profile.wall_ns, 0);
         assert_eq!(snap.host.profile.name, "study", "structure survives");
         assert_eq!(snap.counters["scan.probe.sent{telnet}"], 100);
+        assert_eq!(snap.preset, "quick", "preset is deterministic identity");
+    }
+
+    #[test]
+    fn empty_per_shard_events_is_valid() {
+        let mut snap = sample_snapshot();
+        snap.per_shard_events.clear();
+        snap.validate().expect("query-engine snapshots have no per-shard events");
+        snap.per_shard_events = vec![1; 3];
+        assert!(snap.validate().is_err(), "partial vectors still rejected");
     }
 
     #[test]

@@ -10,7 +10,11 @@
 use std::net::Ipv4Addr;
 
 /// Schema version stamped into every emitted trace line.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the header record additionally carries the preset name and shard
+/// count, so a trace artifact identifies the run that produced it without
+/// the config that was used.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Default ring capacity per shard.
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
@@ -135,13 +139,14 @@ impl TraceLog {
         self.spans.is_empty()
     }
 
-    /// Render as JSON lines: a header record, then one record per span.
-    /// Every line is a self-contained JSON object carrying the schema
-    /// version — a consumer can validate any line in isolation.
-    pub fn to_jsonl(&self) -> String {
+    /// Render as JSON lines: a header record identifying the run (preset,
+    /// shard count), then one record per span. Every line is a
+    /// self-contained JSON object carrying the schema version — a consumer
+    /// can validate any line in isolation.
+    pub fn to_jsonl(&self, preset: &str, shards: u32) -> String {
         let mut out = String::with_capacity(128 + self.spans.len() * 160);
         out.push_str(&format!(
-            "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"trace.header\",\"spans\":{},\"emitted\":{},\"dropped\":{}}}\n",
+            "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"trace.header\",\"preset\":\"{preset}\",\"shards\":{shards},\"spans\":{},\"emitted\":{},\"dropped\":{}}}\n",
             self.spans.len(),
             self.total_emitted,
             self.total_dropped
@@ -227,7 +232,7 @@ mod tests {
         ba.finish();
         assert_eq!(ab.spans, ba.spans);
         assert_eq!(ab.total_emitted, 5);
-        assert_eq!(ab.to_jsonl(), ba.to_jsonl());
+        assert_eq!(ab.to_jsonl("quick", 16), ba.to_jsonl("quick", 16));
     }
 
     #[test]
@@ -237,11 +242,13 @@ mod tests {
         r.push(span_at(42));
         log.absorb(3, r);
         log.finish();
-        let jsonl = log.to_jsonl();
+        let jsonl = log.to_jsonl("quick", 16);
         let mut lines = jsonl.lines();
         let header = lines.next().unwrap();
         assert!(header.contains("\"trace.header\""));
         assert!(header.contains(&format!("\"v\":{TRACE_SCHEMA_VERSION}")));
+        assert!(header.contains("\"preset\":\"quick\""));
+        assert!(header.contains("\"shards\":16"));
         let line = lines.next().unwrap();
         assert!(line.contains("\"shard\":3"));
         assert!(line.contains("\"src\":\"1.2.3.4\""));

@@ -1,0 +1,140 @@
+//! Merge-algebra properties of the metric fold.
+//!
+//! The whole determinism story of the merged snapshot rests on one claim:
+//! folding per-shard registries is **commutative and associative**, so the
+//! merged metrics depend only on the *set* of shard registries, never on
+//! worker scheduling or merge order. These properties pin that claim for
+//! random inputs — histograms first (the only non-trivial reducer), then
+//! whole registries.
+
+use ofh_obs::{Histogram, MetricRegistry, MetricsSnapshot};
+use proptest::prelude::*;
+
+fn hist_of(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+/// Values spanning the interesting bucket regimes: exact unit buckets,
+/// log-linear buckets, and the saturation edge.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..16,
+            16u64..4096,
+            any::<u64>(),
+            Just(u64::MAX),
+        ],
+        0..64,
+    )
+}
+
+/// Registries keyed over a tiny static namespace so merges actually collide.
+fn registry_of(ops: &[(u8, u64)]) -> MetricRegistry {
+    const NAMES: [&str; 3] = ["a", "b", "c"];
+    const LABELS: [&str; 2] = ["", "l"];
+    let mut r = MetricRegistry::new();
+    for &(sel, v) in ops {
+        let name = NAMES[(sel % 3) as usize];
+        let label = LABELS[((sel / 3) % 2) as usize];
+        match (sel / 6) % 3 {
+            0 => r.count(name, label, v % 1_000),
+            1 => r.gauge_max(name, label, v),
+            _ => r.observe(name, label, v),
+        }
+    }
+    r
+}
+
+/// Canonical, comparable view of a registry (sorted maps, serializable).
+fn canon(r: &MetricRegistry) -> String {
+    serde_json::to_string(&MetricsSnapshot::from_registry(0, 1, "test", r, vec![0]))
+        .expect("snapshot serializes")
+}
+
+proptest! {
+    #[test]
+    fn histogram_absorb_is_commutative(a in values(), b in values()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.absorb(&hb);
+        let mut ba = hb.clone();
+        ba.absorb(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_absorb_is_associative(a in values(), b in values(), c in values()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.absorb(&hb);
+        left.absorb(&hc);
+        // a + (b + c)
+        let mut bc = hb.clone();
+        bc.absorb(&hc);
+        let mut right = ha.clone();
+        right.absorb(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn histogram_absorb_matches_concatenated_recording(a in values(), b in values()) {
+        // Recording a ++ b into one histogram equals recording a and b
+        // separately and merging — the fold loses nothing.
+        let mut merged = hist_of(&a);
+        merged.absorb(&hist_of(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, hist_of(&concat));
+    }
+
+    #[test]
+    fn registry_fold_is_order_independent(
+        ops in prop::collection::vec(
+            prop::collection::vec((any::<u8>(), any::<u64>()), 0..24),
+            1..6,
+        ),
+        order in any::<u64>(),
+    ) {
+        // Fold the same shard registries in identity order and in a
+        // pseudo-random permutation; the merged snapshot must not notice.
+        let shards: Vec<MetricRegistry> = ops.iter().map(|o| registry_of(o)).collect();
+        let mut forward = MetricRegistry::new();
+        for r in &shards {
+            forward.absorb(r);
+        }
+        let mut indices: Vec<usize> = (0..shards.len()).collect();
+        // Fisher–Yates driven by the proptest-supplied seed.
+        let mut state = order | 1;
+        for i in (1..indices.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            indices.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut shuffled = MetricRegistry::new();
+        for &i in &indices {
+            shuffled.absorb(&shards[i]);
+        }
+        prop_assert_eq!(canon(&forward), canon(&shuffled));
+    }
+
+    #[test]
+    fn registry_fold_is_associative(
+        a in prop::collection::vec((any::<u8>(), any::<u64>()), 0..24),
+        b in prop::collection::vec((any::<u8>(), any::<u64>()), 0..24),
+        c in prop::collection::vec((any::<u8>(), any::<u64>()), 0..24),
+    ) {
+        let (ra, rb, rc) = (registry_of(&a), registry_of(&b), registry_of(&c));
+        let mut left = MetricRegistry::new();
+        left.absorb(&ra);
+        left.absorb(&rb);
+        left.absorb(&rc);
+        let mut bc = rb.clone();
+        bc.absorb(&rc);
+        let mut right = ra.clone();
+        right.absorb(&bc);
+        prop_assert_eq!(canon(&left), canon(&right));
+    }
+}

@@ -48,6 +48,9 @@ pub const fn source_class_label(c: SourceClass) -> &'static str {
 pub struct StoreInput<'a> {
     pub seed: u64,
     pub shards: u32,
+    /// Preset name of the producing run — carried in the `meta` table so a
+    /// store artifact identifies its run, like the trace header does.
+    pub preset: &'a str,
     pub zmap: &'a ScanResults,
     pub sonar: &'a ScanResults,
     pub shodan: &'a ScanResults,
@@ -268,6 +271,7 @@ fn build_meta_table(input: &StoreInput<'_>) -> Vec<u8> {
     for (name, value) in [
         ("seed", input.seed.to_string()),
         ("shards", input.shards.to_string()),
+        ("preset", input.preset.to_string()),
         ("format", "ofh_store/1".to_string()),
     ] {
         let mut d = DictBuilder::new();

@@ -213,27 +213,33 @@ impl U32View {
     }
 
     /// Visit row indexes equal to `value` (zone-pruned, ascending).
-    pub fn for_each_eq(&self, file: &[u8], value: u32, mut f: impl FnMut(usize)) {
+    /// Returns the number of rows the zone map pruned — rows in blocks the
+    /// scan never touched. Deterministic: a pure function of the store and
+    /// the value, so it can feed the regression sentinel's counters.
+    pub fn for_each_eq(&self, file: &[u8], value: u32, mut f: impl FnMut(usize)) -> u64 {
         if self.zones.is_empty() {
             for row in 0..self.rows {
                 if self.get(file, row) == value {
                     f(row);
                 }
             }
-            return;
+            return 0;
         }
+        let mut pruned = 0u64;
         for (block, &(min, max)) in self.zones.iter().enumerate() {
-            if value < min || value > max {
-                continue;
-            }
             let start = block * BLOCK_ROWS;
             let end = (start + BLOCK_ROWS).min(self.rows);
+            if value < min || value > max {
+                pruned += (end - start) as u64;
+                continue;
+            }
             for row in start..end {
                 if self.get(file, row) == value {
                     f(row);
                 }
             }
         }
+        pruned
     }
 }
 
@@ -400,20 +406,27 @@ impl T64View {
 
     /// Visit every `(row, time)` with `start <= time < end`, in row order.
     /// Blocks outside the range are skipped via the restart directory.
+    /// Returns the number of rows skipped without decoding (rows in blocks
+    /// before the first candidate and after the early break) — the restart
+    /// directory's analogue of a zone-map prune count, deterministic for a
+    /// given store and range.
     pub fn for_each_in_range(
         &self,
         file: &[u8],
         start: u64,
         end: u64,
         mut f: impl FnMut(usize, u64),
-    ) -> Result<()> {
+    ) -> Result<u64> {
         if start >= end {
-            return Ok(());
+            return Ok(0);
         }
         // First block that could contain `start` (times are globally sorted).
         let first = self.blocks.partition_point(|b| b.max < start);
+        let mut pruned = (first * BLOCK_ROWS).min(self.rows) as u64;
         for block in first..self.blocks.len() {
             if self.blocks[block].min >= end {
+                // Everything from this block on is past the range.
+                pruned += (self.rows - block * BLOCK_ROWS) as u64;
                 break;
             }
             self.decode_block(file, block, |row, t| {
@@ -426,7 +439,7 @@ impl T64View {
                 true
             })?;
         }
-        Ok(())
+        Ok(pruned)
     }
 }
 

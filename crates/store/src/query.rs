@@ -206,6 +206,12 @@ impl StoreReader {
     }
 
     pub fn host_lookup(&self, addr: Ipv4Addr) -> Result<Vec<HostHit>> {
+        Ok(self.host_lookup_stats(addr)?.0)
+    }
+
+    /// [`StoreReader::host_lookup`] plus the zone-map prune count (rows in
+    /// blocks the lookup never decoded). Deterministic for a given store.
+    pub fn host_lookup_stats(&self, addr: Ipv4Addr) -> Result<(Vec<HostHit>, u64)> {
         let file = self.bytes();
         let t = self.table("scan")?;
         let addrs = t.u32("addr")?;
@@ -225,7 +231,7 @@ impl StoreReader {
             }
         };
         let mut hits = Vec::new();
-        for row in addrs.find_eq(file, u32::from(addr)) {
+        let pruned = addrs.for_each_eq(file, u32::from(addr), |row| {
             let a = asn1.get(file, row);
             hits.push(HostHit {
                 source: source.label(file, row).to_string(),
@@ -238,8 +244,8 @@ impl StoreReader {
                 asn: if a == 0 { None } else { Some(a - 1) },
                 hp_filtered: hp.get(file, row),
             });
-        }
-        Ok(hits)
+        });
+        Ok((hits, pruned))
     }
 
     pub fn count_scan(
@@ -298,16 +304,27 @@ impl StoreReader {
         end_ms: u64,
         honeypot: &Option<String>,
     ) -> Result<u64> {
+        Ok(self.events_in_range_stats(start_ms, end_ms, honeypot)?.0)
+    }
+
+    /// [`StoreReader::events_in_range`] plus the restart-directory prune
+    /// count (rows in blocks the range scan never decoded).
+    pub fn events_in_range_stats(
+        &self,
+        start_ms: u64,
+        end_ms: u64,
+        honeypot: &Option<String>,
+    ) -> Result<(u64, u64)> {
         let file = self.bytes();
         let t = self.table("events")?;
         let times = t.t64("time")?;
         let hp_dict = t.dict("honeypot")?;
         let hp = match Self::resolve(honeypot, hp_dict) {
             Ok(p) => p,
-            Err(()) => return Ok(0),
+            Err(()) => return Ok((0, 0)),
         };
         let mut n = 0u64;
-        times.for_each_in_range(file, start_ms, end_ms, |row, _| {
+        let pruned = times.for_each_in_range(file, start_ms, end_ms, |row, _| {
             let keep = match hp {
                 None => true,
                 Some((d, c)) => d.code(file, row) == c,
@@ -316,7 +333,7 @@ impl StoreReader {
                 n += 1;
             }
         })?;
-        Ok(n)
+        Ok((n, pruned))
     }
 
     pub fn count_telescope(
@@ -347,7 +364,7 @@ impl StoreReader {
             self.bytes().len(),
             if self.is_mapped() { "mmap" } else { "owned" },
         ));
-        for key in ["format", "seed", "shards"] {
+        for key in ["format", "seed", "shards", "preset"] {
             if let Some(v) = self.meta(key) {
                 out.push_str(&format!("  {key}: {v}\n"));
             }
@@ -367,41 +384,89 @@ impl StoreReader {
 
     /// Execute one query.
     pub fn execute(&self, q: &Query) -> Result<Answer> {
+        Ok(self.execute_stats(q)?.0)
+    }
+
+    /// Execute one query, also returning the number of rows pruned by the
+    /// zone map / restart directory (0 for bitmap and rendered queries,
+    /// which never visit row blocks at all). The prune count is a pure
+    /// function of the store and the query — it feeds the deterministic
+    /// section of the engine's metrics snapshot.
+    pub fn execute_stats(&self, q: &Query) -> Result<(Answer, u64)> {
         match q {
-            Query::HostLookup { addr } => Ok(Answer::Hosts(self.host_lookup(*addr)?)),
+            Query::HostLookup { addr } => {
+                let (hits, pruned) = self.host_lookup_stats(*addr)?;
+                Ok((Answer::Hosts(hits), pruned))
+            }
             Query::CountScan {
                 source,
                 protocol,
                 misconfig,
                 country,
-            } => Ok(Answer::Count(self.count_scan(source, protocol, misconfig, country)?)),
+            } => Ok((
+                Answer::Count(self.count_scan(source, protocol, misconfig, country)?),
+                0,
+            )),
             Query::CountEvents {
                 honeypot,
                 protocol,
                 attack_type,
                 class,
-            } => Ok(Answer::Count(
-                self.count_events(honeypot, protocol, attack_type, class)?,
+            } => Ok((
+                Answer::Count(self.count_events(honeypot, protocol, attack_type, class)?),
+                0,
             )),
             Query::EventsInRange {
                 start_ms,
                 end_ms,
                 honeypot,
-            } => Ok(Answer::Count(self.events_in_range(*start_ms, *end_ms, honeypot)?)),
-            Query::CountTelescope { protocol, country } => {
-                Ok(Answer::Count(self.count_telescope(protocol, country)?))
+            } => {
+                let (n, pruned) = self.events_in_range_stats(*start_ms, *end_ms, honeypot)?;
+                Ok((Answer::Count(n), pruned))
             }
-            Query::Table(4) => Ok(Answer::Rendered(crate::tables::table4(self)?.render())),
-            Query::Table(5) => Ok(Answer::Rendered(crate::tables::table5(self)?.render())),
-            Query::Table(7) => Ok(Answer::Rendered(crate::tables::table7(self)?.render())),
+            Query::CountTelescope { protocol, country } => {
+                Ok((Answer::Count(self.count_telescope(protocol, country)?), 0))
+            }
+            Query::Table(4) => Ok((Answer::Rendered(crate::tables::table4(self)?.render()), 0)),
+            Query::Table(5) => Ok((Answer::Rendered(crate::tables::table5(self)?.render()), 0)),
+            Query::Table(7) => Ok((Answer::Rendered(crate::tables::table7(self)?.render()), 0)),
             Query::Table(n) => Err(FormatError(format!("table {n} is not stored (use 4, 5 or 7)"))),
-            Query::Info => Ok(Answer::Rendered(self.info()?)),
+            Query::Info => Ok((Answer::Rendered(self.info()?), 0)),
         }
     }
 }
 
 /// Default answer-cache capacity.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Query classes, in snapshot label order. Each [`Query`] variant maps to
+/// exactly one class; per-class counters in the engine snapshot carry these
+/// as labels (`store.query.executed{host}`, …).
+pub const QUERY_CLASSES: [&str; 7] =
+    ["host", "scan", "events", "range", "telescope", "table", "info"];
+
+/// Index of a query's class in [`QUERY_CLASSES`].
+fn class_index(q: &Query) -> usize {
+    match q {
+        Query::HostLookup { .. } => 0,
+        Query::CountScan { .. } => 1,
+        Query::CountEvents { .. } => 2,
+        Query::EventsInRange { .. } => 3,
+        Query::CountTelescope { .. } => 4,
+        Query::Table(_) => 5,
+        Query::Info => 6,
+    }
+}
+
+/// Per-class instrumentation cells. `executed` and `rows_pruned` are
+/// deterministic (functions of the query sequence and the store);
+/// `latency_ns` is wall clock and therefore volatile.
+#[derive(Debug, Default)]
+struct ClassStats {
+    executed: AtomicU64,
+    rows_pruned: AtomicU64,
+    latency_ns: ofh_obs::AtomicHistogram,
+}
 
 struct Lru {
     entries: BTreeMap<Query, (Answer, u64)>,
@@ -412,11 +477,19 @@ struct Lru {
 /// A [`StoreReader`] plus a small LRU answer cache. Cheap queries bypass
 /// caching entirely (a bitmap count is faster than a map lookup is worth);
 /// rendered tables — the expensive reconstructions — are cached.
+///
+/// The engine counts every query by class, accumulates zone-map /
+/// restart-directory prune totals, and records wall-clock latency
+/// histograms; [`QueryEngine::snapshot`] exports them as a
+/// [`ofh_obs::MetricsSnapshot`] whose deterministic section depends only on
+/// the query sequence and the store bytes — the regression sentinel's
+/// contract.
 pub struct QueryEngine {
     reader: std::sync::Arc<StoreReader>,
     cache: Mutex<Lru>,
     hits: AtomicU64,
     misses: AtomicU64,
+    stats: [ClassStats; 7],
 }
 
 impl QueryEngine {
@@ -434,6 +507,7 @@ impl QueryEngine {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            stats: Default::default(),
         }
     }
 
@@ -447,8 +521,25 @@ impl QueryEngine {
     }
 
     pub fn query(&self, q: &Query) -> Result<Answer> {
+        let started = std::time::Instant::now();
+        let stats = &self.stats[class_index(q)];
+        stats.executed.fetch_add(1, Ordering::Relaxed);
+        let answer = self.query_uninstrumented(q, stats);
+        // Wall clock only — never feeds the deterministic section.
+        stats
+            .latency_ns
+            .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        answer
+    }
+
+    fn query_uninstrumented(&self, q: &Query, stats: &ClassStats) -> Result<Answer> {
+        let run = |q: &Query| -> Result<Answer> {
+            let (answer, pruned) = self.reader.execute_stats(q)?;
+            stats.rows_pruned.fetch_add(pruned, Ordering::Relaxed);
+            Ok(answer)
+        };
         if !Self::cacheable(q) {
-            return self.reader.execute(q);
+            return run(q);
         }
         {
             let mut cache = self.cache.lock().unwrap();
@@ -463,7 +554,7 @@ impl QueryEngine {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let answer = self.reader.execute(q)?;
+        let answer = run(q)?;
         let mut cache = self.cache.lock().unwrap();
         cache.stamp += 1;
         let stamp = cache.stamp;
@@ -489,5 +580,53 @@ impl QueryEngine {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Export the engine's instrumentation as a metrics snapshot.
+    ///
+    /// Deterministic section: `store.query.executed{class}`,
+    /// `store.query.rows_pruned{class}` (all classes, zeros included, so the
+    /// key set is stable), `store.query.cache_hits` and
+    /// `store.query.cache_misses` — all pure functions of the query
+    /// sequence and the store. Run identity (seed/shards/preset) comes from
+    /// the store's own `meta` table. Volatile section: per-class wall-clock
+    /// latency histograms under `host.latency` (`query.host`, …), in
+    /// nanoseconds. `per_shard_events` is empty — there is no event loop
+    /// behind an engine.
+    pub fn snapshot(&self) -> ofh_obs::MetricsSnapshot {
+        let meta_u64 = |key: &str| {
+            self.reader
+                .meta(key)
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+        };
+        let mut reg = ofh_obs::MetricRegistry::new();
+        reg.count("store.query.cache_hits", "", self.hits.load(Ordering::Relaxed));
+        reg.count("store.query.cache_misses", "", self.misses.load(Ordering::Relaxed));
+        for (i, class) in QUERY_CLASSES.iter().enumerate() {
+            reg.count("store.query.executed", class, self.stats[i].executed.load(Ordering::Relaxed));
+            reg.count(
+                "store.query.rows_pruned",
+                class,
+                self.stats[i].rows_pruned.load(Ordering::Relaxed),
+            );
+        }
+        let mut snap = ofh_obs::MetricsSnapshot::from_registry(
+            meta_u64("seed"),
+            meta_u64("shards") as u32,
+            self.reader.meta("preset").unwrap_or("unknown"),
+            &reg,
+            Vec::new(),
+        );
+        for (i, class) in QUERY_CLASSES.iter().enumerate() {
+            let h = self.stats[i].latency_ns.snapshot();
+            if h.count > 0 {
+                snap.host.latency.insert(
+                    format!("query.{class}"),
+                    ofh_obs::HistogramSnapshot::from_histogram(&h),
+                );
+            }
+        }
+        snap
     }
 }

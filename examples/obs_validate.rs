@@ -23,10 +23,13 @@ struct TraceLine {
     kind: String,
 }
 
-/// The header line's payload.
+/// The header line's payload. v2 headers identify their run: preset name
+/// and shard count ride alongside the schema version.
 #[derive(Debug, Deserialize)]
 struct TraceHeader {
     v: u32,
+    preset: String,
+    shards: u32,
     spans: u64,
     emitted: u64,
     dropped: u64,
@@ -69,9 +72,13 @@ fn validate_metrics(path: &str) -> Result<(), String> {
              {recovered} recovered vs {issued} issued / {losses} first-attempt losses"
         ));
     }
+    if snap.preset.is_empty() {
+        return Err(format!("{path}: snapshot carries no preset name"));
+    }
     println!(
-        "{path}: ok (schema v{}, seed {}, {} shards, {} counters, {} gauges, {} histograms)",
+        "{path}: ok (schema v{}, preset {}, seed {}, {} shards, {} counters, {} gauges, {} histograms)",
         snap.schema_version,
+        snap.preset,
         snap.seed,
         snap.shards,
         snap.counters.len(),
@@ -99,6 +106,12 @@ fn validate_trace(path: &str) -> Result<(), String> {
             header.emitted, header.spans, header.dropped
         ));
     }
+    if header.preset.is_empty() || header.shards == 0 {
+        return Err(format!(
+            "{path}: header lacks run identity (preset {:?}, {} shards)",
+            header.preset, header.shards
+        ));
+    }
     let mut count = 0u64;
     for (i, line) in lines.enumerate() {
         let parsed: TraceLine = serde_json::from_str(line)
@@ -118,8 +131,8 @@ fn validate_trace(path: &str) -> Result<(), String> {
         ));
     }
     println!(
-        "{path}: ok (schema v{}, {count} spans, {} emitted, {} dropped by ring bound)",
-        header.v, header.emitted, header.dropped
+        "{path}: ok (schema v{}, preset {}, {} shards, {count} spans, {} emitted, {} dropped by ring bound)",
+        header.v, header.preset, header.shards, header.emitted, header.dropped
     );
     Ok(())
 }

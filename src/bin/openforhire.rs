@@ -6,17 +6,24 @@
 //! openforhire figure <2|3|4|5|6|7|8|9>    [--preset ...] [--seed N]
 //! openforhire export <scan|events|flowtuples> [--preset ...] [--seed N]
 //! openforhire query  --store FILE <info|table N|host ADDR|count ...|range ...>
+//! openforhire obsdiff <a.json> <b.json> [--volatile-pct P]
 //! ```
 //!
 //! Any study-running command additionally accepts `--metrics-out FILE`
 //! (versioned `metrics.json` snapshot), `--trace-out FILE` (sim-time span
-//! trace as JSON lines) and `--store-out FILE` (columnar study store; see
-//! DESIGN.md §14). `query` runs against a previously written store without
-//! re-running the study.
+//! trace as JSON lines), `--store-out FILE` (columnar study store; see
+//! DESIGN.md §14), and the live-telemetry / flight-recorder flags
+//! `--heartbeat`, `--live-out FILE` and `--flight-dir DIR` (DESIGN.md §15).
+//! `query` runs against a previously written store without re-running the
+//! study and can export the engine's own snapshot via `--metrics-out`.
+//! `obsdiff` compares two snapshots as a regression gate: deterministic
+//! sections byte-exact, volatile sections threshold-checked, exit code 1 on
+//! drift.
 //!
 //! Everything is deterministic: the same preset and seed always print the
 //! same bytes — including the metrics snapshot (outside its `host` section)
-//! and the trace.
+//! and the trace. Live telemetry and flight dumps are wall-clock artifacts,
+//! quarantined from that contract.
 
 use std::process::ExitCode;
 
@@ -32,6 +39,7 @@ fn usage() -> &'static str {
        openforhire figure <2|3|4|5|6|7|8|9>    print one figure's data\n\
        openforhire export <scan|events|flowtuples>  dump a dataset as JSON lines\n\
        openforhire query --store FILE <QUERY>       query a written store (no re-run)\n\
+       openforhire obsdiff <a.json> <b.json>        compare two metrics snapshots\n\
      \n\
      QUERIES (for `openforhire query`):\n\
        info                                    store layout & provenance\n\
@@ -68,10 +76,29 @@ fn usage() -> &'static str {
                                       can only add contention (default: 1 — any\n\
                                       value prints identical bytes at a fixed\n\
                                       shard count)\n\
-       --metrics-out FILE             write the metrics snapshot (JSON, versioned schema)\n\
+       --metrics-out FILE             write the metrics snapshot (JSON, versioned\n\
+                                      schema). Also accepted by `query`, where it\n\
+                                      writes the query engine's own snapshot.\n\
        --trace-out FILE               write the sim-time span trace (JSON lines)\n\
        --store-out FILE               write the columnar study store (deterministic:\n\
-                                      byte-identical at any worker count)\n"
+                                      byte-identical at any worker count)\n\
+       --heartbeat                    print periodic [live] progress lines (events/s,\n\
+                                      sim-time fraction, ETA) to stderr while the\n\
+                                      study runs. Wall-clock output; never affects\n\
+                                      the deterministic artifacts.\n\
+       --heartbeat-ms N               heartbeat/live sampling interval (default: 500)\n\
+       --live-out FILE                stream live telemetry samples as JSON lines\n\
+                                      (volatile artifact — do not byte-compare)\n\
+       --flight-dir DIR               arm the flight recorder: on a panic or a\n\
+                                      fault-window transition, dump each shard's\n\
+                                      recent activity ring to DIR/flight-*.jsonl\n\
+     \n\
+     OBSDIFF (regression sentinel):\n\
+       openforhire obsdiff a.json b.json [--volatile-pct P]\n\
+                                      exit 0 iff the deterministic sections match\n\
+                                      byte-for-byte; with --volatile-pct P (e.g.\n\
+                                      0.25), volatile host-section quantities may\n\
+                                      differ by at most that fraction\n"
 }
 
 struct Args {
@@ -86,6 +113,10 @@ struct Args {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     store_out: Option<String>,
+    heartbeat: bool,
+    heartbeat_ms: Option<u64>,
+    live_out: Option<String>,
+    flight_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -103,6 +134,10 @@ fn parse_args() -> Result<Args, String> {
         metrics_out: None,
         trace_out: None,
         store_out: None,
+        heartbeat: false,
+        heartbeat_ms: None,
+        live_out: None,
+        flight_dir: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -142,6 +177,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--store-out" => {
                 out.store_out = Some(args.next().ok_or("--store-out needs a path")?);
+            }
+            "--heartbeat" => out.heartbeat = true,
+            "--heartbeat-ms" => {
+                out.heartbeat_ms = Some(
+                    args.next()
+                        .ok_or("--heartbeat-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "--heartbeat-ms must be an integer")?,
+                );
+            }
+            "--live-out" => {
+                out.live_out = Some(args.next().ok_or("--live-out needs a path")?);
+            }
+            "--flight-dir" => {
+                out.flight_dir = Some(args.next().ok_or("--flight-dir needs a directory")?);
             }
             "--summary" => out.summary = true,
             other if !other.starts_with('-') && out.target.is_none() => {
@@ -225,9 +275,10 @@ fn export(report: &StudyReport, which: &str) -> Result<(), String> {
 /// Parse and run `openforhire query --store FILE <QUERY>` against a store
 /// file written by a previous `--store-out` run. No study is executed.
 fn run_query(argv: &[String]) -> Result<(), String> {
-    use ofh_store::{Query, StoreReader};
+    use ofh_store::{Query, QueryEngine, StoreReader};
 
     let mut store_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut words: Vec<String> = Vec::new();
     let mut filters: Vec<(String, String)> = Vec::new();
     let mut it = argv.iter();
@@ -235,6 +286,9 @@ fn run_query(argv: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--store" => {
                 store_path = Some(it.next().ok_or("--store needs a path")?.clone());
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
             }
             flag if flag.starts_with("--") => {
                 let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -312,20 +366,72 @@ fn run_query(argv: &[String]) -> Result<(), String> {
 
     let reader = StoreReader::open(std::path::Path::new(&store_path))
         .map_err(|e| format!("opening {store_path}: {e}"))?;
-    let answer = reader
-        .execute(&query)
+    let engine = QueryEngine::new(std::sync::Arc::new(reader));
+    let answer = engine
+        .query(&query)
         .map_err(|e| format!("query failed: {e}"))?;
     println!("{}", answer.render());
+    if let Some(path) = &metrics_out {
+        let json = serde_json::to_string_pretty(&engine.snapshot()).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote query-engine metrics snapshot to {path}");
+    }
     Ok(())
 }
 
+/// `openforhire obsdiff <a.json> <b.json> [--volatile-pct P]` — the
+/// regression sentinel. Deterministic snapshot sections must match
+/// byte-for-byte; volatile (host) quantities are threshold-checked when a
+/// tolerance is given. Exits nonzero on drift.
+fn run_obsdiff(argv: &[String]) -> Result<(), String> {
+    use ofh_obs::{diff_snapshots, DiffOptions, MetricsSnapshot};
+
+    let mut volatile_pct: Option<f64> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--volatile-pct" => {
+                volatile_pct = Some(
+                    it.next()
+                        .ok_or("--volatile-pct needs a value")?
+                        .parse()
+                        .map_err(|_| "--volatile-pct must be a number (fraction, e.g. 0.25)")?,
+                );
+            }
+            word if !word.starts_with('-') => paths.push(word.to_string()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let [a_path, b_path] = paths.as_slice() else {
+        return Err("obsdiff takes exactly two snapshot paths".into());
+    };
+    let load = |p: &str| -> Result<MetricsSnapshot, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        let snap: MetricsSnapshot =
+            serde_json::from_str(&text).map_err(|e| format!("parsing {p}: {e}"))?;
+        snap.validate().map_err(|e| format!("{p}: {e}"))?;
+        Ok(snap)
+    };
+    let diff = diff_snapshots(&load(a_path)?, &load(b_path)?, &DiffOptions { volatile_pct });
+    print!("{}", diff.render());
+    if diff.clean() {
+        Ok(())
+    } else {
+        Err(format!("snapshot drift between {a_path} and {b_path}"))
+    }
+}
+
 fn run() -> Result<(), String> {
-    // `query` has its own grammar (label filters, positional queries), so it
-    // never goes through the study-argument parser.
+    // `query` and `obsdiff` have their own grammars, so they never go
+    // through the study-argument parser.
     {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         if argv.first().map(String::as_str) == Some("query") {
             return run_query(&argv[1..]);
+        }
+        if argv.first().map(String::as_str) == Some("obsdiff") {
+            return run_obsdiff(&argv[1..]);
         }
     }
     let args = parse_args().map_err(|e| format!("{e}\n\n{}", usage()))?;
@@ -338,6 +444,14 @@ fn run() -> Result<(), String> {
         cfg.shards = shards;
     }
     cfg.workers = args.workers;
+    // Live telemetry and the flight recorder are execution knobs: they never
+    // change the deterministic artifacts, only what gets observed.
+    cfg.obs.heartbeat = args.heartbeat;
+    if let Some(ms) = args.heartbeat_ms {
+        cfg.obs.heartbeat_ms = ms.max(1);
+    }
+    cfg.obs.live_out = args.live_out.clone();
+    cfg.obs.flight_dir = args.flight_dir.clone();
     // Resolve and validate the fault schedule up front: a bad schedule is a
     // clean startup error, never a mid-run panic.
     cfg.faults = ofh_core::faults_from_arg(&args.faults)?;
@@ -363,7 +477,12 @@ fn run() -> Result<(), String> {
         eprintln!("wrote metrics snapshot to {path}");
     }
     if let Some(path) = &args.trace_out {
-        std::fs::write(path, report.trace.to_jsonl())
+        std::fs::write(
+            path,
+            report
+                .trace
+                .to_jsonl(&report.metrics.preset, report.metrics.shards),
+        )
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!(
             "wrote {} trace spans to {path} ({} emitted, {} dropped by ring bound)",

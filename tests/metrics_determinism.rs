@@ -41,8 +41,8 @@ fn metrics_identical_across_worker_counts() {
         "metrics.json differs between workers=1 and workers=8"
     );
     assert_eq!(
-        a.trace.to_jsonl(),
-        b.trace.to_jsonl(),
+        a.trace.to_jsonl("quick", 16),
+        b.trace.to_jsonl("quick", 16),
         "trace differs between workers=1 and workers=8"
     );
     // The host section, by contrast, must record what actually ran.
@@ -56,7 +56,7 @@ fn metrics_identical_across_repeated_runs() {
     let a = run_quick(31, 2, ObsConfig::default());
     let b = run_quick(31, 2, ObsConfig::default());
     assert_eq!(deterministic_metrics_json(&a), deterministic_metrics_json(&b));
-    assert_eq!(a.trace.to_jsonl(), b.trace.to_jsonl());
+    assert_eq!(a.trace.to_jsonl("quick", 16), b.trace.to_jsonl("quick", 16));
 }
 
 /// Different seeds must *not* collide (guards against the snapshot being
@@ -106,8 +106,8 @@ fn disabling_observability_does_not_perturb_the_report() {
 /// eviction count — and never affects metrics.
 #[test]
 fn bounded_trace_ring_drops_oldest_deterministically() {
-    let big = run_quick(23, 1, ObsConfig { enabled: true, trace_capacity: 4096 });
-    let tiny = run_quick(23, 1, ObsConfig { enabled: true, trace_capacity: 8 });
+    let big = run_quick(23, 1, ObsConfig { trace_capacity: 4096, ..ObsConfig::default() });
+    let tiny = run_quick(23, 1, ObsConfig { trace_capacity: 8, ..ObsConfig::default() });
     assert_eq!(
         deterministic_metrics_json(&big),
         deterministic_metrics_json(&tiny),

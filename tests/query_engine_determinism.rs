@@ -1,0 +1,162 @@
+//! QueryEngine instrumentation determinism.
+//!
+//! The engine's answer cache and counters are part of the regression
+//! sentinel's deterministic section, so they must be pure functions of the
+//! query sequence and the store bytes:
+//!
+//! - replaying one fixed query sequence on *disjoint* engines — one per
+//!   thread, 1 thread vs 8 — yields identical hit/miss counters and
+//!   identical snapshot bytes on every engine;
+//! - the LRU eviction order is pinned (stamp-based, oldest-touch evicted);
+//! - engine snapshots are byte-stable across the worker count that built
+//!   the underlying store.
+
+use std::sync::Arc;
+
+use ofh_core::{Study, StudyConfig};
+use ofh_store::{Query, QueryEngine, StoreReader};
+
+fn store_bytes(seed: u64, workers: usize) -> Vec<u8> {
+    let mut cfg = StudyConfig::quick(seed);
+    cfg.workers = workers;
+    Study::new(cfg).run().build_store()
+}
+
+fn engine_over(bytes: &[u8], capacity: usize) -> QueryEngine {
+    let reader = StoreReader::from_bytes(bytes.to_vec()).expect("store parses");
+    QueryEngine::with_capacity(Arc::new(reader), capacity)
+}
+
+/// A fixed mixed workload: cacheable queries (info, tables, ranges) with
+/// repeats, plus uncacheable counts and host lookups.
+fn query_sequence() -> Vec<Query> {
+    let day = 86_400_000u64;
+    let mut qs = Vec::new();
+    for rep in 0..3u64 {
+        qs.push(Query::Info);
+        qs.push(Query::Table(4));
+        qs.push(Query::Table(7));
+        for w in 0..6 {
+            qs.push(Query::EventsInRange {
+                start_ms: w * day,
+                end_ms: (w + 1 + rep) * day,
+                honeypot: None,
+            });
+        }
+        qs.push(Query::CountScan {
+            source: Some("ZMap Scan".into()),
+            protocol: None,
+            misconfig: None,
+            country: None,
+        });
+        qs.push(Query::CountEvents {
+            honeypot: None,
+            protocol: None,
+            attack_type: None,
+            class: None,
+        });
+        qs.push(Query::HostLookup {
+            addr: "10.0.0.1".parse().unwrap(),
+        });
+    }
+    qs
+}
+
+/// Replay the sequence; return the deterministic evidence: hit/miss
+/// counters and the snapshot's deterministic bytes.
+fn replay(engine: &QueryEngine) -> ((u64, u64), String) {
+    for q in query_sequence() {
+        engine.query(&q).expect("query executes");
+    }
+    let mut snap = engine.snapshot();
+    snap.validate().expect("engine snapshot validates");
+    snap.zero_wall_clock();
+    (
+        engine.cache_stats(),
+        serde_json::to_string(&snap).expect("snapshot serializes"),
+    )
+}
+
+#[test]
+fn disjoint_engines_agree_at_any_thread_count() {
+    let bytes = store_bytes(7, 1);
+    let reference = replay(&engine_over(&bytes, 16));
+    assert!(
+        reference.0 .0 > 0 && reference.0 .1 > 0,
+        "workload must exercise both hits and misses, got {:?}",
+        reference.0
+    );
+
+    // 8 threads, each with its own engine over the same bytes, replaying
+    // the same sequence: every one reproduces the single-threaded counters
+    // and snapshot bytes exactly.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| s.spawn(|| replay(&engine_over(&bytes, 16))))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("thread"), reference);
+        }
+    });
+}
+
+#[test]
+fn engine_snapshot_is_byte_stable_across_store_worker_counts() {
+    let a = store_bytes(7, 1);
+    let b = store_bytes(7, 4);
+    assert_eq!(a, b, "store bytes must not depend on worker count");
+    let snap_a = replay(&engine_over(&a, 16));
+    let snap_b = replay(&engine_over(&b, 16));
+    assert_eq!(snap_a, snap_b);
+    // The sentinel's counters are present under their documented keys.
+    let snap = serde_json::from_str::<ofh_core::obs::MetricsSnapshot>(&snap_a.1).unwrap();
+    for key in [
+        "store.query.cache_hits",
+        "store.query.cache_misses",
+        "store.query.executed{range}",
+        "store.query.executed{table}",
+        "store.query.rows_pruned{range}",
+        "store.query.rows_pruned{host}",
+    ] {
+        assert!(snap.counters.contains_key(key), "missing counter {key}");
+    }
+    assert_eq!(snap.preset, "quick", "identity comes from the store meta");
+    assert!(snap.per_shard_events.is_empty());
+}
+
+#[test]
+fn lru_eviction_order_is_pinned() {
+    let bytes = store_bytes(7, 1);
+    let engine = engine_over(&bytes, 2);
+    let range = |w: u64| Query::EventsInRange {
+        start_ms: w,
+        end_ms: w + 86_400_000,
+        honeypot: None,
+    };
+    let (a, b, c) = (range(0), range(1), range(2));
+    // Stamp-LRU with capacity 2, walked by hand:
+    //   A miss {A}            B miss {A B}        A hit (A freshened)
+    //   C miss, evicts B {A C}
+    //   B miss, evicts A {C B}
+    //   C hit (C freshened)
+    //   A miss, evicts B {C A}
+    //   B miss, evicts C {A B}
+    let expect = [
+        (&a, (0, 1)),
+        (&b, (0, 2)),
+        (&a, (1, 2)),
+        (&c, (1, 3)),
+        (&b, (1, 4)),
+        (&c, (2, 4)),
+        (&a, (2, 5)),
+        (&b, (2, 6)),
+    ];
+    for (i, (q, stats)) in expect.iter().enumerate() {
+        engine.query(q).expect("query executes");
+        assert_eq!(
+            engine.cache_stats(),
+            *stats,
+            "hit/miss counters diverged at step {i}"
+        );
+    }
+}
